@@ -1,0 +1,135 @@
+// Command benchsuite regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	benchsuite -scale paper all
+//	benchsuite -scale quick fig3 fig4
+//	benchsuite -out results fig2        # writes PNGs next to the tables
+//
+// Subcommands: fig2 fig3 fig4 efficiency sec63 micro baseline claims
+// inoutcore ablation zerocopy all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gvmr/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchsuite: ")
+	var (
+		scaleName = flag.String("scale", "paper", "experiment scale: paper|quick")
+		outDir    = flag.String("out", "", "directory for rendered PNGs (fig2)")
+	)
+	flag.Parse()
+	var sc experiments.Scale
+	switch *scaleName {
+	case "paper":
+		sc = experiments.Paper()
+	case "quick":
+		sc = experiments.Quick()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	cmds := flag.Args()
+	if len(cmds) == 0 {
+		cmds = []string{"all"}
+	}
+	known := map[string]bool{
+		"all": true, "fig2": true, "fig3": true, "fig4": true,
+		"efficiency": true, "sec63": true, "micro": true, "baseline": true,
+		"claims": true, "inoutcore": true, "ablation": true, "zerocopy": true,
+	}
+	want := map[string]bool{}
+	for _, c := range cmds {
+		if !known[c] {
+			fmt.Fprintf(os.Stderr, "benchsuite: unknown subcommand %q\n", c)
+			os.Exit(2)
+		}
+		want[c] = true
+	}
+	all := want["all"]
+	need := func(name string) bool { return all || want[name] }
+
+	fmt.Printf("== gvmr benchsuite — scale %q ==\n\n", sc.Name)
+
+	var sweep []experiments.SweepRow
+	ensureSweep := func() []experiments.SweepRow {
+		if sweep == nil {
+			log.Printf("running scaling sweep (%v volumes × %v GPUs)...", sc.Edges, sc.GPUCounts)
+			var err error
+			sweep, err = experiments.Sweep(sc)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		return sweep
+	}
+
+	if need("fig2") {
+		t, err := experiments.Fig2(sc, *outDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t)
+	}
+	if need("fig3") {
+		fmt.Println(experiments.Fig3(ensureSweep()))
+	}
+	if need("fig4") {
+		fps, vps := experiments.Fig4(ensureSweep())
+		fmt.Println(fps)
+		fmt.Println(vps)
+	}
+	if need("efficiency") {
+		fmt.Println(experiments.Efficiency(ensureSweep()))
+	}
+	if need("sec63") {
+		_, t, err := experiments.Sec63(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t)
+	}
+	if need("micro") {
+		t, err := experiments.Micro()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t)
+	}
+	if need("baseline") {
+		t, err := experiments.BaselineCmp(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t)
+	}
+	if need("claims") {
+		fmt.Println(experiments.ClaimsReport(sc, ensureSweep()))
+	}
+	if need("inoutcore") {
+		t, err := experiments.InOutOfCore(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t)
+	}
+	if need("ablation") {
+		t, err := experiments.Ablations(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t)
+	}
+	if need("zerocopy") {
+		fmt.Println(experiments.ZeroCopy(sc))
+	}
+}

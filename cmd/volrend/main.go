@@ -1,0 +1,164 @@
+// Command volrend renders one frame of a volume on the simulated
+// multi-GPU cluster and prints the paper-style stage breakdown.
+//
+// Usage:
+//
+//	volrend -dataset skull -size 256 -gpus 8 -image 512 -o skull.png
+//	volrend -file volume.gvmr -tf gray -gpus 4 -fromdisk -o out.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gvmr"
+	"gvmr/internal/report"
+	"gvmr/internal/transfer"
+	"gvmr/internal/vec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("volrend: ")
+	var (
+		ds         = flag.String("dataset", "skull", "built-in dataset (skull|supernova|plume)")
+		size       = flag.Int("size", 256, "volume cube edge for built-in datasets")
+		file       = flag.String("file", "", "render a .gvmr volume file instead of a built-in dataset")
+		tfName     = flag.String("tf", "", "transfer function preset (defaults to the dataset's)")
+		gpus       = flag.Int("gpus", 8, "number of GPUs (4 per node)")
+		imgSize    = flag.Int("image", 512, "square image size in pixels")
+		out        = flag.String("o", "", "output PNG path")
+		ppm        = flag.String("ppm", "", "output PPM path")
+		fromDisk   = flag.Bool("fromdisk", false, "charge disk I/O per brick (out-of-core)")
+		compositor = flag.String("compositor", "direct-send", "direct-send|binary-swap")
+		sampler    = flag.String("sampler", "raycast", "raycast|slicing")
+		bricks     = flag.Int("bricks-per-gpu", 1, "bricking factor")
+		reduceGPU  = flag.Bool("reduce-on-gpu", false, "place sort+reduce on the GPU")
+		dynamic    = flag.Bool("dynamic", false, "dynamic chunk scheduling")
+		step       = flag.Float64("step", 1.0, "marching step in voxels")
+		tracePath  = flag.String("trace", "", "write a chrome://tracing timeline JSON to this path")
+	)
+	flag.Parse()
+
+	var src gvmr.Source
+	var err error
+	if *file != "" {
+		fs, ferr := gvmr.OpenVolumeFile(*file)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		defer fs.Close()
+		src = fs
+		if *tfName == "" {
+			*tfName = "gray"
+		}
+	} else {
+		src, err = gvmr.Dataset(*ds, *size)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var tf *transfer.Func
+	switch *tfName {
+	case "":
+		tf, err = gvmr.Preset(*ds)
+	case "gray":
+		tf = transfer.Gray()
+	default:
+		tf, err = gvmr.Preset(*tfName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cl, err := gvmr.NewCluster(*gpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := gvmr.Options{
+		Source:       src,
+		TF:           tf,
+		Width:        *imgSize,
+		Height:       *imgSize,
+		GPUs:         *gpus,
+		FromDisk:     *fromDisk,
+		BricksPerGPU: *bricks,
+		StepVoxels:   float32(*step),
+		Background:   vec.New4(0, 0, 0, 1),
+	}
+	switch *compositor {
+	case "direct-send":
+	case "binary-swap":
+		opt.Compositor = gvmr.BinarySwap
+	default:
+		log.Fatalf("unknown compositor %q", *compositor)
+	}
+	switch *sampler {
+	case "raycast":
+	case "slicing":
+		opt.Sampler = gvmr.Slicing
+	default:
+		log.Fatalf("unknown sampler %q", *sampler)
+	}
+	if *reduceGPU {
+		opt.ReduceOn = gvmr.OnGPU
+		opt.SortOn = gvmr.OnGPU
+	}
+	if *dynamic {
+		opt.Assign = gvmr.AssignDynamic
+	}
+	var traceLog *gvmr.TraceLog
+	if *tracePath != "" {
+		traceLog = gvmr.NewTraceLog()
+		opt.Trace = traceLog
+	}
+
+	res, err := gvmr.Render(cl, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("volume      %v (%d bricks on %d GPUs)\n",
+		src.Dims(), res.Grid.NumBricks(), res.GPUs)
+	fmt.Printf("runtime     %v   (%.2f FPS, %.0f MVPS)\n",
+		res.Runtime, res.FPS, res.VPSMillions)
+	if res.SwapTime > 0 {
+		fmt.Printf("swap phase  %v\n", res.SwapTime)
+	}
+	t := report.New("stage breakdown (mean per GPU)",
+		"stage", "time(ms)")
+	st := res.Stats.MeanStage
+	t.Add("map", report.Ms(st.Map))
+	t.Add("partition+io", report.Ms(st.PartitionIO))
+	t.Add("sort", report.Ms(st.Sort))
+	t.Add("reduce", report.Ms(st.Reduce))
+	fmt.Println(t)
+	fmt.Printf("fragments   %d emitted, %d on wire (%d messages, %.1f MiB)\n",
+		res.Stats.TotalEmitted, res.Stats.TotalReceived, res.Stats.Messages,
+		float64(res.Stats.BytesOnWire)/(1<<20))
+
+	if *out != "" {
+		if err := res.Image.WritePNG(*out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *ppm != "" {
+		if err := res.Image.WritePPM(*ppm); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *ppm)
+	}
+	if traceLog != nil {
+		if err := traceLog.WriteChromeFile(*tracePath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d spans; open in chrome://tracing)\n", *tracePath, traceLog.Len())
+	}
+	if *out == "" && *ppm == "" {
+		fmt.Fprintln(os.Stderr, "note: no -o/-ppm given, image discarded")
+	}
+}

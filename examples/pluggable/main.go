@@ -1,0 +1,57 @@
+// Pluggability (§6.1): the MapReduce structure makes the volume-sampling
+// technique and the compositing technique independently swappable — change
+// the map phase to switch ray casting for slicing, change the partition +
+// reduce to switch direct-send for binary-swap. This example renders the
+// same scene all four ways and compares runtimes and images.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gvmr"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	src, err := gvmr.Dataset("skull", 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tf, err := gvmr.Preset("skull")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*gvmr.Options)
+	}{
+		{"raycast + direct-send (paper)", func(o *gvmr.Options) {}},
+		{"raycast + binary-swap", func(o *gvmr.Options) { o.Compositor = gvmr.BinarySwap }},
+		{"slicing + direct-send", func(o *gvmr.Options) { o.Sampler = gvmr.Slicing }},
+		{"slicing + binary-swap", func(o *gvmr.Options) {
+			o.Sampler = gvmr.Slicing
+			o.Compositor = gvmr.BinarySwap
+		}},
+	}
+
+	fmt.Println("variant                          runtime      MVPS   luminance")
+	for _, c := range cases {
+		cl, err := gvmr.NewCluster(4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt := gvmr.Options{Source: src, TF: tf, Width: 512, Height: 512}
+		c.mutate(&opt)
+		res, err := gvmr.Render(cl, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-31s  %-10v  %5.0f  %.4f\n",
+			c.name, res.Runtime, res.VPSMillions, res.Image.MeanLuminance())
+	}
+	fmt.Println("\nonly Options.Sampler / Options.Compositor changed between rows —")
+	fmt.Println("no renderer code was touched, which is the paper's §6.1 claim.")
+}

@@ -1,0 +1,47 @@
+// Scaling study: render the same volume with 1–8 GPUs and print the
+// paper's three figures of merit (§4.2): runtime, voxels per second, and
+// parallel efficiency. The 8-GPU communication penalty of Figure 3 shows
+// up as falling efficiency.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gvmr"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	src, err := gvmr.Dataset("skull", 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tf, err := gvmr.Preset("skull")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("GPUs  runtime      FPS    MVPS   efficiency")
+	var base float64
+	for _, gpus := range []int{1, 2, 4, 8} {
+		cl, err := gvmr.NewCluster(gpus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := gvmr.Render(cl, gvmr.Options{
+			Source: src, TF: tf, Width: 512, Height: 512, GPUs: gpus,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sec := res.Runtime.Seconds()
+		if gpus == 1 {
+			base = sec
+		}
+		eff := base / (float64(gpus) * sec)
+		fmt.Printf("%-4d  %-10v  %5.2f  %5.0f  %.2f\n",
+			gpus, res.Runtime, res.FPS, res.VPSMillions, eff)
+	}
+}

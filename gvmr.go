@@ -1,0 +1,164 @@
+// Package gvmr is the public API of the multi-GPU MapReduce volume
+// renderer: a Go reproduction of "Multi-GPU Volume Rendering using
+// MapReduce" (Stuart, Chen, Ma, Owens — HPDC/MAPREDUCE 2010).
+//
+// Because Go has no CUDA ecosystem, the GPUs, PCIe links, InfiniBand
+// network and disks are deterministic discrete-event models calibrated
+// against the paper's measured costs, while every algorithm — ray
+// casting, partitioning, counting sort, compositing — runs for real and
+// produces real images. See DESIGN.md for the substitution argument and
+// EXPERIMENTS.md for paper-vs-measured results.
+//
+// Quickstart:
+//
+//	cl, _ := gvmr.NewCluster(8)
+//	src, _ := gvmr.Dataset("skull", 256)
+//	tf, _ := gvmr.Preset("skull")
+//	res, _ := gvmr.Render(cl, gvmr.Options{
+//		Source: src, TF: tf, Width: 512, Height: 512,
+//	})
+//	res.Image.WritePNG("skull.png")
+//	fmt.Println(res.Runtime, res.FPS, res.VPSMillions)
+package gvmr
+
+import (
+	"gvmr/internal/camera"
+	"gvmr/internal/cluster"
+	"gvmr/internal/core"
+	"gvmr/internal/img"
+	"gvmr/internal/mapreduce"
+	"gvmr/internal/sim"
+	"gvmr/internal/trace"
+	"gvmr/internal/transfer"
+	"gvmr/internal/vec"
+	"gvmr/internal/volume"
+	"gvmr/internal/volume/dataset"
+)
+
+// Re-exported renderer types. Options configures a render; Result carries
+// the image, timings and MapReduce statistics.
+type (
+	Options = core.Options
+	Result  = core.Result
+	Cluster = cluster.Cluster
+	Source  = volume.Source
+	Dims    = volume.Dims
+	Image   = img.Image
+	Camera  = camera.Camera
+	Time    = sim.Time
+)
+
+// Compositor and sampler choices (§6.1 pluggability).
+const (
+	DirectSend = core.DirectSend
+	BinarySwap = core.BinarySwap
+	RayCast    = core.RayCast
+	Slicing    = core.Slicing
+)
+
+// Reduce/sort placement and chunk assignment (§3.1.2 design choices).
+const (
+	OnCPU         = mapreduce.OnCPU
+	OnGPU         = mapreduce.OnGPU
+	AssignStatic  = mapreduce.AssignStatic
+	AssignDynamic = mapreduce.AssignDynamic
+)
+
+// NewCluster builds a simulated Accelerator-Cluster-style machine with the
+// given total GPU count (4 GPUs per node, as on the paper's testbed).
+func NewCluster(gpus int) (*Cluster, error) {
+	return cluster.New(sim.NewEnv(), cluster.AC(gpus))
+}
+
+// NewClusterParams builds a cluster from explicit hardware parameters.
+func NewClusterParams(p cluster.Params) (*Cluster, error) {
+	return cluster.New(sim.NewEnv(), p)
+}
+
+// ACParams returns the calibrated Accelerator Cluster hardware model for
+// the given GPU count, for callers that want to tweak constants.
+func ACParams(gpus int) cluster.Params { return cluster.AC(gpus) }
+
+// Render renders one frame and returns the image plus full statistics.
+func Render(cl *Cluster, opt Options) (*Result, error) {
+	return core.Render(cl, opt)
+}
+
+// SequenceResult summarises a multi-frame animation render.
+type SequenceResult = core.SequenceResult
+
+// RenderSequence renders an orbiting animation of `frames` frames and
+// reports the sustained frame rate (§4.2's interactivity figure of merit).
+func RenderSequence(cl *Cluster, opt Options, frames int, orbitDegrees float64) (*SequenceResult, error) {
+	return core.RenderSequence(cl, opt, frames, orbitDegrees)
+}
+
+// TraceLog collects per-operation activity spans; attach one to
+// Options.Trace and export it with WriteChromeFile for a chrome://tracing
+// timeline of the overlap between kernels, transfers and network sends.
+type TraceLog = trace.Log
+
+// NewTraceLog returns an empty span log.
+func NewTraceLog() *TraceLog { return &trace.Log{} }
+
+// Dataset returns one of the built-in synthetic datasets (skull,
+// supernova, plume) at cube edge n (plume becomes (n/2)×(n/2)×2n, the
+// paper's aspect).
+func Dataset(name string, n int) (Source, error) {
+	return dataset.New(name, dataset.PaperDims(name, n))
+}
+
+// DatasetDims returns a built-in dataset at explicit dimensions.
+func DatasetDims(name string, d Dims) (Source, error) {
+	return dataset.New(name, d)
+}
+
+// DatasetNames lists the built-in datasets.
+func DatasetNames() []string { return dataset.Names() }
+
+// Preset returns the transfer function paired with a built-in dataset.
+func Preset(name string) (*transfer.Func, error) { return transfer.Preset(name) }
+
+// TransferFromPoints builds a custom piecewise-linear transfer function
+// from (scalar, RGBA) control points.
+func TransferFromPoints(points []transfer.Point, size int) (*transfer.Func, error) {
+	return transfer.FromPoints(points, size)
+}
+
+// RGBA builds a color (straight alpha) for transfer-function control
+// points and backgrounds.
+func RGBA(r, g, b, a float64) vec.V4 { return vec.New4(r, g, b, a) }
+
+// Cube returns n×n×n dims.
+func Cube(n int) Dims { return volume.Cube(n) }
+
+// FitCamera frames a source's volume in a width×height image from the
+// default three-quarter view.
+func FitCamera(src Source, width, height int) (*Camera, error) {
+	return camera.Fit(volume.NewSpace(src.Dims()).Bounds(), width, height)
+}
+
+// NewCamera builds an explicit perspective camera.
+func NewCamera(eye, center, up vec.V3, fovY float64, width, height int) (*Camera, error) {
+	return camera.New(eye, center, up, fovY, width, height)
+}
+
+// V3 builds a vector for camera placement.
+func V3(x, y, z float64) vec.V3 { return vec.New3(x, y, z) }
+
+// WriteVolumeFile streams a source to a .gvmr volume file (for the
+// out-of-core path).
+func WriteVolumeFile(path string, src Source) error {
+	return volume.WriteFile(path, src)
+}
+
+// OpenVolumeFile opens a .gvmr volume file as a streaming source. Close it
+// when done.
+func OpenVolumeFile(path string) (*volume.FileSource, error) {
+	return volume.OpenFile(path)
+}
+
+// WrapVolume exposes an in-memory volume as a source.
+func WrapVolume(v *volume.Volume, tag string) Source {
+	return volume.NewVolumeSource(v, tag)
+}

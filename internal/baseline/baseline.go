@@ -1,0 +1,73 @@
+// Package baseline provides the CPU-cluster comparison renderer that
+// stands in for the paper's footnote-1 reference point (ParaView rendering
+// 346 MVPS with 512 processes on 256 nodes of a Cray XT3). Each MPI-style
+// rank is modeled as a compute device whose sample rate is a 2010-era CPU
+// core rather than a GPU; everything else — bricked ray casting,
+// direct-send compositing, the network — reuses the same tested pipeline,
+// so the comparison isolates exactly the thing the paper varies: where the
+// sampling flops come from.
+package baseline
+
+import (
+	"fmt"
+
+	"gvmr/internal/cluster"
+	"gvmr/internal/core"
+	"gvmr/internal/gpu"
+	"gvmr/internal/sim"
+)
+
+// CPURank returns the modeled per-rank compute capability: a single
+// 2010-era x86 core running an optimised software ray caster.
+func CPURank() gpu.Spec {
+	return gpu.Spec{
+		Name:            "CPU rank (simulated)",
+		VRAMBytes:       4 << 30, // host memory share; not the constraint here
+		SampleRate:      9e6,     // trilinear + TF + blend per core
+		ThreadRate:      1e9,
+		EmitRate:        300e6,
+		LaunchOverhead:  2 * sim.Microsecond, // function call, not a kernel launch
+		ZeroCopyPenalty: 1,
+	}
+}
+
+// ClusterParams builds a CPU-cluster model with the given total rank
+// count, ranksPerNode ranks on each node (the paper's reference ran 2
+// ranks per node). Interconnect and disk match the AC model so the only
+// difference from the GPU cluster is the compute substrate.
+func ClusterParams(ranks, ranksPerNode int) (cluster.Params, error) {
+	if ranks < 1 {
+		return cluster.Params{}, fmt.Errorf("baseline: %d ranks", ranks)
+	}
+	if ranksPerNode < 1 {
+		ranksPerNode = 2
+	}
+	if ranks < ranksPerNode {
+		ranksPerNode = ranks
+	}
+	p := cluster.AC(4) // inherit network/disk/CPU calibration
+	p.Nodes = (ranks + ranksPerNode - 1) / ranksPerNode
+	p.GPUsPerNode = ranksPerNode
+	p.GPU = CPURank()
+	// Ranks talk to "their device" through memory, not PCIe.
+	p.PCIeBandwidth = 8e9
+	p.PCIeLatency = sim.Microsecond
+	p.CPUCores = ranksPerNode
+	return p, nil
+}
+
+// Render renders one frame on a CPU cluster of the given rank count and
+// returns the result (same Result type as the GPU renderer, so figures of
+// merit compare directly).
+func Render(env *sim.Env, ranks, ranksPerNode int, opt core.Options) (*core.Result, error) {
+	params, err := ClusterParams(ranks, ranksPerNode)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cluster.New(env, params)
+	if err != nil {
+		return nil, err
+	}
+	opt.GPUs = ranks
+	return core.Render(cl, opt)
+}

@@ -1,0 +1,89 @@
+package baseline
+
+import (
+	"testing"
+
+	"gvmr/internal/cluster"
+	"gvmr/internal/core"
+	"gvmr/internal/sim"
+	"gvmr/internal/transfer"
+	"gvmr/internal/volume"
+	"gvmr/internal/volume/dataset"
+)
+
+func TestClusterParams(t *testing.T) {
+	p, err := ClusterParams(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Nodes != 4 || p.GPUsPerNode != 2 {
+		t.Errorf("8 ranks / 2 per node = %d nodes × %d", p.Nodes, p.GPUsPerNode)
+	}
+	if p.GPU.SampleRate >= 1e8 {
+		t.Error("CPU rank should sample far slower than a GPU")
+	}
+	if _, err := ClusterParams(0, 2); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	// Fewer ranks than per-node default shrinks per-node.
+	p, err = ClusterParams(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Nodes != 1 || p.GPUsPerNode != 1 {
+		t.Errorf("1 rank = %d nodes × %d", p.Nodes, p.GPUsPerNode)
+	}
+}
+
+func TestRenderProducesImage(t *testing.T) {
+	src, err := dataset.New(dataset.Skull, volume.Cube(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Render(sim.NewEnv(), 4, 2, core.Options{
+		Source: src, TF: transfer.SkullPreset(), Width: 48, Height: 48,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Image.MeanLuminance() < 0.01 {
+		t.Error("baseline render is black")
+	}
+	if res.Runtime <= 0 {
+		t.Error("no runtime")
+	}
+}
+
+func TestCPUClusterSlowerThanGPU(t *testing.T) {
+	// Same rank/GPU count: the CPU substrate must be much slower at the
+	// map phase — the entire point of the paper.
+	src, err := dataset.New(dataset.Skull, volume.Cube(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.Options{
+		Source: src, TF: transfer.SkullPreset(), Width: 128, Height: 128,
+	}
+	cpu, err := Render(sim.NewEnv(), 4, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuCl, err := newGPUCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.GPUs = 4
+	gpu, err := core.Render(gpuCl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Stats.MeanStage.Map <= 2*gpu.Stats.MeanStage.Map {
+		t.Errorf("CPU map %v should be much slower than GPU map %v",
+			cpu.Stats.MeanStage.Map, gpu.Stats.MeanStage.Map)
+	}
+}
+
+// newGPUCluster builds a GPU cluster for the comparison test.
+func newGPUCluster(gpus int) (*cluster.Cluster, error) {
+	return cluster.New(sim.NewEnv(), cluster.AC(gpus))
+}

@@ -1,0 +1,167 @@
+// Package camera provides the perspective camera used by the ray caster:
+// per-pixel ray generation, view-space depth (for fragment ordering), and
+// screen-space footprint projection of brick bounding boxes (which sizes
+// the CUDA-style kernel grids).
+package camera
+
+import (
+	"fmt"
+	"math"
+
+	"gvmr/internal/vec"
+)
+
+// Camera is a perspective pinhole camera over a Width×Height pixel image.
+type Camera struct {
+	Eye    vec.V3
+	Center vec.V3
+	Up     vec.V3
+	FovY   float64 // vertical field of view, radians
+	Width  int
+	Height int
+
+	// Precomputed basis.
+	right, up, fwd     vec.V3
+	tanHalfY, tanHalfX float64
+}
+
+// New builds a camera and validates its parameters.
+func New(eye, center, up vec.V3, fovY float64, width, height int) (*Camera, error) {
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("camera: invalid image size %dx%d", width, height)
+	}
+	if fovY <= 0 || fovY >= math.Pi {
+		return nil, fmt.Errorf("camera: invalid fovY %v", fovY)
+	}
+	if center.Sub(eye).Len() == 0 {
+		return nil, fmt.Errorf("camera: eye and center coincide")
+	}
+	c := &Camera{Eye: eye, Center: center, Up: up, FovY: fovY, Width: width, Height: height}
+	c.fwd = center.Sub(eye).Norm()
+	c.right = c.fwd.Cross(up.Norm()).Norm()
+	if c.right.Len() == 0 {
+		return nil, fmt.Errorf("camera: up vector parallel to view direction")
+	}
+	c.up = c.right.Cross(c.fwd)
+	c.tanHalfY = math.Tan(fovY / 2)
+	c.tanHalfX = c.tanHalfY * float64(width) / float64(height)
+	return c, nil
+}
+
+// Fit positions a camera on a default three-quarter view that frames the
+// world-space box b in a Width×Height image: the classic "show me the whole
+// volume" view the paper's figures use.
+func Fit(b vec.AABB, width, height int) (*Camera, error) {
+	center := b.Center()
+	radius := b.Size().Len() / 2
+	if radius == 0 {
+		radius = 1
+	}
+	fovY := math.Pi / 4
+	// Distance so the bounding sphere fits the smaller half-angle, pulled
+	// in so the volume fills most of the frame (the paper's figures frame
+	// their volumes tightly; the footprint drives the rendering workload).
+	tanHalf := math.Tan(fovY / 2)
+	if width < height {
+		tanHalf *= float64(width) / float64(height)
+	}
+	dist := (float64(radius)/tanHalf + float64(radius)) * 0.78
+	dir := vec.New3(0.55, 0.35, 1).Norm()
+	eye := center.Add(dir.Scale(float32(dist)))
+	return New(eye, center, vec.New3(0, 1, 0), fovY, width, height)
+}
+
+// Pixels returns the number of image pixels.
+func (c *Camera) Pixels() int { return c.Width * c.Height }
+
+// Ray returns the world-space ray through the center of pixel (px, py),
+// with px in [0,Width) and py in [0,Height); py grows downward.
+func (c *Camera) Ray(px, py int) vec.Ray {
+	u := (float64(px)+0.5)/float64(c.Width)*2 - 1  // [-1,1] left→right
+	v := 1 - (float64(py)+0.5)/float64(c.Height)*2 // [1,-1] top→bottom
+	dir := c.fwd.
+		Add(c.right.Scale(float32(u * c.tanHalfX))).
+		Add(c.up.Scale(float32(v * c.tanHalfY))).
+		Norm()
+	return vec.Ray{Origin: c.Eye, Dir: dir}
+}
+
+// Depth returns the distance from the eye to p along the viewing direction
+// (view-space depth). Fragments for the same pixel sorted by this value
+// composite front to back.
+func (c *Camera) Depth(p vec.V3) float32 {
+	return p.Sub(c.Eye).Dot(c.fwd)
+}
+
+// Footprint is an inclusive pixel rectangle.
+type Footprint struct {
+	X0, Y0, X1, Y1 int
+}
+
+// Width returns the footprint width in pixels.
+func (f Footprint) Width() int { return f.X1 - f.X0 + 1 }
+
+// Height returns the footprint height in pixels.
+func (f Footprint) Height() int { return f.Y1 - f.Y0 + 1 }
+
+// Pixels returns the footprint area in pixels.
+func (f Footprint) Pixels() int { return f.Width() * f.Height() }
+
+// project maps a world point to continuous pixel coordinates and view
+// depth. Points behind the eye report ok=false.
+func (c *Camera) project(p vec.V3) (x, y float64, depth float32, ok bool) {
+	rel := p.Sub(c.Eye)
+	zd := rel.Dot(c.fwd)
+	if zd <= 1e-6 {
+		return 0, 0, 0, false
+	}
+	u := float64(rel.Dot(c.right)) / (float64(zd) * c.tanHalfX)
+	v := float64(rel.Dot(c.up)) / (float64(zd) * c.tanHalfY)
+	x = (u + 1) / 2 * float64(c.Width)
+	y = (1 - v) / 2 * float64(c.Height)
+	return x, y, zd, true
+}
+
+// ProjectAABB returns the screen footprint of the world-space box b,
+// clamped to the image, and ok=false when the box is entirely off screen
+// (including entirely behind the eye). If the box straddles the eye plane
+// — some corners in front, some behind — the footprint conservatively
+// covers the whole image (matching what a clipping rasteriser would have
+// to assume).
+func (c *Camera) ProjectAABB(b vec.AABB) (Footprint, bool) {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	behind := false
+	for _, corner := range b.Corners() {
+		x, y, _, ok := c.project(corner)
+		if !ok {
+			behind = true
+			continue
+		}
+		minX = math.Min(minX, x)
+		minY = math.Min(minY, y)
+		maxX = math.Max(maxX, x)
+		maxY = math.Max(maxY, y)
+	}
+	if math.IsInf(minX, 1) {
+		// Every corner behind the eye: nothing visible.
+		return Footprint{}, false
+	}
+	if behind {
+		return Footprint{0, 0, c.Width - 1, c.Height - 1}, true
+	}
+	fp := Footprint{
+		X0: int(math.Floor(minX)),
+		Y0: int(math.Floor(minY)),
+		X1: int(math.Ceil(maxX)),
+		Y1: int(math.Ceil(maxY)),
+	}
+	if fp.X1 < 0 || fp.Y1 < 0 || fp.X0 >= c.Width || fp.Y0 >= c.Height {
+		return Footprint{}, false
+	}
+	fp.X0 = max(fp.X0, 0)
+	fp.Y0 = max(fp.Y0, 0)
+	fp.X1 = min(fp.X1, c.Width-1)
+	fp.Y1 = min(fp.Y1, c.Height-1)
+	return fp, true
+}

@@ -1,0 +1,190 @@
+package camera
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gvmr/internal/vec"
+)
+
+func mustCam(t *testing.T, eye, center vec.V3, w, h int) *Camera {
+	t.Helper()
+	c, err := New(eye, center, vec.New3(0, 1, 0), math.Pi/4, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	eye := vec.New3(0, 0, 5)
+	ctr := vec.New3(0, 0, 0)
+	up := vec.New3(0, 1, 0)
+	if _, err := New(eye, ctr, up, math.Pi/4, 0, 100); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := New(eye, ctr, up, 0, 100, 100); err == nil {
+		t.Error("zero fov accepted")
+	}
+	if _, err := New(eye, eye, up, math.Pi/4, 100, 100); err == nil {
+		t.Error("eye == center accepted")
+	}
+	if _, err := New(eye, ctr, vec.New3(0, 0, 1), math.Pi/4, 100, 100); err == nil {
+		t.Error("up parallel to view accepted")
+	}
+}
+
+func TestCenterPixelRay(t *testing.T) {
+	c := mustCam(t, vec.New3(0, 0, 5), vec.New3(0, 0, 0), 101, 101)
+	r := c.Ray(50, 50) // center pixel of an odd image: straight ahead
+	if r.Origin != c.Eye {
+		t.Errorf("ray origin = %v", r.Origin)
+	}
+	want := vec.New3(0, 0, -1)
+	if r.Dir.Sub(want).Len() > 1e-6 {
+		t.Errorf("center ray dir = %v, want %v", r.Dir, want)
+	}
+}
+
+func TestRayDirectionsSpanFov(t *testing.T) {
+	c := mustCam(t, vec.New3(0, 0, 5), vec.New3(0, 0, 0), 100, 100)
+	top := c.Ray(50, 0)
+	bottom := c.Ray(50, 99)
+	if top.Dir.Y <= 0 {
+		t.Errorf("top ray should look up, dir=%v", top.Dir)
+	}
+	if bottom.Dir.Y >= 0 {
+		t.Errorf("bottom ray should look down, dir=%v", bottom.Dir)
+	}
+	left := c.Ray(0, 50)
+	if left.Dir.X >= 0 {
+		t.Errorf("left ray should look left (-x), dir=%v", left.Dir)
+	}
+}
+
+func TestDepthIsViewDistance(t *testing.T) {
+	c := mustCam(t, vec.New3(0, 0, 5), vec.New3(0, 0, 0), 64, 64)
+	if d := c.Depth(vec.New3(0, 0, 0)); math.Abs(float64(d)-5) > 1e-6 {
+		t.Errorf("Depth(origin) = %v, want 5", d)
+	}
+	if d := c.Depth(vec.New3(0, 0, 7)); d >= 0 {
+		t.Errorf("Depth(point behind eye) = %v, want negative", d)
+	}
+	// Depth is measured along the view axis, not Euclidean distance.
+	if d := c.Depth(vec.New3(3, 0, 0)); math.Abs(float64(d)-5) > 1e-6 {
+		t.Errorf("Depth(off-axis) = %v, want 5", d)
+	}
+}
+
+func TestProjectAABBCenteredBox(t *testing.T) {
+	c := mustCam(t, vec.New3(0, 0, 5), vec.New3(0, 0, 0), 128, 128)
+	box := vec.AABB{Min: vec.New3(-0.5, -0.5, -0.5), Max: vec.New3(0.5, 0.5, 0.5)}
+	fp, ok := c.ProjectAABB(box)
+	if !ok {
+		t.Fatal("centered box reported off screen")
+	}
+	// Footprint should be roughly centered and not cover the whole image.
+	if fp.X0 <= 0 || fp.X1 >= 127 || fp.Y0 <= 0 || fp.Y1 >= 127 {
+		t.Errorf("footprint %+v should be interior", fp)
+	}
+	cx := (fp.X0 + fp.X1) / 2
+	cy := (fp.Y0 + fp.Y1) / 2
+	if cx < 60 || cx > 68 || cy < 60 || cy > 68 {
+		t.Errorf("footprint center (%d,%d) not near image center", cx, cy)
+	}
+}
+
+func TestProjectAABBOffScreen(t *testing.T) {
+	c := mustCam(t, vec.New3(0, 0, 5), vec.New3(0, 0, 0), 128, 128)
+	// A box far to the right of the frustum.
+	box := vec.AABB{Min: vec.New3(100, -0.5, -0.5), Max: vec.New3(101, 0.5, 0.5)}
+	if _, ok := c.ProjectAABB(box); ok {
+		t.Error("far off-axis box reported on screen")
+	}
+}
+
+func TestProjectAABBBehindCameraConservative(t *testing.T) {
+	c := mustCam(t, vec.New3(0, 0, 5), vec.New3(0, 0, 0), 128, 128)
+	// Box straddling the eye plane: conservative full-image footprint.
+	box := vec.AABB{Min: vec.New3(-1, -1, 4), Max: vec.New3(1, 1, 6)}
+	fp, ok := c.ProjectAABB(box)
+	if !ok {
+		t.Fatal("straddling box reported off screen")
+	}
+	if fp != (Footprint{0, 0, 127, 127}) {
+		t.Errorf("straddling box footprint = %+v, want full image", fp)
+	}
+}
+
+func TestFootprintGeometry(t *testing.T) {
+	fp := Footprint{X0: 2, Y0: 3, X1: 5, Y1: 7}
+	if fp.Width() != 4 || fp.Height() != 5 || fp.Pixels() != 20 {
+		t.Errorf("footprint geometry wrong: %d %d %d", fp.Width(), fp.Height(), fp.Pixels())
+	}
+}
+
+func TestFitFramesBox(t *testing.T) {
+	// The canonical volume shapes: a cube and the plume's tall box (in
+	// the world space volume.NewSpace produces: max extent 1, centered).
+	boxes := []vec.AABB{
+		{Min: vec.New3(-0.5, -0.5, -0.5), Max: vec.New3(0.5, 0.5, 0.5)},
+		{Min: vec.New3(-0.125, -0.125, -0.5), Max: vec.New3(0.125, 0.125, 0.5)},
+	}
+	for i, box := range boxes {
+		c, err := Fit(box, 256, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, ok := c.ProjectAABB(box)
+		if !ok {
+			t.Fatalf("box %d: fit camera does not see the box", i)
+		}
+		// The whole box is on screen (no clamping at the borders).
+		if fp.X0 == 0 || fp.Y0 == 0 || fp.X1 == 255 || fp.Y1 == 255 {
+			t.Errorf("box %d: fit footprint %+v touches image border; box may be clipped", i, fp)
+		}
+		// And it fills a healthy portion of the frame — the paper's
+		// figures frame volumes tightly and the footprint drives the
+		// rendering workload.
+		if fp.Pixels() < 256*256/4 {
+			t.Errorf("box %d: fit footprint %+v too small", i, fp)
+		}
+	}
+}
+
+// Property: every ray through a pixel of the footprint of a box either hits
+// the box or passes near its silhouette; conversely rays through pixels
+// strictly outside the footprint never hit the box (footprint is
+// conservative).
+func TestFootprintConservativeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(67))
+	c := mustCam(t, vec.New3(0, 0, 3), vec.New3(0, 0, 0), 96, 96)
+	f := func() bool {
+		lo := vec.New3(r.Float64()*2-1, r.Float64()*2-1, r.Float64()*2-1)
+		sz := vec.New3(r.Float64()*0.8+0.05, r.Float64()*0.8+0.05, r.Float64()*0.8+0.05)
+		box := vec.AABB{Min: lo, Max: lo.Add(sz)}
+		fp, ok := c.ProjectAABB(box)
+		// Sample random pixels; any hit outside the footprint disproves
+		// conservativeness.
+		for i := 0; i < 40; i++ {
+			px, py := r.Intn(96), r.Intn(96)
+			ray := c.Ray(px, py)
+			_, tf, hit := box.Intersect(ray)
+			hit = hit && tf > 0
+			if hit {
+				if !ok {
+					return false
+				}
+				if px < fp.X0 || px > fp.X1 || py < fp.Y0 || py > fp.Y1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

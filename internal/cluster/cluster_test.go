@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"gvmr/internal/sim"
+)
+
+func TestACPreset(t *testing.T) {
+	cases := []struct {
+		gpus      int
+		nodes     int
+		perNode   int
+		totalGPUs int
+	}{
+		{1, 1, 1, 1},
+		{2, 1, 2, 2},
+		{4, 1, 4, 4},
+		{8, 2, 4, 8},
+		{16, 4, 4, 16},
+		{32, 8, 4, 32},
+	}
+	for _, c := range cases {
+		p := AC(c.gpus)
+		if p.Nodes != c.nodes || p.GPUsPerNode != c.perNode {
+			t.Errorf("AC(%d) = %d nodes × %d GPUs, want %d × %d",
+				c.gpus, p.Nodes, p.GPUsPerNode, c.nodes, c.perNode)
+		}
+		env := sim.NewEnv()
+		cl, err := New(env, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cl.TotalGPUs() != c.totalGPUs {
+			t.Errorf("AC(%d) built %d GPUs", c.gpus, cl.TotalGPUs())
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := AC(4)
+	p.Nodes = 0
+	if _, err := New(sim.NewEnv(), p); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	p = AC(4)
+	p.CPUCores = 0
+	if _, err := New(sim.NewEnv(), p); err == nil {
+		t.Error("zero cores accepted")
+	}
+}
+
+func TestDeviceIndexing(t *testing.T) {
+	env := sim.NewEnv()
+	cl, err := New(env, AC(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cl.TotalGPUs(); i++ {
+		d := cl.Device(i)
+		if d.ID != i {
+			t.Errorf("Device(%d).ID = %d", i, d.ID)
+		}
+		n := cl.NodeOf(i)
+		if n.ID != i/4 {
+			t.Errorf("GPU %d on node %d, want %d", i, n.ID, i/4)
+		}
+	}
+}
+
+func TestDiskReadMatchesPaperMicroCost(t *testing.T) {
+	// The paper: loading a 64³ brick from disk ≈ 20 ms.
+	env := sim.NewEnv()
+	cl, err := New(env, AC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	brickBytes := int64(64 * 64 * 64 * 4)
+	env.Go("reader", func(p *sim.Proc) {
+		cl.Nodes[0].ReadDisk(p, brickBytes)
+		ms := p.Now().Millis()
+		if ms < 15 || ms > 25 {
+			t.Errorf("64³ disk read = %.2fms, paper says ≈20ms", ms)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskSerialises(t *testing.T) {
+	env := sim.NewEnv()
+	cl, err := New(env, AC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last sim.Time
+	for i := 0; i < 3; i++ {
+		env.Go("r", func(p *sim.Proc) {
+			cl.Nodes[0].ReadDisk(p, 1<<20)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	one := sim.Millisecond + sim.BytesTime(1<<20, float64(52<<20))
+	if last != 3*one {
+		t.Errorf("3 serialized reads finished at %v, want %v", last, 3*one)
+	}
+}
+
+func TestTransferRemoteVsLocal(t *testing.T) {
+	env := sim.NewEnv()
+	cl, err := New(env, AC(8)) // 2 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	var remote, local sim.Time
+	env.Go("x", func(p *sim.Proc) {
+		remote = cl.Transfer(p, cl.Nodes[0], cl.Nodes[1], 1<<20)
+		local = cl.Transfer(p, cl.Nodes[0], cl.Nodes[0], 1<<20)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if local >= remote {
+		t.Errorf("local transfer %v should be cheaper than remote %v", local, remote)
+	}
+	// Remote: 2×(overhead + ser) + latency.
+	p := cl.Params
+	ser := p.MsgOverhead + sim.BytesTime(1<<20, p.NICBandwidth)
+	want := 2*ser + p.NICLatency
+	if remote != want {
+		t.Errorf("remote transfer = %v, want %v", remote, want)
+	}
+}
+
+func TestTransferContendsOnSenderNIC(t *testing.T) {
+	env := sim.NewEnv()
+	cl, err := New(env, AC(12)) // 3 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done []sim.Time
+	// Two concurrent sends from node 0 to different destinations must
+	// serialise on node 0's NIC-out.
+	for i := 1; i <= 2; i++ {
+		dst := cl.Nodes[i]
+		env.Go("s", func(p *sim.Proc) {
+			cl.Transfer(p, cl.Nodes[0], dst, 1<<20)
+			done = append(done, p.Now())
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	p := cl.Params
+	ser := p.MsgOverhead + sim.BytesTime(1<<20, p.NICBandwidth)
+	first := 2*ser + p.NICLatency
+	second := ser + ser + ser + p.NICLatency // queued one extra ser on out
+	if done[0] != first {
+		t.Errorf("first transfer done at %v, want %v", done[0], first)
+	}
+	if done[1] != second {
+		t.Errorf("second transfer done at %v, want %v", done[1], second)
+	}
+}
+
+func TestCPUWorkPool(t *testing.T) {
+	env := sim.NewEnv()
+	cl, err := New(env, AC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 unit tasks on 4 cores at rate 1: two waves of 1s each.
+	for i := 0; i < 8; i++ {
+		env.Go("w", func(p *sim.Proc) {
+			cl.Nodes[0].CPUWork(p, 1, 1)
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if env.Now() != 2*sim.Second {
+		t.Errorf("8 tasks on 4 cores took %v, want 2s", env.Now())
+	}
+}
+
+func TestGPUsSharePCIePerNode(t *testing.T) {
+	env := sim.NewEnv()
+	cl, err := New(env, AC(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := cl.Nodes[0]
+	if len(n0.GPUs) != 4 {
+		t.Fatalf("node 0 has %d GPUs", len(n0.GPUs))
+	}
+	// All four GPUs must reference the same PCIe resource.
+	for _, d := range n0.GPUs {
+		if d.PCIe.Link != n0.PCIe {
+			t.Error("GPU not wired to its node's PCIe link")
+		}
+	}
+	// And GPUs on different nodes must not share.
+	if cl.Device(0).PCIe.Link == cl.Device(4).PCIe.Link {
+		t.Error("GPUs on different nodes share a PCIe link")
+	}
+}
+
+func TestResourceNamesAreDistinct(t *testing.T) {
+	env := sim.NewEnv()
+	cl, err := New(env, AC(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, n := range cl.Nodes {
+		for _, r := range []*sim.Resource{n.PCIe, n.Disk, n.NICOut, n.NICIn, n.CPU} {
+			if seen[r.Name()] {
+				t.Errorf("duplicate resource name %q", r.Name())
+			}
+			seen[r.Name()] = true
+			if !strings.Contains(r.Name(), "node") {
+				t.Errorf("resource name %q should identify its node", r.Name())
+			}
+		}
+	}
+}

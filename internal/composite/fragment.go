@@ -1,0 +1,91 @@
+// Package composite implements ray fragments and the compositing algebra
+// the paper's Reduce phase uses: per-pixel ascending-depth sort of partial
+// ray results, front-to-back blending, and a final blend against the
+// background. Fragment is the homogeneous 24-byte key-value pair the
+// MapReduce restrictions in §3.1.1 require.
+package composite
+
+import (
+	"math"
+	"sort"
+
+	"gvmr/internal/vec"
+)
+
+// Fragment is one partial ray result: the paper's key-value pair. The key
+// is the pixel index (y*width + x); the value is the premultiplied RGBA
+// contribution of the ray's traversal of one brick plus the entry depth
+// used for compositing order. 24 bytes, fixed size for every emission.
+type Fragment struct {
+	Key   int32
+	R     float32 // premultiplied by A
+	G     float32
+	B     float32
+	A     float32
+	Depth float32 // view-space depth at brick entry
+}
+
+// FragmentBytes is the modeled wire size of one fragment.
+const FragmentBytes = 24
+
+// Placeholder returns the discarded-later fragment a GPU thread emits when
+// its ray contributes nothing (§3.1.1: every thread must emit).
+func Placeholder(key int32) Fragment {
+	return Fragment{Key: key, Depth: float32(math.Inf(1))}
+}
+
+// IsPlaceholder reports whether f carries no contribution.
+func (f Fragment) IsPlaceholder() bool { return f.A == 0 && f.R == 0 && f.G == 0 && f.B == 0 }
+
+// Color returns the fragment's premultiplied color as a V4.
+func (f Fragment) Color() vec.V4 { return vec.V4{X: f.R, Y: f.G, Z: f.B, W: f.A} }
+
+// Under composites the premultiplied color `back` underneath `front`
+// (front-to-back accumulation): the fundamental operator of both the map
+// kernel's in-brick accumulation and the reduce phase's fragment merge.
+func Under(front, back vec.V4) vec.V4 {
+	t := 1 - front.W
+	return vec.V4{
+		X: front.X + t*back.X,
+		Y: front.Y + t*back.Y,
+		Z: front.Z + t*back.Z,
+		W: front.W + t*back.W,
+	}
+}
+
+// SortByDepth orders fragments by ascending depth (stable, so equal-depth
+// fragments keep emission order — determinism across runs).
+func SortByDepth(frags []Fragment) {
+	sort.SliceStable(frags, func(i, j int) bool { return frags[i].Depth < frags[j].Depth })
+}
+
+// CompositePixel sorts the pixel's fragments by ascending depth, folds
+// them front to back, and blends the result over an opaque background,
+// exactly as §3.2 describes the reduce. The input slice is sorted in
+// place. Placeholders contribute nothing wherever they land.
+func CompositePixel(frags []Fragment, background vec.V4) vec.V4 {
+	SortByDepth(frags)
+	return CompositeSorted(frags, background)
+}
+
+// CompositeSorted folds already-sorted fragments front to back and blends
+// the background.
+func CompositeSorted(frags []Fragment, background vec.V4) vec.V4 {
+	acc := vec.V4{}
+	for _, f := range frags {
+		acc = Under(acc, f.Color())
+	}
+	return Finalize(acc, background)
+}
+
+// Finalize blends an accumulated premultiplied color over an opaque
+// background and returns an opaque display color.
+func Finalize(acc vec.V4, background vec.V4) vec.V4 {
+	t := 1 - acc.W
+	return vec.V4{
+		X: acc.X + t*background.X,
+		Y: acc.Y + t*background.Y,
+		Z: acc.Z + t*background.Z,
+		W: 1,
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"gvmr/internal/composite"
+	"gvmr/internal/vec"
+)
+
+// pixelResult is one finished pixel produced by a reducer, gathered during
+// stitching.
+type pixelResult struct {
+	Key   int32
+	Color vec.V4
+}
+
+// imageReducer is the direct-send Reducer: for each pixel key it
+// ascending-depth sorts the ray fragments, composites front to back and
+// blends the background (§3.2). It accumulates its shard of final pixels
+// for the (untimed) stitch.
+type imageReducer struct {
+	background vec.V4
+	pixels     []pixelResult
+}
+
+// Reduce implements mapreduce.Reducer.
+func (r *imageReducer) Reduce(key int32, frags []composite.Fragment) {
+	c := composite.CompositePixel(frags, r.background)
+	r.pixels = append(r.pixels, pixelResult{Key: key, Color: c})
+}
+
+// fragmentCollector is the binary-swap Reducer: it keeps each pixel's
+// fragments (depth-sorted but uncomposited) as this node's "partial
+// image"; the swap rounds exchange and merge these lists before a final
+// local composite. Keeping fragments rather than pre-blended pixels keeps
+// compositing exact even when bricks from different nodes interleave in
+// depth.
+type fragmentCollector struct {
+	pixels map[int32][]composite.Fragment
+}
+
+// Reduce implements mapreduce.Reducer.
+func (r *fragmentCollector) Reduce(key int32, frags []composite.Fragment) {
+	sorted := append([]composite.Fragment(nil), frags...)
+	composite.SortByDepth(sorted)
+	r.pixels[key] = sorted
+}

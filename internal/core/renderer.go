@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"gvmr/internal/camera"
+	"gvmr/internal/cluster"
+	"gvmr/internal/composite"
+	"gvmr/internal/img"
+	"gvmr/internal/mapreduce"
+	"gvmr/internal/render"
+	"gvmr/internal/sim"
+	"gvmr/internal/volume"
+)
+
+// Result is one rendered frame plus everything the evaluation reports
+// about it.
+type Result struct {
+	Image *img.Image
+	// Stats are the MapReduce engine statistics (stage breakdown, wire
+	// traffic, §6.3 decomposition).
+	Stats *mapreduce.JobStats
+	Grid  *volume.Grid
+	GPUs  int
+	// Runtime is the full-frame virtual time: the MapReduce job plus,
+	// for binary swap, the exchange rounds. Bricking and stitching are
+	// excluded, as in the paper's §5.
+	Runtime sim.Time
+	// SwapTime is the binary-swap exchange duration (zero for direct
+	// send).
+	SwapTime sim.Time
+	// Voxels is the volume size; FPS and VPS are the paper's figures of
+	// merit (Figure 4).
+	Voxels      int64
+	FPS         float64
+	VPSMillions float64
+}
+
+// Render renders one frame of the source volume on the cluster and
+// returns the image plus full statistics. It drives the cluster's
+// simulation environment to completion.
+func Render(cl *cluster.Cluster, opt Options) (*Result, error) {
+	if err := opt.fillDefaults(); err != nil {
+		return nil, err
+	}
+	gpus := opt.GPUs
+	if gpus == 0 {
+		gpus = cl.TotalGPUs()
+	}
+	if gpus < 1 || gpus > cl.TotalGPUs() {
+		return nil, fmt.Errorf("core: %d GPUs requested, cluster has %d", gpus, cl.TotalGPUs())
+	}
+	grid, err := planBricks(opt.Source.Dims(), gpus, opt.BricksPerGPU,
+		cl.Params.GPU.VRAMBytes, opt.VRAMFraction)
+	if err != nil {
+		return nil, err
+	}
+	cam := opt.Camera
+	if cam == nil {
+		cam, err = camera.Fit(grid.Space.Bounds(), opt.Width, opt.Height)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cam.Width != opt.Width || cam.Height != opt.Height {
+		return nil, fmt.Errorf("core: camera image %dx%d != options %dx%d",
+			cam.Width, cam.Height, opt.Width, opt.Height)
+	}
+
+	var sampler render.SampleFn
+	if opt.Sampler == Slicing {
+		sampler = render.CastPixelSlicing
+	}
+	mapper := &rayCastMapper{
+		src:     opt.Source,
+		grid:    grid,
+		cam:     cam,
+		prm:     opt.renderParams(),
+		sampler: sampler,
+	}
+	if err := mapper.prm.Validate(); err != nil {
+		return nil, err
+	}
+	chunks := make([]mapreduce.Chunk, 0, grid.NumBricks())
+	for _, b := range grid.Bricks {
+		chunks = append(chunks, brickChunk{brick: b})
+	}
+
+	charge := opt.chargeOverhead()
+	cfg := mapreduce.Config[composite.Fragment, *volume.BrickData]{
+		Cluster:             cl,
+		Workers:             gpus,
+		Mapper:              mapper,
+		Partitioner:         opt.Partitioner,
+		KeyRange:            int32(opt.Width * opt.Height),
+		ValueBytes:          composite.FragmentBytes - 4,
+		Chunks:              chunks,
+		Assign:              opt.Assign,
+		FlushBytes:          opt.FlushBytes,
+		FromDisk:            opt.FromDisk,
+		ReduceOn:            opt.ReduceOn,
+		SortOn:              opt.SortOn,
+		ChargeFixedOverhead: charge,
+		Trace:               opt.Trace,
+	}
+	if opt.InSitu {
+		if opt.FromDisk {
+			return nil, fmt.Errorf("core: InSitu and FromDisk are mutually exclusive")
+		}
+		// A co-located simulation leaves brick i on node i mod N; render
+		// workers follow the data.
+		nodes := len(cl.Nodes)
+		cfg.Assign = mapreduce.AssignAffinity
+		cfg.Home = func(c mapreduce.Chunk) int { return c.ID() % nodes }
+	}
+
+	res := &Result{
+		Grid:   grid,
+		GPUs:   gpus,
+		Voxels: opt.Source.Dims().Voxels(),
+	}
+	background := composite.Finalize(composite.Fragment{}.Color(), opt.Background)
+	res.Image = img.New(opt.Width, opt.Height, background)
+
+	switch opt.Compositor {
+	case DirectSend:
+		reducers := make([]*imageReducer, 0, gpus)
+		cfg.MakeReducer = func(int) mapreduce.Reducer[composite.Fragment] {
+			r := &imageReducer{background: opt.Background}
+			reducers = append(reducers, r)
+			return r
+		}
+		stats, err := mapreduce.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats = stats
+		res.Runtime = stats.Makespan
+		// Stitch (excluded from timings, as in the paper).
+		for _, r := range reducers {
+			for _, px := range r.pixels {
+				res.Image.SetKey(px.Key, px.Color)
+			}
+		}
+
+	case BinarySwap:
+		if gpus&(gpus-1) != 0 {
+			return nil, fmt.Errorf("core: binary swap needs a power-of-two GPU count, got %d", gpus)
+		}
+		collectors := make([]*fragmentCollector, 0, gpus)
+		cfg.LocalReduce = true
+		cfg.MakeReducer = func(int) mapreduce.Reducer[composite.Fragment] {
+			r := &fragmentCollector{pixels: map[int32][]composite.Fragment{}}
+			collectors = append(collectors, r)
+			return r
+		}
+		stats, err := mapreduce.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats = stats
+		swap, err := binarySwap(cl, cam, collectors, opt.Background, res.Image)
+		if err != nil {
+			return nil, err
+		}
+		res.SwapTime = swap
+		res.Runtime = stats.Makespan + swap
+
+	default:
+		return nil, fmt.Errorf("core: unknown compositor %d", opt.Compositor)
+	}
+
+	if res.Runtime > 0 {
+		res.FPS = 1 / res.Runtime.Seconds()
+		res.VPSMillions = float64(res.Voxels) / res.Runtime.Seconds() / 1e6
+	}
+	return res, nil
+}

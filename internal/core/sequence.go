@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gvmr/internal/camera"
+	"gvmr/internal/cluster"
+	"gvmr/internal/img"
+	"gvmr/internal/sim"
+	"gvmr/internal/vec"
+	"gvmr/internal/volume"
+)
+
+// SequenceResult summarises a multi-frame animation render: the
+// interactive-visualization use the paper motivates (§4.2: "scientists
+// care about the frame rate of their visualization").
+type SequenceResult struct {
+	Frames    int
+	Total     sim.Time
+	PerFrame  []sim.Time
+	MeanFPS   float64
+	LastImage *img.Image
+}
+
+// RenderSequence renders `frames` frames while orbiting the camera around
+// the volume by orbitDegrees in total, on one cluster (virtual time
+// accumulates across frames, as a real interactive session would). It
+// returns per-frame times and the sustained frame rate. The per-frame
+// images are rendered fully; only the last is retained.
+func RenderSequence(cl *cluster.Cluster, opt Options, frames int, orbitDegrees float64) (*SequenceResult, error) {
+	if frames < 1 {
+		return nil, fmt.Errorf("core: %d frames", frames)
+	}
+	if err := opt.fillDefaults(); err != nil {
+		return nil, err
+	}
+	sp := volume.NewSpace(opt.Source.Dims())
+	base, err := camera.Fit(sp.Bounds(), opt.Width, opt.Height)
+	if err != nil {
+		return nil, err
+	}
+	center := sp.Bounds().Center()
+	rel := base.Eye.Sub(center)
+
+	res := &SequenceResult{Frames: frames}
+	start := cl.Env.Now()
+	for f := 0; f < frames; f++ {
+		angle := orbitDegrees * math.Pi / 180 * float64(f) / float64(frames)
+		rot := vec.RotateY(angle)
+		eye := center.Add(rot.MulPoint(rel))
+		cam, err := camera.New(eye, center, vec.New3(0, 1, 0), base.FovY, opt.Width, opt.Height)
+		if err != nil {
+			return nil, err
+		}
+		frameOpt := opt
+		frameOpt.Camera = cam
+		frameStart := cl.Env.Now()
+		r, err := Render(cl, frameOpt)
+		if err != nil {
+			return nil, fmt.Errorf("core: frame %d: %w", f, err)
+		}
+		res.PerFrame = append(res.PerFrame, cl.Env.Now()-frameStart)
+		res.LastImage = r.Image
+	}
+	res.Total = cl.Env.Now() - start
+	if res.Total > 0 {
+		res.MeanFPS = float64(frames) / res.Total.Seconds()
+	}
+	return res, nil
+}

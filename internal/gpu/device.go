@@ -1,0 +1,225 @@
+package gpu
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gvmr/internal/sim"
+	"gvmr/internal/volume"
+)
+
+// PCIe describes the host↔device link a device hangs off. All GPUs of one
+// node share a single link resource, which is how the four logical GPUs of
+// a Tesla S1070 contend on the paper's cluster.
+type PCIe struct {
+	Link      *sim.Resource
+	Bandwidth float64 // bytes/s
+	Latency   sim.Time
+}
+
+// TransferTime returns latency + serialisation for n bytes.
+func (p PCIe) TransferTime(n int64) sim.Time {
+	return p.Latency + sim.BytesTime(n, p.Bandwidth)
+}
+
+// DeviceStats aggregates a device's lifetime activity, broken down the way
+// the paper's Figure 3 attributes time.
+type DeviceStats struct {
+	KernelTime sim.Time
+	H2DTime    sim.Time
+	D2HTime    sim.Time
+	Launches   int64
+	BytesH2D   int64
+	BytesD2H   int64
+	Work       Stats
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	Env    *sim.Env
+	ID     int
+	NodeID int
+	Spec   Spec
+	PCIe   PCIe
+
+	engine    *sim.Resource // kernel execution engine (one kernel at a time)
+	allocated int64
+	streams   []*Stream
+	stats     DeviceStats
+
+	// Workers caps host-side parallelism for kernel execution; zero means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// NewDevice creates a device attached to the given PCIe link.
+func NewDevice(env *sim.Env, id, nodeID int, spec Spec, pcie PCIe) *Device {
+	return &Device{
+		Env:    env,
+		ID:     id,
+		NodeID: nodeID,
+		Spec:   spec,
+		PCIe:   pcie,
+		engine: sim.NewResource(env, fmt.Sprintf("gpu%d.engine", id), 1),
+	}
+}
+
+// Stats returns a copy of the device's accumulated statistics.
+func (d *Device) Stats() DeviceStats { return d.stats }
+
+// AllocatedBytes returns the current VRAM allocation.
+func (d *Device) AllocatedBytes() int64 { return d.allocated }
+
+// FreeBytes returns the remaining VRAM.
+func (d *Device) FreeBytes() int64 { return d.Spec.VRAMBytes - d.allocated }
+
+// Buffer is a VRAM allocation handle.
+type Buffer struct {
+	dev   *Device
+	bytes int64
+	freed bool
+}
+
+// Bytes returns the allocation size.
+func (b *Buffer) Bytes() int64 { return b.bytes }
+
+// Alloc reserves VRAM; it fails when the device is out of memory — the
+// paper's restriction that any single map task must fit in GPU memory
+// surfaces here.
+func (d *Device) Alloc(bytes int64) (*Buffer, error) {
+	if bytes < 0 {
+		return nil, fmt.Errorf("gpu%d: negative allocation %d", d.ID, bytes)
+	}
+	if d.allocated+bytes > d.Spec.VRAMBytes {
+		return nil, fmt.Errorf("gpu%d: out of memory: want %d, free %d of %d",
+			d.ID, bytes, d.FreeBytes(), d.Spec.VRAMBytes)
+	}
+	d.allocated += bytes
+	return &Buffer{dev: d, bytes: bytes}, nil
+}
+
+// Free releases a buffer; freeing twice panics (a use-after-free would be a
+// renderer bug worth crashing on).
+func (d *Device) Free(b *Buffer) {
+	if b.dev != d {
+		panic(fmt.Sprintf("gpu%d: freeing buffer of gpu%d", d.ID, b.dev.ID))
+	}
+	if b.freed {
+		panic(fmt.Sprintf("gpu%d: double free", d.ID))
+	}
+	b.freed = true
+	d.allocated -= b.bytes
+}
+
+// Texture3D is a brick's voxel data resident in VRAM, sampled through the
+// (simulated) texture units.
+type Texture3D struct {
+	Buf  *Buffer
+	Data *volume.BrickData
+}
+
+// Free releases the texture's VRAM.
+func (t *Texture3D) Free() { t.Buf.dev.Free(t.Buf) }
+
+// UploadTexture3D allocates and synchronously copies a brick into a 3D
+// texture, charging the shared PCIe link. It is synchronous because CUDA
+// 3D-texture uploads were synchronous at the time — the paper calls this
+// out explicitly (§3.1.2, Chunk).
+func (d *Device) UploadTexture3D(p *sim.Proc, bd *volume.BrickData) (*Texture3D, error) {
+	bytes := int64(len(bd.Data)) * 4
+	buf, err := d.Alloc(bytes)
+	if err != nil {
+		return nil, err
+	}
+	t := d.PCIe.TransferTime(bytes)
+	d.PCIe.Link.Use(p, t)
+	d.stats.H2DTime += t
+	d.stats.BytesH2D += bytes
+	return &Texture3D{Buf: buf, Data: bd}, nil
+}
+
+// DownloadTime charges a device-to-host copy of n bytes on the shared PCIe
+// link (the fragment read-back path) and returns the modeled duration.
+func (d *Device) Download(p *sim.Proc, n int64) sim.Time {
+	t := d.PCIe.TransferTime(n)
+	d.PCIe.Link.Use(p, t)
+	d.stats.D2HTime += t
+	d.stats.BytesD2H += n
+	return t
+}
+
+// Execute runs a kernel to completion from the calling process: the real
+// computation executes on host cores, then the modeled cost occupies the
+// device's execution engine. Streams use this internally; callers that
+// don't need async can call it directly.
+func (d *Device) Execute(p *sim.Proc, k Kernel, zeroCopy bool) Stats {
+	stats := d.runBlocks(k)
+	cost := KernelCost(&d.Spec, stats, zeroCopy)
+	d.engine.Use(p, cost)
+	d.stats.KernelTime += cost
+	d.stats.Launches++
+	d.stats.Work.Add(stats)
+	return stats
+}
+
+// Occupy holds the execution engine for dur: modeled non-kernel device
+// work (e.g. a GPU-side sort whose cost the caller computes) that must
+// still contend with kernels for the device.
+func (d *Device) Occupy(p *sim.Proc, dur sim.Time) {
+	d.engine.Use(p, dur)
+	d.stats.KernelTime += dur
+}
+
+// runBlocks executes every block of the kernel across host cores and sums
+// the per-block stats deterministically.
+func (d *Device) runBlocks(k Kernel) Stats {
+	grid := k.Grid()
+	n := grid.Count()
+	if n == 0 {
+		return Stats{}
+	}
+	workers := d.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	perBlock := make([]Stats, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			perBlock[i] = k.RunBlock(i%grid.X, i/grid.X)
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		take := func() int {
+			mu.Lock()
+			defer mu.Unlock()
+			i := next
+			next++
+			return int(i)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := take()
+					if i >= n {
+						return
+					}
+					perBlock[i] = k.RunBlock(i%grid.X, i/grid.X)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	var total Stats
+	for i := range perBlock {
+		total.Add(perBlock[i])
+	}
+	return total
+}

@@ -1,0 +1,101 @@
+package gpu
+
+import (
+	"fmt"
+
+	"gvmr/internal/sim"
+)
+
+// Stream is a CUDA-style asynchronous work queue: operations enqueued on a
+// stream execute in order, concurrently with the enqueuing process and
+// with other streams. The renderer uses streams to overlap ray casting
+// with fragment read-back and network sends, which is the core of the
+// paper's "asynchronous, streaming interface".
+type Stream struct {
+	dev  *Device
+	name string
+	q    *sim.Chan[streamOp]
+	done *sim.Event
+}
+
+type streamOp struct {
+	name string
+	run  func(p *sim.Proc)
+	done *sim.Event
+}
+
+// NewStream creates a stream and starts its executor process. Streams must
+// be closed (Close or Device teardown) before the simulation ends,
+// otherwise the executor blocks forever and the sim reports a deadlock.
+func (d *Device) NewStream(name string) *Stream {
+	s := &Stream{
+		dev:  d,
+		name: name,
+		q:    sim.NewChan[streamOp](d.Env, name+".q", 64),
+		done: sim.NewEvent(d.Env, name+".done"),
+	}
+	d.streams = append(d.streams, s)
+	d.Env.Go(name, func(p *sim.Proc) {
+		for {
+			op, ok := s.q.Recv(p)
+			if !ok {
+				s.done.Fire(p)
+				return
+			}
+			op.run(p)
+			op.done.Fire(p)
+		}
+	})
+	return s
+}
+
+// Enqueue adds an arbitrary operation to the stream and returns its
+// completion event.
+func (s *Stream) Enqueue(p *sim.Proc, name string, run func(*sim.Proc)) *sim.Event {
+	ev := sim.NewEvent(s.dev.Env, fmt.Sprintf("%s.%s.done", s.name, name))
+	s.q.Send(p, streamOp{name: name, run: run, done: ev})
+	return ev
+}
+
+// Launch enqueues a kernel execution; the returned event fires when the
+// kernel completes. The kernel's host-side computation runs inside the
+// stream executor, so results are ready exactly when the event fires.
+func (s *Stream) Launch(p *sim.Proc, k Kernel) *sim.Event {
+	return s.Enqueue(p, "launch:"+k.Name(), func(sp *sim.Proc) {
+		s.dev.Execute(sp, k, false)
+	})
+}
+
+// Download enqueues a device-to-host copy of n bytes.
+func (s *Stream) Download(p *sim.Proc, n int64) *sim.Event {
+	return s.Enqueue(p, "d2h", func(sp *sim.Proc) {
+		s.dev.Download(sp, n)
+	})
+}
+
+// Sync blocks p until every operation enqueued so far has completed.
+func (s *Stream) Sync(p *sim.Proc) {
+	ev := s.Enqueue(p, "sync", func(*sim.Proc) {})
+	ev.Wait(p)
+}
+
+// Close shuts the stream down after draining queued work; Wait on the
+// returned event (or call Device.Close) to join the executor.
+func (s *Stream) Close(p *sim.Proc) *sim.Event {
+	s.q.Close(p)
+	return s.done
+}
+
+// Close drains and shuts down all streams of the device.
+func (d *Device) Close(p *sim.Proc) {
+	events := make([]*sim.Event, 0, len(d.streams))
+	for _, s := range d.streams {
+		if !s.q.Closed() {
+			events = append(events, s.Close(p))
+		} else {
+			events = append(events, s.done)
+		}
+	}
+	sim.WaitAll(p, events...)
+	d.streams = nil
+}

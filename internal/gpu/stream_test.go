@@ -1,0 +1,103 @@
+package gpu
+
+import (
+	"testing"
+
+	"gvmr/internal/sim"
+)
+
+func TestStreamDownloadOp(t *testing.T) {
+	env := sim.NewEnv()
+	d := testDevice(env)
+	env.Go("host", func(p *sim.Proc) {
+		s := d.NewStream("s")
+		ev := s.Download(p, 1<<20)
+		ev.Wait(p)
+		want := d.PCIe.TransferTime(1 << 20)
+		if p.Now() != want {
+			t.Errorf("download completed at %v, want %v", p.Now(), want)
+		}
+		d.Close(p)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().BytesD2H != 1<<20 {
+		t.Errorf("BytesD2H = %d", d.Stats().BytesD2H)
+	}
+}
+
+func TestStreamSyncEmpty(t *testing.T) {
+	env := sim.NewEnv()
+	d := testDevice(env)
+	env.Go("host", func(p *sim.Proc) {
+		s := d.NewStream("s")
+		s.Sync(p) // nothing enqueued: returns at the same instant
+		if p.Now() != 0 {
+			t.Errorf("empty sync advanced time to %v", p.Now())
+		}
+		d.Close(p)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceCloseIdempotent(t *testing.T) {
+	env := sim.NewEnv()
+	d := testDevice(env)
+	env.Go("host", func(p *sim.Proc) {
+		d.NewStream("a")
+		d.NewStream("b")
+		d.Close(p)
+		d.Close(p) // second close is a no-op
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameDeviceStreamsSerialiseOnEngine(t *testing.T) {
+	// Two streams on one device: kernels contend for the single
+	// execution engine, so they serialise (unlike across devices).
+	env := sim.NewEnv()
+	d := testDevice(env)
+	k := &countKernel{grid: Dim2{1, 1}, block: Dim2{16, 16}, samplesPerThread: 100000}
+	env.Go("host", func(p *sim.Proc) {
+		s1 := d.NewStream("s1")
+		s2 := d.NewStream("s2")
+		e1 := s1.Launch(p, k)
+		e2 := s2.Launch(p, k)
+		sim.WaitAll(p, e1, e2)
+		one := KernelCost(&d.Spec, Stats{Threads: 256, Samples: 256 * 100000, Emitted: 256}, false)
+		if p.Now() < 2*one {
+			t.Errorf("same-device kernels overlapped: %v < %v", p.Now(), 2*one)
+		}
+		d.Close(p)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOccupyContendsWithKernels(t *testing.T) {
+	env := sim.NewEnv()
+	d := testDevice(env)
+	k := &countKernel{grid: Dim2{1, 1}, block: Dim2{16, 16}, samplesPerThread: 100000}
+	kcost := KernelCost(&d.Spec, Stats{Threads: 256, Samples: 256 * 100000, Emitted: 256}, false)
+	var done sim.Time
+	env.Go("kernel", func(p *sim.Proc) {
+		d.Execute(p, k, false)
+	})
+	env.Go("occupier", func(p *sim.Proc) {
+		p.Sleep(sim.Microsecond) // arrive while the kernel holds the engine
+		d.Occupy(p, 10*sim.Millisecond)
+		done = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done < kcost+10*sim.Millisecond {
+		t.Errorf("Occupy finished at %v; should queue behind kernel (%v)", done, kcost)
+	}
+}

@@ -1,0 +1,140 @@
+// Package img provides the float framebuffer the renderer composites
+// into, PNG/PPM encoding, and image comparison helpers for tests.
+package img
+
+import (
+	"bufio"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"os"
+
+	"gvmr/internal/vec"
+)
+
+// Image is a W×H framebuffer of linear RGBA colors.
+type Image struct {
+	W, H int
+	Pix  []vec.V4
+}
+
+// New allocates an image filled with the given color.
+func New(w, h int, fill vec.V4) *Image {
+	im := &Image{W: w, H: h, Pix: make([]vec.V4, w*h)}
+	for i := range im.Pix {
+		im.Pix[i] = fill
+	}
+	return im
+}
+
+// At returns the pixel at (x, y).
+func (im *Image) At(x, y int) vec.V4 { return im.Pix[y*im.W+x] }
+
+// Set stores the pixel at (x, y).
+func (im *Image) Set(x, y int, c vec.V4) { im.Pix[y*im.W+x] = c }
+
+// SetKey stores a pixel addressed by its MapReduce key (y*W + x).
+func (im *Image) SetKey(key int32, c vec.V4) { im.Pix[key] = c }
+
+// clamp8 converts a linear channel to 8-bit with clamping.
+func clamp8(v float32) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 1 {
+		return 255
+	}
+	return uint8(v*255 + 0.5)
+}
+
+// ToNRGBA converts to an 8-bit stdlib image.
+func (im *Image) ToNRGBA() *image.NRGBA {
+	out := image.NewNRGBA(image.Rect(0, 0, im.W, im.H))
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			c := im.At(x, y)
+			out.SetNRGBA(x, y, color.NRGBA{
+				R: clamp8(c.X), G: clamp8(c.Y), B: clamp8(c.Z), A: 255,
+			})
+		}
+	}
+	return out
+}
+
+// EncodePNG writes the image as PNG.
+func (im *Image) EncodePNG(w io.Writer) error {
+	return png.Encode(w, im.ToNRGBA())
+}
+
+// WritePNG writes the image to a PNG file.
+func (im *Image) WritePNG(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	if err := im.EncodePNG(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WritePPM writes the image as a binary PPM (P6), handy for eyeballing
+// without a PNG decoder.
+func (im *Image) WritePPM(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	for _, c := range im.Pix {
+		if _, err := w.Write([]byte{clamp8(c.X), clamp8(c.Y), clamp8(c.Z)}); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// Diff compares two images and returns the maximum and mean absolute
+// channel error (RGB only). Mismatched sizes return max error 2.
+func Diff(a, b *Image) (maxErr, meanErr float64) {
+	if a.W != b.W || a.H != b.H {
+		return 2, 2
+	}
+	var sum float64
+	for i := range a.Pix {
+		for _, d := range []float32{
+			a.Pix[i].X - b.Pix[i].X,
+			a.Pix[i].Y - b.Pix[i].Y,
+			a.Pix[i].Z - b.Pix[i].Z,
+		} {
+			v := float64(d)
+			if v < 0 {
+				v = -v
+			}
+			sum += v
+			if v > maxErr {
+				maxErr = v
+			}
+		}
+	}
+	meanErr = sum / float64(3*len(a.Pix))
+	return maxErr, meanErr
+}
+
+// MeanLuminance returns the average of (R+G+B)/3 over all pixels: a cheap
+// perceptual statistic used by tests to assert an image is non-empty.
+func (im *Image) MeanLuminance() float64 {
+	var sum float64
+	for _, c := range im.Pix {
+		sum += float64(c.X+c.Y+c.Z) / 3
+	}
+	return sum / float64(len(im.Pix))
+}

@@ -1,0 +1,120 @@
+package img
+
+import (
+	"bytes"
+	"image/png"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gvmr/internal/vec"
+)
+
+func TestNewFill(t *testing.T) {
+	fill := vec.New4(0.25, 0.5, 0.75, 1)
+	im := New(4, 3, fill)
+	if im.W != 4 || im.H != 3 || len(im.Pix) != 12 {
+		t.Fatalf("geometry wrong: %dx%d, %d pixels", im.W, im.H, len(im.Pix))
+	}
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 4; x++ {
+			if im.At(x, y) != fill {
+				t.Fatalf("pixel (%d,%d) not filled", x, y)
+			}
+		}
+	}
+}
+
+func TestSetAtKey(t *testing.T) {
+	im := New(5, 4, vec.V4{})
+	c := vec.New4(1, 0, 0, 1)
+	im.Set(3, 2, c)
+	if im.At(3, 2) != c {
+		t.Error("Set/At mismatch")
+	}
+	if im.Pix[2*5+3] != c {
+		t.Error("Set wrote wrong linear index")
+	}
+	im.SetKey(int32(1*5+4), c)
+	if im.At(4, 1) != c {
+		t.Error("SetKey wrote wrong pixel")
+	}
+}
+
+func TestClampAndEncodePNG(t *testing.T) {
+	im := New(2, 2, vec.V4{})
+	im.Set(0, 0, vec.New4(2, -1, 0.5, 1)) // out-of-range channels clamp
+	var buf bytes.Buffer
+	if err := im.EncodePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, g, b, _ := decoded.At(0, 0).RGBA()
+	if r>>8 != 255 {
+		t.Errorf("over-range red = %d, want 255", r>>8)
+	}
+	if g>>8 != 0 {
+		t.Errorf("negative green = %d, want 0", g>>8)
+	}
+	if b>>8 != 128 {
+		t.Errorf("half blue = %d, want 128", b>>8)
+	}
+}
+
+func TestWritePNGAndPPM(t *testing.T) {
+	dir := t.TempDir()
+	im := New(3, 3, vec.New4(0.2, 0.4, 0.6, 1))
+	pngPath := filepath.Join(dir, "x.png")
+	if err := im.WritePNG(pngPath); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(pngPath); err != nil || fi.Size() == 0 {
+		t.Errorf("png not written: %v", err)
+	}
+	ppmPath := filepath.Join(dir, "x.ppm")
+	if err := im.WritePPM(ppmPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ppmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("P6\n3 3\n255\n")) {
+		t.Errorf("ppm header wrong: %q", data[:12])
+	}
+	if len(data) != 11+3*3*3 {
+		t.Errorf("ppm payload size %d", len(data))
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := New(2, 2, vec.V4{})
+	b := New(2, 2, vec.V4{})
+	if mx, mn := Diff(a, b); mx != 0 || mn != 0 {
+		t.Errorf("identical images differ: %v %v", mx, mn)
+	}
+	b.Set(1, 1, vec.New4(0.5, 0, 0, 1))
+	mx, mean := Diff(a, b)
+	if mx < 0.49 || mx > 0.51 {
+		t.Errorf("max diff = %v, want 0.5", mx)
+	}
+	if mean <= 0 || mean > mx {
+		t.Errorf("mean diff = %v", mean)
+	}
+	c := New(3, 2, vec.V4{})
+	if mx, _ := Diff(a, c); mx != 2 {
+		t.Errorf("size mismatch should return sentinel 2, got %v", mx)
+	}
+}
+
+func TestMeanLuminance(t *testing.T) {
+	im := New(2, 1, vec.V4{})
+	im.Set(0, 0, vec.New4(1, 1, 1, 1))
+	got := im.MeanLuminance()
+	if got < 0.49 || got > 0.51 {
+		t.Errorf("MeanLuminance = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,366 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"gvmr/internal/sim"
+)
+
+// message is one batch of key-value pairs in flight from a worker to a
+// reducer. done markers piggyback on the message stream to signal that a
+// worker has finished flushing.
+type message[V any] struct {
+	from int
+	kvs  []KV[V]
+	done bool
+}
+
+type stagedChunk[S any] struct {
+	chunk  Chunk
+	staged S
+	err    error
+}
+
+// Run executes a job to completion on the cluster's environment and
+// returns its statistics. The environment is run until idle; callers
+// compose multi-job workflows by invoking Run repeatedly.
+func Run[V, S any](cfg Config[V, S]) (*JobStats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	env := cfg.Cluster.Env
+	t0 := env.Now()
+	startAt := t0
+	if cfg.ChargeFixedOverhead {
+		startAt += cfg.Cluster.Params.JobFixedOverhead
+	}
+
+	kvBytes := int64(4 + cfg.ValueBytes)
+	workers := make([]*Worker, cfg.Workers)
+	for i := range workers {
+		workers[i] = &Worker{
+			Index: i,
+			Dev:   cfg.Cluster.Device(i),
+			Node:  cfg.Cluster.NodeOf(i),
+			tr:    cfg.Trace,
+			lane:  fmt.Sprintf("gpu%d", i),
+		}
+	}
+	reducers := make([]*reducerState[V], cfg.Reducers)
+	for r := range reducers {
+		host := r % cfg.Workers
+		reducers[r] = &reducerState[V]{
+			index: r,
+			node:  cfg.Cluster.NodeOf(host),
+			dev:   cfg.Cluster.Device(host),
+			host:  host,
+			impl:  cfg.MakeReducer(r),
+			inbox: sim.NewChan[message[V]](env, fmt.Sprintf("reducer%d.inbox", r), 4096),
+		}
+	}
+
+	var errs []error
+	var totalWire, totalMsgs int64
+
+	// Chunk assignment. Static round-robin is the paper's scheme; the
+	// dynamic queue is the scheduling ablation.
+	var static [][]Chunk
+	var queue *sim.Chan[Chunk]
+	switch cfg.Assign {
+	case AssignStatic:
+		static = make([][]Chunk, cfg.Workers)
+		for i, c := range cfg.Chunks {
+			w := i % cfg.Workers
+			static[w] = append(static[w], c)
+		}
+	case AssignDynamic:
+		queue = sim.NewChan[Chunk](env, "chunk.queue", len(cfg.Chunks)+1)
+	case AssignAffinity:
+		// Locality-aware: route each chunk to a worker on its home node
+		// when one exists, cycling within the node; otherwise fall back
+		// to global round-robin.
+		static = make([][]Chunk, cfg.Workers)
+		byNode := map[int][]int{}
+		for i, w := range workers {
+			byNode[w.Node.ID] = append(byNode[w.Node.ID], i)
+		}
+		nodeCursor := map[int]int{}
+		fallback := 0
+		for _, c := range cfg.Chunks {
+			home := cfg.Home(c)
+			if cands, ok := byNode[home]; ok {
+				w := cands[nodeCursor[home]%len(cands)]
+				nodeCursor[home]++
+				static[w] = append(static[w], c)
+				continue
+			}
+			static[fallback%cfg.Workers] = append(static[fallback%cfg.Workers], c)
+			fallback++
+		}
+	default:
+		return nil, fmt.Errorf("mapreduce: unknown assign mode %d", cfg.Assign)
+	}
+
+	workersLeft := cfg.Workers
+	for _, w := range workers {
+		w := w
+		env.Go(fmt.Sprintf("worker%d", w.Index), func(p *sim.Proc) {
+			p.WaitUntil(startAt)
+
+			// Loader: stages chunks (disk + materialisation) one ahead of
+			// the map loop — the streaming overlap of §3.
+			staged := sim.NewChan[stagedChunk[S]](env, fmt.Sprintf("worker%d.staged", w.Index), 1)
+			env.Go(fmt.Sprintf("worker%d.loader", w.Index), func(lp *sim.Proc) {
+				lp.WaitUntil(startAt)
+				next := func() (Chunk, bool) {
+					if queue != nil {
+						return queue.Recv(lp)
+					}
+					if len(static[w.Index]) == 0 {
+						return nil, false
+					}
+					c := static[w.Index][0]
+					static[w.Index] = static[w.Index][1:]
+					return c, true
+				}
+				for {
+					c, ok := next()
+					if !ok {
+						break
+					}
+					if cfg.FromDisk {
+						ioStart := lp.Now()
+						w.Node.ReadDisk(lp, c.Bytes())
+						w.partIOTime += lp.Now() - ioStart
+						w.span("partition+io", "disk:chunk", ioStart, lp.Now())
+					}
+					if cfg.Home != nil {
+						if home := cfg.Home(c); home != w.Node.ID &&
+							home >= 0 && home < len(cfg.Cluster.Nodes) {
+							// In-situ hand-off: the producing node ships
+							// the chunk over the interconnect.
+							hoStart := lp.Now()
+							cfg.Cluster.Transfer(lp, cfg.Cluster.Nodes[home], w.Node, c.Bytes())
+							w.partIOTime += lp.Now() - hoStart
+							w.span("net", "handoff:chunk", hoStart, lp.Now())
+						}
+					}
+					s, err := cfg.Mapper.Stage(lp, w, c)
+					staged.Send(lp, stagedChunk[S]{chunk: c, staged: s, err: err})
+					if err != nil {
+						break
+					}
+				}
+				staged.Close(lp)
+			})
+
+			sendWG := sim.NewWaitGroup(env, fmt.Sprintf("worker%d.sends", w.Index))
+			buffers := make([][]KV[V], cfg.Reducers)
+			bufBytes := make([]int64, cfg.Reducers)
+
+			flush := func(p *sim.Proc, r int) {
+				batch := buffers[r]
+				if len(batch) == 0 {
+					return
+				}
+				buffers[r] = nil
+				bufBytes[r] = 0
+				// Partition cost: host CPU scans and bins the batch.
+				partStart := p.Now()
+				w.Node.CPUWork(p, float64(len(batch)), cfg.Cluster.Params.PartitionRate)
+				w.partIOTime += p.Now() - partStart
+				if cfg.Combine != nil {
+					combStart := p.Now()
+					w.Node.CPUWork(p, float64(len(batch)), cfg.Cluster.Params.PartitionRate)
+					batch = cfg.Combine(batch)
+					w.partIOTime += p.Now() - combStart
+					w.span("partition+io", "combine", combStart, p.Now())
+					if len(batch) == 0 {
+						return
+					}
+				}
+
+				dst := reducers[r]
+				bytes := int64(len(batch)) * kvBytes
+				totalWire += bytes
+				totalMsgs++
+				sendWG.Add(p, 1)
+				env.Go(fmt.Sprintf("worker%d.send.r%d", w.Index, r), func(sp *sim.Proc) {
+					sendStart := sp.Now()
+					elapsed := cfg.Cluster.Transfer(sp, w.Node, dst.node, bytes)
+					w.commBusy += elapsed
+					w.span("net", fmt.Sprintf("send:r%d", r), sendStart, sp.Now())
+					dst.inbox.Send(sp, message[V]{from: w.Index, kvs: batch})
+					sendWG.Done(sp)
+				})
+			}
+
+			emit := func(kv KV[V]) {
+				if kv.Key < 0 {
+					w.discarded++ // placeholder, dropped at partition
+					return
+				}
+				if kv.Key >= cfg.KeyRange {
+					errs = append(errs, fmt.Errorf(
+						"mapreduce: worker %d emitted key %d outside range %d",
+						w.Index, kv.Key, cfg.KeyRange))
+					return
+				}
+				r := w.Index % cfg.Reducers
+				if !cfg.LocalReduce {
+					r = cfg.Partitioner.Partition(kv.Key, cfg.Reducers)
+				}
+				buffers[r] = append(buffers[r], kv)
+				bufBytes[r] += kvBytes
+				w.emitted++
+				// Streaming send: once a reducer's buffer crosses the
+				// threshold it goes on the wire immediately, overlapping
+				// the rest of the map.
+				if cfg.FlushBytes > 0 && bufBytes[r] >= cfg.FlushBytes {
+					flush(p, r)
+				}
+			}
+
+			finish := func() {
+				// Unhidden communication: waiting for in-flight sends.
+				waitStart := p.Now()
+				sendWG.Wait(p)
+				w.partIOTime += p.Now() - waitStart
+				for _, rs := range reducers {
+					rs.inbox.Send(p, message[V]{from: w.Index, done: true})
+				}
+				workersLeft--
+			}
+
+			if err := cfg.Mapper.Init(p, w); err != nil {
+				errs = append(errs, fmt.Errorf("mapreduce: worker %d init: %w", w.Index, err))
+				for range allStaged(p, staged) {
+				}
+				finish()
+				return
+			}
+			failed := false
+			for sc := range allStaged(p, staged) {
+				if failed {
+					continue // drain so the loader can exit
+				}
+				if sc.err != nil {
+					errs = append(errs, fmt.Errorf(
+						"mapreduce: worker %d staging chunk %d: %w", w.Index, sc.chunk.ID(), sc.err))
+					failed = true
+					continue
+				}
+				if err := cfg.Mapper.Map(p, w, sc.chunk, sc.staged, emit); err != nil {
+					errs = append(errs, fmt.Errorf(
+						"mapreduce: worker %d mapping chunk %d: %w", w.Index, sc.chunk.ID(), err))
+					failed = true
+					continue
+				}
+				w.chunksDone++
+				// Chunk boundaries flush everything: those sends overlap
+				// the next chunk's staging and mapping.
+				for r := range buffers {
+					flush(p, r)
+				}
+			}
+			// Flush remainders below threshold.
+			for r := range buffers {
+				flush(p, r)
+			}
+			finish()
+		})
+	}
+
+	if queue != nil {
+		env.Go("chunk.feeder", func(p *sim.Proc) {
+			for _, c := range cfg.Chunks {
+				queue.Send(p, c)
+			}
+			queue.Close(p)
+		})
+	}
+
+	view := &configView{
+		tr:         cfg.Trace,
+		workers:    cfg.Workers,
+		keyRange:   cfg.KeyRange,
+		valueBytes: cfg.ValueBytes,
+		sortOn:     cfg.SortOn,
+		reduceOn:   cfg.ReduceOn,
+		sortRate:   cfg.Cluster.Params.SortRate,
+		reduceRate: cfg.Cluster.Params.CompositeRate,
+		gpuSpeedup: cfg.GPUReduceSpeedup,
+	}
+	for _, rs := range reducers {
+		rs := rs
+		env.Go(fmt.Sprintf("reducer%d", rs.index), func(p *sim.Proc) {
+			p.WaitUntil(startAt)
+			rs.run(p, view)
+		})
+	}
+
+	if err := env.Run(); err != nil {
+		return nil, fmt.Errorf("mapreduce: simulation failed: %w", err)
+	}
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	if workersLeft != 0 {
+		return nil, fmt.Errorf("mapreduce: %d workers did not finish", workersLeft)
+	}
+	return assembleStats(cfg, env.Now()-t0, workers, reducers, totalWire, totalMsgs), nil
+}
+
+// allStaged adapts a staged-chunk channel to a range-able sequence.
+func allStaged[S any](p *sim.Proc, ch *sim.Chan[stagedChunk[S]]) func(func(stagedChunk[S]) bool) {
+	return func(yield func(stagedChunk[S]) bool) {
+		for {
+			sc, ok := ch.Recv(p)
+			if !ok {
+				return
+			}
+			if !yield(sc) {
+				return
+			}
+		}
+	}
+}
+
+func assembleStats[V, S any](cfg Config[V, S], makespan sim.Time,
+	workers []*Worker, reducers []*reducerState[V], wire, msgs int64) *JobStats {
+	js := &JobStats{
+		Makespan:    makespan,
+		BytesOnWire: wire,
+		Messages:    msgs,
+	}
+	perWorker := make([]StageTimes, len(workers))
+	for i, w := range workers {
+		perWorker[i] = StageTimes{Map: w.mapTime, PartitionIO: w.partIOTime}
+		js.Workers = append(js.Workers, WorkerStats{
+			Index:     w.Index,
+			Chunks:    w.chunksDone,
+			Emitted:   w.emitted,
+			Discarded: w.discarded,
+			CommBusy:  w.commBusy,
+			Kernel:    w.Dev.Stats().Work,
+		})
+		js.TotalEmitted += w.emitted
+		js.MapCompute += w.kernelTime
+		js.MapComm += w.partIOTime + w.commBusy
+	}
+	for _, rs := range reducers {
+		js.Reducers = append(js.Reducers, rs.stats)
+		js.TotalReceived += rs.stats.Received
+		perWorker[rs.host].Sort += rs.stats.Sort
+		perWorker[rs.host].Reduce += rs.stats.Reduce
+	}
+	var sum StageTimes
+	for i := range perWorker {
+		js.Workers[i].Stage = perWorker[i]
+		sum.add(perWorker[i])
+	}
+	js.MeanStage = sum.scale(len(workers))
+	js.MapCompute /= sim.Time(len(workers))
+	js.MapComm /= sim.Time(len(workers))
+	return js
+}

@@ -1,0 +1,622 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gvmr/internal/cluster"
+	"gvmr/internal/gpu"
+	"gvmr/internal/sim"
+)
+
+// intChunk is a toy chunk holding raw values.
+type intChunk struct {
+	id   int
+	vals []int32
+}
+
+func (c intChunk) ID() int      { return c.id }
+func (c intChunk) Bytes() int64 { return int64(len(c.vals)) * 4 }
+
+// histMapper bins values modulo buckets — a dense-integer-key workload
+// that satisfies every paper restriction.
+type histMapper struct {
+	buckets     int32
+	emitNegOnce bool // also emit one placeholder per chunk when set
+	failChunk   int  // chunk ID whose Map fails (-1: never)
+	failStage   int  // chunk ID whose Stage fails (-1: never)
+}
+
+func (m *histMapper) Init(Ctx, *Worker) error { return nil }
+
+func (m *histMapper) Stage(p Ctx, w *Worker, c Chunk) ([]int32, error) {
+	ic := c.(intChunk)
+	if m.failStage == ic.id {
+		return nil, fmt.Errorf("synthetic stage failure")
+	}
+	return ic.vals, nil
+}
+
+func (m *histMapper) Map(p Ctx, w *Worker, c Chunk, vals []int32, emit func(KV[int32])) error {
+	if m.failChunk == c.ID() {
+		return fmt.Errorf("synthetic map failure")
+	}
+	w.GPUCompute(p, gpu.Stats{Threads: int64(len(vals)), Emitted: int64(len(vals))})
+	if m.emitNegOnce {
+		emit(KV[int32]{Key: -1})
+	}
+	for _, v := range vals {
+		emit(KV[int32]{Key: v % m.buckets, Val: 1})
+	}
+	return nil
+}
+
+// sumReducer accumulates per-key counts.
+type sumReducer struct {
+	sums map[int32]int64
+}
+
+func (r *sumReducer) Reduce(key int32, vals []int32) {
+	for _, v := range vals {
+		r.sums[key] += int64(v)
+	}
+}
+
+func newHistConfig(t *testing.T, gpus, chunks, valsPerChunk int, buckets int32) (Config[int32, []int32], *[]*sumReducer) {
+	t.Helper()
+	env := sim.NewEnv()
+	cl, err := cluster.New(env, cluster.AC(gpus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(chunks)*1000 + int64(valsPerChunk)))
+	var cs []Chunk
+	for i := 0; i < chunks; i++ {
+		vals := make([]int32, valsPerChunk)
+		for j := range vals {
+			vals[j] = rng.Int31n(1 << 20)
+		}
+		cs = append(cs, intChunk{id: i, vals: vals})
+	}
+	reducers := new([]*sumReducer)
+	cfg := Config[int32, []int32]{
+		Cluster: cl,
+		Mapper:  &histMapper{buckets: buckets, failChunk: -1, failStage: -1},
+		MakeReducer: func(r int) Reducer[int32] {
+			sr := &sumReducer{sums: map[int32]int64{}}
+			*reducers = append(*reducers, sr)
+			return sr
+		},
+		KeyRange:   buckets,
+		ValueBytes: 4,
+		Chunks:     cs,
+	}
+	return cfg, reducers
+}
+
+// expectedHist computes ground truth for the toy workload.
+func expectedHist(cfg Config[int32, []int32], buckets int32) map[int32]int64 {
+	want := map[int32]int64{}
+	for _, c := range cfg.Chunks {
+		for _, v := range c.(intChunk).vals {
+			want[v%buckets]++
+		}
+	}
+	return want
+}
+
+func mergeSums(reducers []*sumReducer) map[int32]int64 {
+	got := map[int32]int64{}
+	for _, r := range reducers {
+		for k, v := range r.sums {
+			got[k] += v
+		}
+	}
+	return got
+}
+
+func TestHistogramCorrectness(t *testing.T) {
+	cfg, reducers := newHistConfig(t, 4, 10, 500, 64)
+	stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expectedHist(cfg, 64)
+	got := mergeSums(*reducers)
+	if len(got) != len(want) {
+		t.Fatalf("got %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("bucket %d = %d, want %d", k, got[k], v)
+		}
+	}
+	if stats.TotalEmitted != 10*500 {
+		t.Errorf("TotalEmitted = %d", stats.TotalEmitted)
+	}
+	if stats.TotalReceived != stats.TotalEmitted {
+		t.Errorf("received %d != emitted %d", stats.TotalReceived, stats.TotalEmitted)
+	}
+	if stats.Makespan <= 0 {
+		t.Error("zero makespan")
+	}
+}
+
+func TestRoundRobinKeyRouting(t *testing.T) {
+	// With round-robin partitioning, reducer r must only see keys ≡ r (mod R).
+	cfg, reducers := newHistConfig(t, 4, 6, 300, 64)
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for r, sr := range *reducers {
+		for k := range sr.sums {
+			if int(k)%len(*reducers) != r {
+				t.Errorf("reducer %d saw key %d (mod %d = %d)", r, k, len(*reducers), int(k)%len(*reducers))
+			}
+		}
+	}
+}
+
+func TestBlockedPartitioner(t *testing.T) {
+	cfg, reducers := newHistConfig(t, 4, 6, 300, 64)
+	cfg.Partitioner = Blocked{KeyRange: 64}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for r, sr := range *reducers {
+		lo := int32(r * 64 / len(*reducers))
+		hi := int32((r + 1) * 64 / len(*reducers))
+		for k := range sr.sums {
+			if k < lo || k >= hi {
+				t.Errorf("reducer %d saw key %d outside [%d,%d)", r, k, lo, hi)
+			}
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (sim.Time, map[int32]int64) {
+		cfg, reducers := newHistConfig(t, 8, 12, 400, 128)
+		stats, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Makespan, mergeSums(*reducers)
+	}
+	m1, h1 := run()
+	m2, h2 := run()
+	if m1 != m2 {
+		t.Errorf("makespans differ: %v vs %v", m1, m2)
+	}
+	for k, v := range h1 {
+		if h2[k] != v {
+			t.Fatalf("histograms differ at key %d", k)
+		}
+	}
+}
+
+func TestPlaceholdersDiscarded(t *testing.T) {
+	cfg, reducers := newHistConfig(t, 2, 4, 100, 16)
+	cfg.Mapper = &histMapper{buckets: 16, emitNegOnce: true, failChunk: -1, failStage: -1}
+	stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var discarded int64
+	for _, w := range stats.Workers {
+		discarded += w.Discarded
+	}
+	if discarded != 4 { // one per chunk
+		t.Errorf("discarded = %d, want 4", discarded)
+	}
+	got := mergeSums(*reducers)
+	want := expectedHist(cfg, 16)
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("bucket %d = %d, want %d (placeholders leaked?)", k, got[k], v)
+		}
+	}
+}
+
+func TestKeyOutOfRangeFails(t *testing.T) {
+	cfg, _ := newHistConfig(t, 2, 2, 50, 16)
+	cfg.KeyRange = 3 // mapper emits modulo 16: some keys exceed 3
+	if _, err := Run(cfg); err == nil {
+		t.Error("out-of-range key accepted")
+	}
+}
+
+func TestMapFailurePropagates(t *testing.T) {
+	cfg, _ := newHistConfig(t, 4, 8, 50, 16)
+	cfg.Mapper = &histMapper{buckets: 16, failChunk: 3, failStage: -1}
+	if _, err := Run(cfg); err == nil {
+		t.Error("map failure not propagated")
+	}
+}
+
+func TestStageFailurePropagates(t *testing.T) {
+	cfg, _ := newHistConfig(t, 4, 8, 50, 16)
+	cfg.Mapper = &histMapper{buckets: 16, failChunk: -1, failStage: 5}
+	if _, err := Run(cfg); err == nil {
+		t.Error("stage failure not propagated")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base, _ := newHistConfig(t, 2, 2, 10, 8)
+	cases := []func(*Config[int32, []int32]){
+		func(c *Config[int32, []int32]) { c.Cluster = nil },
+		func(c *Config[int32, []int32]) { c.Workers = 99 },
+		func(c *Config[int32, []int32]) { c.Mapper = nil },
+		func(c *Config[int32, []int32]) { c.MakeReducer = nil },
+		func(c *Config[int32, []int32]) { c.KeyRange = 0 },
+		func(c *Config[int32, []int32]) { c.ValueBytes = 0 },
+		func(c *Config[int32, []int32]) { c.Chunks = nil },
+	}
+	for i, mut := range cases {
+		cfg := base
+		mut(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestFromDiskChargesIO(t *testing.T) {
+	cfgMem, _ := newHistConfig(t, 2, 6, 100000, 16)
+	statsMem, err := Run(cfgMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgDisk, _ := newHistConfig(t, 2, 6, 100000, 16)
+	cfgDisk.FromDisk = true
+	statsDisk, err := Run(cfgDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsDisk.Makespan <= statsMem.Makespan {
+		t.Errorf("disk job %v should be slower than in-core %v",
+			statsDisk.Makespan, statsMem.Makespan)
+	}
+	if statsDisk.MeanStage.PartitionIO <= statsMem.MeanStage.PartitionIO {
+		t.Error("disk reads not attributed to Partition+I/O")
+	}
+}
+
+func TestDynamicAssignmentBalancesSkew(t *testing.T) {
+	// One huge chunk plus many small ones: static round-robin strands the
+	// small chunks behind the huge one on the same worker in ID order,
+	// dynamic pulls them to idle workers.
+	build := func(assign AssignMode) sim.Time {
+		env := sim.NewEnv()
+		cl, err := cluster.New(env, cluster.AC(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cs []Chunk
+		big := make([]int32, 400000)
+		cs = append(cs, intChunk{id: 0, vals: big})
+		for i := 1; i <= 12; i++ {
+			cs = append(cs, intChunk{id: i, vals: make([]int32, 50000)})
+		}
+		cfg := Config[int32, []int32]{
+			Cluster: cl,
+			Mapper:  &histMapper{buckets: 8, failChunk: -1, failStage: -1},
+			MakeReducer: func(int) Reducer[int32] {
+				return &sumReducer{sums: map[int32]int64{}}
+			},
+			KeyRange:   8,
+			ValueBytes: 4,
+			Chunks:     cs,
+			Assign:     assign,
+		}
+		stats, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Makespan
+	}
+	staticT := build(AssignStatic)
+	dynamicT := build(AssignDynamic)
+	if dynamicT > staticT {
+		t.Errorf("dynamic %v should not be slower than static %v with skew", dynamicT, staticT)
+	}
+}
+
+func TestGPUReduceSlowerForSmallInputs(t *testing.T) {
+	// The paper found CPU compositing faster than GPU compositing because
+	// of transfer costs; the model must reproduce that for modest inputs.
+	cpuCfg, _ := newHistConfig(t, 2, 4, 2000, 64)
+	cpuStats, err := Run(cpuCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuCfg, _ := newHistConfig(t, 2, 4, 2000, 64)
+	gpuCfg.ReduceOn = OnGPU
+	gpuCfg.SortOn = OnGPU
+	gpuStats, err := Run(gpuCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuRR := cpuStats.MeanStage.Sort + cpuStats.MeanStage.Reduce
+	gpuRR := gpuStats.MeanStage.Sort + gpuStats.MeanStage.Reduce
+	if gpuRR <= cpuRR {
+		t.Errorf("GPU reduce %v should be slower than CPU %v for small inputs", gpuRR, cpuRR)
+	}
+}
+
+func TestStreamingFlushProducesMoreMessages(t *testing.T) {
+	coarse, _ := newHistConfig(t, 2, 4, 5000, 16)
+	coarse.FlushBytes = 0 // flush per chunk only
+	sc, err := Run(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, _ := newHistConfig(t, 2, 4, 5000, 16)
+	fine.FlushBytes = 1024
+	sf, err := Run(fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Messages <= sc.Messages {
+		t.Errorf("threshold flushing sent %d messages, per-chunk %d", sf.Messages, sc.Messages)
+	}
+	if sf.TotalReceived != sc.TotalReceived {
+		t.Errorf("payload differs: %d vs %d", sf.TotalReceived, sc.TotalReceived)
+	}
+}
+
+func TestFixedOverheadCharged(t *testing.T) {
+	a, _ := newHistConfig(t, 2, 2, 100, 8)
+	sa, err := Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := newHistConfig(t, 2, 2, 100, 8)
+	b.ChargeFixedOverhead = true
+	sb, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := sb.Makespan - sa.Makespan
+	want := cluster.AC(2).JobFixedOverhead
+	if diff < want*9/10 || diff > want*11/10 {
+		t.Errorf("fixed overhead added %v, want ≈%v", diff, want)
+	}
+}
+
+func TestCountingSortGroups(t *testing.T) {
+	kvs := []KV[string]{
+		{Key: 3, Val: "a"}, {Key: 1, Val: "b"}, {Key: 3, Val: "c"},
+		{Key: 0, Val: "d"}, {Key: 1, Val: "e"},
+	}
+	keys, groups := CountingSort(kvs, 5)
+	if len(keys) != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if keys[0] != 0 || keys[1] != 1 || keys[2] != 3 {
+		t.Errorf("keys not ascending: %v", keys)
+	}
+	if len(groups[2]) != 2 || groups[2][0] != "a" || groups[2][1] != "c" {
+		t.Errorf("key 3 group = %v, want stable [a c]", groups[2])
+	}
+	if groups[1][0] != "b" || groups[1][1] != "e" {
+		t.Errorf("key 1 group = %v, want stable [b e]", groups[1])
+	}
+}
+
+// Property: counting sort produces exactly the same grouping as a generic
+// comparison sort, for random inputs.
+func TestCountingSortEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	f := func() bool {
+		n := r.Intn(200)
+		keyRange := int32(1 + r.Intn(50))
+		kvs := make([]KV[int32], n)
+		for i := range kvs {
+			kvs[i] = KV[int32]{Key: r.Int31n(keyRange), Val: int32(i)}
+		}
+		keys, groups := CountingSort(kvs, keyRange)
+		// Reference: stable sort by key.
+		ref := append([]KV[int32](nil), kvs...)
+		sort.SliceStable(ref, func(i, j int) bool { return ref[i].Key < ref[j].Key })
+		var flatKeys []int32
+		var flatVals []int32
+		for i, k := range keys {
+			for _, v := range groups[i] {
+				flatKeys = append(flatKeys, k)
+				flatVals = append(flatVals, v)
+			}
+		}
+		if len(flatKeys) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if flatKeys[i] != ref[i].Key || flatVals[i] != ref[i].Val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoreWorkersSpreadWork(t *testing.T) {
+	// Pure compute scaling: a compute-heavy job on more GPUs finishes
+	// sooner (communication is tiny here).
+	run := func(gpus int) sim.Time {
+		cfg, _ := newHistConfig(t, gpus, 16, 200000, 8)
+		stats, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Makespan
+	}
+	t1 := run(1)
+	t4 := run(4)
+	if t4 >= t1 {
+		t.Errorf("4 GPUs (%v) not faster than 1 (%v)", t4, t1)
+	}
+	if t4 > t1/2 {
+		t.Errorf("4 GPUs (%v) should be well under half of 1 GPU (%v)", t4, t1)
+	}
+}
+
+func TestWorkerStatspopulated(t *testing.T) {
+	cfg, _ := newHistConfig(t, 4, 8, 1000, 32)
+	stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Workers) != 4 || len(stats.Reducers) != 4 {
+		t.Fatalf("stats sizes: %d workers, %d reducers", len(stats.Workers), len(stats.Reducers))
+	}
+	var chunks int
+	for _, w := range stats.Workers {
+		chunks += w.Chunks
+		if w.Stage.Map <= 0 {
+			t.Errorf("worker %d has zero map time", w.Index)
+		}
+	}
+	if chunks != 8 {
+		t.Errorf("chunks processed = %d, want 8", chunks)
+	}
+	if stats.Messages == 0 || stats.BytesOnWire == 0 {
+		t.Error("wire stats empty")
+	}
+	if stats.MeanStage.Sort <= 0 || stats.MeanStage.Reduce <= 0 {
+		t.Error("reducer stages not folded into MeanStage")
+	}
+}
+
+func TestAffinityAssignmentAvoidsHandoff(t *testing.T) {
+	// Chunks homed on the workers' nodes: affinity scheduling maps each
+	// on its home node, so no interconnect hand-off is charged; the
+	// misplaced variant (all chunks homed on node 0) must pay transfers.
+	run := func(home func(c Chunk) int) *JobStats {
+		cfg, _ := newHistConfig(t, 8, 16, 20000, 16) // 2 nodes
+		cfg.Assign = AssignAffinity
+		cfg.Home = home
+		stats, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	local := run(func(c Chunk) int { return c.ID() % 2 })
+	remote := run(func(c Chunk) int { return 0 }) // all on node 0: node 0 overloaded
+	if remote.Makespan <= local.Makespan {
+		t.Errorf("misplaced data %v should be slower than local %v",
+			remote.Makespan, local.Makespan)
+	}
+}
+
+func TestAffinityRequiresHome(t *testing.T) {
+	cfg, _ := newHistConfig(t, 4, 8, 100, 16)
+	cfg.Assign = AssignAffinity
+	if _, err := Run(cfg); err == nil {
+		t.Error("affinity without Home accepted")
+	}
+}
+
+func TestAffinityFallsBackForUnknownHome(t *testing.T) {
+	cfg, reducers := newHistConfig(t, 2, 6, 500, 16)
+	cfg.Assign = AssignAffinity
+	cfg.Home = func(c Chunk) int { return 99 } // no such node
+	stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chunks int
+	for _, w := range stats.Workers {
+		chunks += w.Chunks
+	}
+	if chunks != 6 {
+		t.Errorf("fallback dropped chunks: %d of 6", chunks)
+	}
+	got := mergeSums(*reducers)
+	want := expectedHist(cfg, 16)
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("histogram wrong under fallback at key %d", k)
+		}
+	}
+}
+
+func TestHomeChargesHandoffWithStaticAssign(t *testing.T) {
+	// Home is honoured even with static assignment: chunks mapped off
+	// their home pay the interconnect transfer, slowing the job.
+	base, _ := newHistConfig(t, 8, 8, 120000, 16)
+	sBase, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, _ := newHistConfig(t, 8, 8, 120000, 16)
+	moved.Home = func(c Chunk) int { return 1 } // all data on node 1
+	sMoved, err := Run(moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sMoved.Makespan <= sBase.Makespan {
+		t.Errorf("hand-offs %v should cost more than local data %v",
+			sMoved.Makespan, sBase.Makespan)
+	}
+}
+
+func TestCombinerShrinksWireTraffic(t *testing.T) {
+	// The histogram job can merge same-key counts before sending; wire
+	// bytes drop while results stay exact — and volume rendering cannot
+	// use this, which is why the paper omitted it (§3.1).
+	run := func(combine bool) (*JobStats, map[int32]int64) {
+		cfg, reducers := newHistConfig(t, 4, 8, 20000, 16)
+		if combine {
+			cfg.Combine = func(kvs []KV[int32]) []KV[int32] {
+				sums := map[int32]int32{}
+				for _, kv := range kvs {
+					sums[kv.Key] += kv.Val
+				}
+				out := make([]KV[int32], 0, len(sums))
+				for k := int32(0); k < 16; k++ {
+					if v, ok := sums[k]; ok {
+						out = append(out, KV[int32]{Key: k, Val: v})
+					}
+				}
+				return out
+			}
+		}
+		stats, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, mergeSums(*reducers)
+	}
+	plain, histPlain := run(false)
+	combined, histCombined := run(true)
+	if combined.BytesOnWire >= plain.BytesOnWire/10 {
+		t.Errorf("combiner wire bytes %d, want <10%% of %d",
+			combined.BytesOnWire, plain.BytesOnWire)
+	}
+	for k, v := range histPlain {
+		if histCombined[k] != v {
+			t.Fatalf("combiner changed result at key %d: %d vs %d", k, histCombined[k], v)
+		}
+	}
+}
+
+func TestCombinerToEmptyBatch(t *testing.T) {
+	// A combiner that drops everything must not wedge the job.
+	cfg, _ := newHistConfig(t, 2, 4, 100, 8)
+	cfg.Combine = func(kvs []KV[int32]) []KV[int32] { return nil }
+	stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalReceived != 0 {
+		t.Errorf("dropped batches still delivered %d pairs", stats.TotalReceived)
+	}
+}

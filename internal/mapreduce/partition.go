@@ -1,0 +1,45 @@
+package mapreduce
+
+// The paper's §6 discusses direct-send compositing "with a checkerboard,
+// tiled, or striped distribution" before settling on per-pixel round
+// robin as "empirically the most performant method". These partitioners
+// implement the alternatives so the choice can be measured (see the
+// partitioning ablation); all of them satisfy the dense-integer-key
+// restriction.
+
+// Striped assigns horizontal image stripes to reducers cyclically:
+// reducer = (key / (Width·StripeHeight)) mod R.
+type Striped struct {
+	Width        int
+	StripeHeight int
+}
+
+// Partition implements Partitioner.
+func (s Striped) Partition(key int32, numReducers int) int {
+	if s.Width <= 0 || s.StripeHeight <= 0 {
+		return 0
+	}
+	stripe := int(key) / (s.Width * s.StripeHeight)
+	return stripe % numReducers
+}
+
+// Checkerboard assigns square image tiles to reducers cyclically in a 2D
+// checkerboard pattern: tile (tx, ty) goes to reducer (ty·tilesPerRow +
+// tx) mod R, so neighbouring tiles land on different reducers.
+type Checkerboard struct {
+	Width int
+	Tile  int
+}
+
+// Partition implements Partitioner.
+func (c Checkerboard) Partition(key int32, numReducers int) int {
+	if c.Width <= 0 || c.Tile <= 0 {
+		return 0
+	}
+	x := int(key) % c.Width
+	y := int(key) / c.Width
+	tx := x / c.Tile
+	ty := y / c.Tile
+	tilesPerRow := (c.Width + c.Tile - 1) / c.Tile
+	return (ty*tilesPerRow + tx) % numReducers
+}

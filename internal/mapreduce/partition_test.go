@@ -1,0 +1,116 @@
+package mapreduce
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundRobinPartition(t *testing.T) {
+	p := RoundRobin{}
+	for k := int32(0); k < 100; k++ {
+		if got := p.Partition(k, 7); got != int(k)%7 {
+			t.Fatalf("Partition(%d, 7) = %d", k, got)
+		}
+	}
+}
+
+func TestBlockedPartitionRanges(t *testing.T) {
+	p := Blocked{KeyRange: 100}
+	// 4 reducers: keys [0,25) → 0, [25,50) → 1, etc.
+	cases := []struct {
+		key  int32
+		want int
+	}{{0, 0}, {24, 0}, {25, 1}, {49, 1}, {50, 2}, {99, 3}}
+	for _, c := range cases {
+		if got := p.Partition(c.key, 4); got != c.want {
+			t.Errorf("Partition(%d) = %d, want %d", c.key, got, c.want)
+		}
+	}
+	// Degenerate key range routes everything to reducer 0.
+	if got := (Blocked{}).Partition(5, 4); got != 0 {
+		t.Errorf("degenerate Blocked = %d", got)
+	}
+}
+
+func TestStripedPartition(t *testing.T) {
+	// 8-wide image, stripes of 2 rows: rows 0-1 → reducer 0, 2-3 → 1, ...
+	p := Striped{Width: 8, StripeHeight: 2}
+	if got := p.Partition(0, 4); got != 0 {
+		t.Errorf("row 0 → %d", got)
+	}
+	if got := p.Partition(2*8, 4); got != 1 {
+		t.Errorf("row 2 → %d", got)
+	}
+	if got := p.Partition(8*8, 4); got != 0 { // row 8: stripe 4 wraps to 0
+		t.Errorf("row 8 → %d", got)
+	}
+	if got := (Striped{}).Partition(5, 4); got != 0 {
+		t.Errorf("degenerate Striped = %d", got)
+	}
+}
+
+func TestCheckerboardPartition(t *testing.T) {
+	// 8-wide image, 4-pixel tiles, 2 tiles per row.
+	p := Checkerboard{Width: 8, Tile: 4}
+	if got := p.Partition(0, 4); got != 0 { // tile (0,0)
+		t.Errorf("tile (0,0) → %d", got)
+	}
+	if got := p.Partition(4, 4); got != 1 { // tile (1,0)
+		t.Errorf("tile (1,0) → %d", got)
+	}
+	if got := p.Partition(4*8, 4); got != 2 { // tile (0,1)
+		t.Errorf("tile (0,1) → %d", got)
+	}
+	if got := (Checkerboard{}).Partition(5, 4); got != 0 {
+		t.Errorf("degenerate Checkerboard = %d", got)
+	}
+}
+
+// Property: every partitioner maps every key into [0, R).
+func TestPartitionersInRangeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(107))
+	parts := []Partitioner{
+		RoundRobin{},
+		Blocked{KeyRange: 512 * 512},
+		Striped{Width: 512, StripeHeight: 8},
+		Checkerboard{Width: 512, Tile: 16},
+	}
+	f := func() bool {
+		key := r.Int31n(512 * 512)
+		n := 1 + r.Intn(32)
+		for _, p := range parts {
+			got := p.Partition(key, n)
+			if got < 0 || got >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: round robin distributes a dense key range perfectly evenly
+// (the reason the paper picked it).
+func TestRoundRobinBalanceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(109))
+	f := func() bool {
+		n := 1 + r.Intn(16)
+		keys := int32(n * (10 + r.Intn(100)))
+		counts := make([]int, n)
+		for k := int32(0); k < keys; k++ {
+			counts[RoundRobin{}.Partition(k, n)]++
+		}
+		for _, c := range counts {
+			if c != int(keys)/n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

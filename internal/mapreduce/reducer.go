@@ -1,0 +1,148 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"gvmr/internal/cluster"
+	"gvmr/internal/gpu"
+	"gvmr/internal/sim"
+	"gvmr/internal/trace"
+)
+
+// reducerState is one reducer process: it collects batches from every
+// worker, counting-sorts them by key (θ(n), exploiting the dense integer
+// key restriction) and folds each key group through the user Reducer.
+type reducerState[V any] struct {
+	index int
+	host  int // co-located worker index
+	node  *cluster.Node
+	dev   *gpu.Device
+	impl  Reducer[V]
+	inbox *sim.Chan[message[V]]
+	buf   []KV[V]
+	stats ReducerStats
+}
+
+func (rs *reducerState[V]) run(p *sim.Proc, cfg *configView) {
+	rs.stats.Index = rs.index
+	pending := cfg.workers
+	for pending > 0 {
+		msg, ok := rs.inbox.Recv(p)
+		if !ok {
+			return
+		}
+		if msg.done {
+			pending--
+			continue
+		}
+		rs.stats.Received += int64(len(msg.kvs))
+		rs.buf = append(rs.buf, msg.kvs...)
+	}
+	n := len(rs.buf)
+	if n == 0 {
+		return
+	}
+
+	// Sort phase: counting sort, charged on CPU or GPU per config. The
+	// GPU path pays the PCIe round trip of the raw pairs.
+	kvBytes := int64(4 + cfg.valueBytes)
+	sortStart := p.Now()
+	if cfg.sortOn == OnGPU {
+		rs.chargeGPU(p, cfg, float64(n*int(kvBytes)), float64(n), cfg.sortRate)
+	} else {
+		rs.node.CPUWork(p, float64(n), cfg.sortRate)
+	}
+	keys, groups := CountingSort(rs.buf, cfg.keyRange)
+	rs.stats.Sort = p.Now() - sortStart
+	cfg.tr.Add(trace.Span{
+		Name: "sort", Cat: "sort",
+		Lane: fmt.Sprintf("reducer%d", rs.index), Start: sortStart, End: p.Now(),
+	})
+	rs.stats.Keys = int64(len(keys))
+
+	// Reduce phase: fold every key group.
+	reduceStart := p.Now()
+	if cfg.reduceOn == OnGPU {
+		rs.chargeGPU(p, cfg, float64(n*int(kvBytes)), float64(n), cfg.reduceRate)
+	} else {
+		rs.node.CPUWork(p, float64(n), cfg.reduceRate)
+	}
+	for i, k := range keys {
+		rs.impl.Reduce(k, groups[i])
+	}
+	rs.stats.Reduce = p.Now() - reduceStart
+	cfg.tr.Add(trace.Span{
+		Name: "reduce", Cat: "reduce",
+		Lane: fmt.Sprintf("reducer%d", rs.index), Start: reduceStart, End: p.Now(),
+	})
+	rs.buf = nil
+}
+
+// chargeGPU models running a reduce-side stage on the co-located GPU: a
+// host-to-device copy of the data, the data-parallel work at a multiple of
+// the single-core CPU rate, and the result read-back. It occupies the
+// device engine, contending with any mapping still in flight there.
+func (rs *reducerState[V]) chargeGPU(p *sim.Proc, cfg *configView, bytes, work, cpuRate float64) {
+	if bytes > 0 {
+		t := rs.dev.PCIe.TransferTime(int64(bytes))
+		rs.dev.PCIe.Link.Use(p, t)
+	}
+	rs.dev.Occupy(p, sim.WorkTime(work, cpuRate*cfg.gpuSpeedup))
+	if bytes > 0 {
+		t := rs.dev.PCIe.TransferTime(int64(bytes) / 4) // results are smaller
+		rs.dev.PCIe.Link.Use(p, t)
+	}
+}
+
+// CountingSort groups pairs by key in θ(n + keyRange): the sort stage the
+// paper specialises given that "the library knows the minimum and maximum
+// keys for each node". It is stable within a key, preserving arrival
+// order, which keeps runs deterministic. Exported because it is a useful
+// primitive for library users with the same dense-key restriction.
+func CountingSort[V any](kvs []KV[V], keyRange int32) (keys []int32, groups [][]V) {
+	counts := make([]int32, keyRange)
+	for i := range kvs {
+		counts[kvs[i].Key]++
+	}
+	offsets := make([]int32, keyRange)
+	var total, distinct int32
+	for k := int32(0); k < keyRange; k++ {
+		offsets[k] = total
+		total += counts[k]
+		if counts[k] > 0 {
+			distinct++
+		}
+	}
+	flat := make([]V, len(kvs))
+	cursor := make([]int32, keyRange)
+	copy(cursor, offsets)
+	for i := range kvs {
+		k := kvs[i].Key
+		flat[cursor[k]] = kvs[i].Val
+		cursor[k]++
+	}
+	keys = make([]int32, 0, distinct)
+	groups = make([][]V, 0, distinct)
+	for k := int32(0); k < keyRange; k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		keys = append(keys, k)
+		groups = append(groups, flat[offsets[k]:offsets[k]+counts[k]])
+	}
+	return keys, groups
+}
+
+// configView is the non-generic slice of Config the reducer needs (it
+// keeps reducerState monomorphic in V only).
+type configView struct {
+	tr         *trace.Log
+	workers    int
+	keyRange   int32
+	valueBytes int
+	sortOn     Placement
+	reduceOn   Placement
+	sortRate   float64
+	reduceRate float64
+	gpuSpeedup float64
+}

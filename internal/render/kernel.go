@@ -1,0 +1,103 @@
+package render
+
+import (
+	"gvmr/internal/camera"
+	"gvmr/internal/composite"
+	"gvmr/internal/gpu"
+	"gvmr/internal/volume"
+)
+
+// Kernel is the ray-casting map kernel for one brick, implementing
+// gpu.Kernel. The grid covers the brick's screen footprint padded to 16×16
+// blocks (§3.2: "the grid is made to match the size of the sub-image
+// (with a potentially small amount of padding) onto which the current
+// chunk projects"). Every thread writes exactly one fragment to Out —
+// pixels outside the footprint or image write key=-1 placeholders that
+// the partition phase discards.
+type Kernel struct {
+	Cam   *camera.Camera
+	Space volume.Space
+	Tex   *gpu.Texture3D
+	Prm   Params
+	FP    camera.Footprint
+	// Sampler is the per-pixel sampling routine; nil means ray casting
+	// (CastPixel). Swapping in CastPixelSlicing is the §6.1 map-phase
+	// pluggability demonstration.
+	Sampler SampleFn
+	// Out is the emission buffer in "GPU memory": one slot per thread.
+	Out []composite.Fragment
+
+	grid gpu.Dim2
+}
+
+// SampleFn is a pluggable per-pixel volume sampler.
+type SampleFn func(cam *camera.Camera, sp volume.Space, bd *volume.BrickData, prm Params, px, py int) (composite.Fragment, int64)
+
+// NewKernel plans a kernel for one brick; it returns nil (no work) when
+// the brick is off screen.
+func NewKernel(cam *camera.Camera, sp volume.Space, tex *gpu.Texture3D, prm Params) *Kernel {
+	fp, ok := cam.ProjectAABB(tex.Data.Brick.Bounds)
+	if !ok {
+		return nil
+	}
+	grid := gpu.Dim2{
+		X: (fp.Width() + BlockDim - 1) / BlockDim,
+		Y: (fp.Height() + BlockDim - 1) / BlockDim,
+	}
+	return &Kernel{
+		Cam:   cam,
+		Space: sp,
+		Tex:   tex,
+		Prm:   prm,
+		FP:    fp,
+		Out:   make([]composite.Fragment, grid.Count()*BlockDim*BlockDim),
+		grid:  grid,
+	}
+}
+
+// Name implements gpu.Kernel.
+func (k *Kernel) Name() string { return "raycast" }
+
+// Grid implements gpu.Kernel.
+func (k *Kernel) Grid() gpu.Dim2 { return k.grid }
+
+// Block implements gpu.Kernel.
+func (k *Kernel) Block() gpu.Dim2 { return gpu.Dim2{X: BlockDim, Y: BlockDim} }
+
+// OutBytes returns the modeled size of the emission buffer.
+func (k *Kernel) OutBytes() int64 {
+	return int64(len(k.Out)) * composite.FragmentBytes
+}
+
+// RunBlock implements gpu.Kernel: 256 threads, one pixel each.
+func (k *Kernel) RunBlock(bx, by int) gpu.Stats {
+	var st gpu.Stats
+	sample := k.Sampler
+	if sample == nil {
+		sample = CastPixel
+	}
+	rowThreads := k.grid.X * BlockDim
+	for ty := 0; ty < BlockDim; ty++ {
+		for tx := 0; tx < BlockDim; tx++ {
+			st.Threads++
+			st.Emitted++
+			gx := bx*BlockDim + tx
+			gy := by*BlockDim + ty
+			slot := gy*rowThreads + gx
+			px := k.FP.X0 + gx
+			py := k.FP.Y0 + gy
+			if px > k.FP.X1 || py > k.FP.Y1 {
+				// Padding thread: emit a discarded placeholder.
+				k.Out[slot] = composite.Placeholder(-1)
+				continue
+			}
+			frag, samples := sample(k.Cam, k.Space, k.Tex.Data, k.Prm, px, py)
+			st.Samples += samples
+			if !frag.IsPlaceholder() {
+				st.RaysHit++
+			}
+			k.Out[slot] = frag
+		}
+	}
+	return st
+}

@@ -1,0 +1,38 @@
+package render
+
+import (
+	"gvmr/internal/camera"
+	"gvmr/internal/composite"
+	"gvmr/internal/vec"
+	"gvmr/internal/volume"
+)
+
+// Reference renders a full image by ray casting the entire volume in one
+// monolithic pass (no bricking, no MapReduce). It is the ground truth the
+// distributed renderer is tested against, and also serves as the per-node
+// inner loop of the CPU-cluster baseline.
+func Reference(cam *camera.Camera, src volume.Source, prm Params, background vec.V4) ([]vec.V4, error) {
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	grid, err := volume.MakeGrid(src.Dims(), [3]int{1, 1, 1})
+	if err != nil {
+		return nil, err
+	}
+	bd, err := volume.FillBrick(src, grid.Bricks[0])
+	if err != nil {
+		return nil, err
+	}
+	img := make([]vec.V4, cam.Pixels())
+	for py := 0; py < cam.Height; py++ {
+		for px := 0; px < cam.Width; px++ {
+			frag, _ := CastPixel(cam, grid.Space, bd, prm, px, py)
+			if frag.IsPlaceholder() {
+				img[py*cam.Width+px] = composite.Finalize(vec.V4{}, background)
+			} else {
+				img[py*cam.Width+px] = composite.Finalize(frag.Color(), background)
+			}
+		}
+	}
+	return img, nil
+}

@@ -1,0 +1,86 @@
+// Package report renders aligned plain-text tables for the benchmark
+// harness: the rows and series the paper's figures plot, printed the way
+// the original evaluation would have tabulated them.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"gvmr/internal/sim"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// New creates a table.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends a row; cells beyond the header width are kept.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends a row of formatted values.
+func (t *Table) Addf(format string, args ...any) {
+	t.Add(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	rows := append([][]string{t.Header}, t.Rows...)
+	for _, row := range rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Ms formats a sim duration in milliseconds.
+func Ms(t sim.Time) string { return fmt.Sprintf("%.1f", t.Millis()) }
+
+// Sec formats a sim duration in seconds.
+func Sec(t sim.Time) string { return fmt.Sprintf("%.3f", t.Seconds()) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// F0 formats a float with no decimals.
+func F0(v float64) string { return fmt.Sprintf("%.0f", v) }

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"gvmr/internal/sim"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("title", "col", "longer-column")
+	tb.Add("a", "b")
+	tb.Add("wiiide-row", "c")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "title" {
+		t.Errorf("first line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "col") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator line = %q", lines[2])
+	}
+	// Columns align: "b" and "c" start at the same offset.
+	bIdx := strings.Index(lines[3], "b")
+	cIdx := strings.Index(lines[4], "c")
+	if bIdx != cIdx {
+		t.Errorf("columns misaligned: %d vs %d\n%s", bIdx, cIdx, out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.Add("1")
+	out := tb.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Error("untitled table should not start with a blank line")
+	}
+	if !strings.HasPrefix(out, "a") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestAddf(t *testing.T) {
+	tb := New("t", "x", "y")
+	tb.Addf("%d|%s", 7, "hi")
+	if len(tb.Rows) != 1 || tb.Rows[0][0] != "7" || tb.Rows[0][1] != "hi" {
+		t.Errorf("Addf rows = %v", tb.Rows)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Ms(1500 * sim.Microsecond); got != "1.5" {
+		t.Errorf("Ms = %q", got)
+	}
+	if got := Sec(sim.Millis(2500)); got != "2.500" {
+		t.Errorf("Sec = %q", got)
+	}
+	if got := F2(3.14159); got != "3.14" {
+		t.Errorf("F2 = %q", got)
+	}
+	if got := F0(2.71); got != "3" {
+		t.Errorf("F0 = %q", got)
+	}
+}
+
+func TestRowsWiderThanHeader(t *testing.T) {
+	tb := New("t", "only")
+	tb.Add("a", "extra", "cells")
+	out := tb.String()
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "cells") {
+		t.Errorf("extra cells dropped:\n%s", out)
+	}
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"gvmr/internal/sim"
+)
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Add(Span{Name: "x"})
+	if l.Len() != 0 || l.Spans() != nil {
+		t.Error("nil log should discard")
+	}
+}
+
+func TestAddAndSort(t *testing.T) {
+	l := &Log{}
+	l.Add(Span{Name: "b", Lane: "gpu0", Start: 10, End: 20})
+	l.Add(Span{Name: "a", Lane: "gpu1", Start: 5, End: 8})
+	l.Add(Span{Name: "neg", Start: 9, End: 3}) // rejected
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	spans := l.Spans()
+	if spans[0].Name != "a" || spans[1].Name != "b" {
+		t.Errorf("spans not sorted by start: %+v", spans)
+	}
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	l := &Log{}
+	l.Add(Span{Name: "kernel", Cat: "map", Lane: "gpu0", Start: sim.Millisecond, End: 3 * sim.Millisecond})
+	l.Add(Span{Name: "send", Cat: "net", Lane: "gpu0", Start: 3 * sim.Millisecond, End: 4 * sim.Millisecond})
+	var buf bytes.Buffer
+	if err := l.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 1 lane metadata + 2 spans.
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	var kernel map[string]any
+	for _, e := range events {
+		if e["name"] == "kernel" {
+			kernel = e
+		}
+	}
+	if kernel == nil {
+		t.Fatal("kernel span missing")
+	}
+	if kernel["ts"].(float64) != 1000 { // 1 ms in µs
+		t.Errorf("ts = %v", kernel["ts"])
+	}
+	if kernel["dur"].(float64) != 2000 {
+		t.Errorf("dur = %v", kernel["dur"])
+	}
+	if kernel["ph"] != "X" {
+		t.Errorf("ph = %v", kernel["ph"])
+	}
+}

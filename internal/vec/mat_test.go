@@ -1,0 +1,146 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func m4Approx(a, b M4, eps float32) bool {
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if !approx(a[i][j], b[i][j], eps) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func genM4(r *rand.Rand) M4 {
+	var m M4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			m[i][j] = float32(r.Float64()*4 - 2)
+		}
+	}
+	return m
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity()
+	v := New4(1, 2, 3, 4)
+	if got := id.MulV(v); got != v {
+		t.Errorf("I*v = %v, want %v", got, v)
+	}
+	m := genM4(rand.New(rand.NewSource(7)))
+	if !m4Approx(id.MulM(m), m, 0) || !m4Approx(m.MulM(id), m, 0) {
+		t.Error("identity is not a multiplicative identity")
+	}
+}
+
+func TestTranslateScale(t *testing.T) {
+	tr := Translate(New3(1, 2, 3))
+	p := tr.MulPoint(New3(0, 0, 0))
+	if p != (V3{1, 2, 3}) {
+		t.Errorf("translate origin = %v", p)
+	}
+	sc := ScaleM(New3(2, 3, 4))
+	p = sc.MulPoint(New3(1, 1, 1))
+	if p != (V3{2, 3, 4}) {
+		t.Errorf("scale = %v", p)
+	}
+}
+
+func TestRotations(t *testing.T) {
+	ry := RotateY(math.Pi / 2)
+	p := ry.MulPoint(New3(1, 0, 0))
+	if !v3Approx(p, New3(0, 0, -1), 1e-6) {
+		t.Errorf("RotateY(90°) of x-axis = %v, want (0,0,-1)", p)
+	}
+	rx := RotateX(math.Pi / 2)
+	p = rx.MulPoint(New3(0, 1, 0))
+	if !v3Approx(p, New3(0, 0, 1), 1e-6) {
+		t.Errorf("RotateX(90°) of y-axis = %v, want (0,0,1)", p)
+	}
+}
+
+func TestLookAt(t *testing.T) {
+	// Camera at +Z looking at origin: origin should map in front of the
+	// camera (negative view-space z), and the eye to view-space origin.
+	view := LookAt(New3(0, 0, 5), New3(0, 0, 0), New3(0, 1, 0))
+	p := view.MulPoint(New3(0, 0, 0))
+	if !v3Approx(p, New3(0, 0, -5), 1e-5) {
+		t.Errorf("LookAt maps target to %v, want (0,0,-5)", p)
+	}
+	eye := view.MulPoint(New3(0, 0, 5))
+	if !v3Approx(eye, New3(0, 0, 0), 1e-5) {
+		t.Errorf("LookAt maps eye to %v, want origin", eye)
+	}
+}
+
+func TestPerspectiveDepthRange(t *testing.T) {
+	proj := Perspective(math.Pi/3, 1, 1, 100)
+	// A point on the near plane maps to NDC z = -1, far plane to +1.
+	near := proj.MulPoint(New3(0, 0, -1))
+	far := proj.MulPoint(New3(0, 0, -100))
+	if !approx(near.Z, -1, 1e-4) {
+		t.Errorf("near plane NDC z = %v, want -1", near.Z)
+	}
+	if !approx(far.Z, 1, 1e-4) {
+		t.Errorf("far plane NDC z = %v, want 1", far.Z)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	m := Translate(New3(1, 2, 3)).MulM(RotateY(0.7)).MulM(ScaleM(New3(2, 2, 2)))
+	inv, ok := m.Inverse()
+	if !ok {
+		t.Fatal("matrix should be invertible")
+	}
+	if !m4Approx(m.MulM(inv), Identity(), 1e-5) {
+		t.Errorf("m * m^-1 != I:\n%v", m.MulM(inv))
+	}
+	var singular M4 // zero matrix
+	if _, ok := singular.Inverse(); ok {
+		t.Error("zero matrix reported invertible")
+	}
+}
+
+// Property: (A*B)*v == A*(B*v) — matrix multiplication is consistent with
+// successive transformation.
+func TestMulAssociativityProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := func() bool {
+		a, b := genM4(r), genM4(r)
+		v := V4{float32(r.Float64()), float32(r.Float64()), float32(r.Float64()), 1}
+		lhs := a.MulM(b).MulV(v)
+		rhs := a.MulV(b.MulV(v))
+		return approx(lhs.X, rhs.X, 1e-3) && approx(lhs.Y, rhs.Y, 1e-3) &&
+			approx(lhs.Z, rhs.Z, 1e-3) && approx(lhs.W, rhs.W, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for random well-conditioned matrices built from rigid pieces,
+// inverse(M) * M ≈ I.
+func TestInverseProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	f := func() bool {
+		m := Translate(genV3(r)).
+			MulM(RotateY(r.Float64() * 6)).
+			MulM(RotateX(r.Float64() * 6)).
+			MulM(ScaleM(New3(1+r.Float64(), 1+r.Float64(), 1+r.Float64())))
+		inv, ok := m.Inverse()
+		if !ok {
+			return false
+		}
+		return m4Approx(inv.MulM(m), Identity(), 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,6 @@
+package volume
+
+import "math"
+
+func floatBits(f float32) uint32 { return math.Float32bits(f) }
+func bitsFloat(b uint32) float32 { return math.Float32frombits(b) }

@@ -1,0 +1,168 @@
+package volume
+
+import (
+	"fmt"
+
+	"gvmr/internal/vec"
+)
+
+// Brick is one piece of a bricked volume: a core region (the voxels this
+// brick is responsible for rendering — cores tile the volume exactly) plus
+// a ghost region padded by one voxel per face (clamped at the volume edge)
+// so that trilinear samples taken inside the core never read outside the
+// ghost data.
+type Brick struct {
+	ID     int
+	Index  [3]int // grid coordinates
+	Core   Region
+	Ghost  Region
+	Bounds vec.AABB // world-space bounds of the core region
+}
+
+// Bytes returns the ghost-region storage footprint (what must fit in VRAM).
+func (b Brick) Bytes() int64 { return b.Ghost.Ext.Bytes() }
+
+// Grid is a brick decomposition of a volume.
+type Grid struct {
+	VolDims Dims
+	Space   Space
+	Counts  [3]int
+	Bricks  []Brick
+}
+
+// NumBricks returns the total brick count.
+func (g *Grid) NumBricks() int { return len(g.Bricks) }
+
+// MaxBrickBytes returns the largest ghost-region footprint in the grid.
+func (g *Grid) MaxBrickBytes() int64 {
+	var m int64
+	for _, b := range g.Bricks {
+		if n := b.Bytes(); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// axisSplit returns the boundary of span i of n near-equal splits of length.
+func axisSplit(length, n, i int) int { return length * i / n }
+
+// MakeGrid decomposes a volume into counts[0]×counts[1]×counts[2] bricks
+// with near-equal core extents and one-voxel ghost layers.
+func MakeGrid(d Dims, counts [3]int) (*Grid, error) {
+	dims := [3]int{d.X, d.Y, d.Z}
+	for a := 0; a < 3; a++ {
+		if counts[a] < 1 || counts[a] > dims[a] {
+			return nil, fmt.Errorf("volume: brick count %v invalid for dims %v", counts, d)
+		}
+	}
+	sp := NewSpace(d)
+	g := &Grid{VolDims: d, Space: sp, Counts: counts}
+	id := 0
+	for kz := 0; kz < counts[2]; kz++ {
+		for ky := 0; ky < counts[1]; ky++ {
+			for kx := 0; kx < counts[0]; kx++ {
+				idx := [3]int{kx, ky, kz}
+				var org, end [3]int
+				for a := 0; a < 3; a++ {
+					org[a] = axisSplit(dims[a], counts[a], idx[a])
+					end[a] = axisSplit(dims[a], counts[a], idx[a]+1)
+				}
+				core := Region{
+					Org: org,
+					Ext: Dims{end[0] - org[0], end[1] - org[1], end[2] - org[2]},
+				}
+				var gorg, gend [3]int
+				for a := 0; a < 3; a++ {
+					gorg[a] = max(0, org[a]-1)
+					gend[a] = min(dims[a], end[a]+1)
+				}
+				ghost := Region{
+					Org: gorg,
+					Ext: Dims{gend[0] - gorg[0], gend[1] - gorg[1], gend[2] - gorg[2]},
+				}
+				g.Bricks = append(g.Bricks, Brick{
+					ID:     id,
+					Index:  idx,
+					Core:   core,
+					Ghost:  ghost,
+					Bounds: sp.RegionBounds(core),
+				})
+				id++
+			}
+		}
+	}
+	return g, nil
+}
+
+// FactorBricks chooses a near-cubic 3D factorisation of n bricks for a
+// volume of dims d: among all (a,b,c) with a·b·c == n it minimises the
+// aspect ratio of the resulting brick extents, so bricks stay close to
+// cubes even for anisotropic volumes such as the 512×512×2048 plume.
+func FactorBricks(d Dims, n int) [3]int {
+	if n < 1 {
+		n = 1
+	}
+	best := [3]int{1, 1, n}
+	bestScore := factorScore(d, best)
+	for a := 1; a <= n; a++ {
+		if n%a != 0 {
+			continue
+		}
+		rem := n / a
+		for b := 1; b <= rem; b++ {
+			if rem%b != 0 {
+				continue
+			}
+			c := rem / b
+			cand := [3]int{a, b, c}
+			if a > d.X || b > d.Y || c > d.Z {
+				continue
+			}
+			if s := factorScore(d, cand); s < bestScore {
+				bestScore = s
+				best = cand
+			}
+		}
+	}
+	return best
+}
+
+// factorScore is the max/min aspect ratio of brick extents; lower is better.
+func factorScore(d Dims, c [3]int) float64 {
+	ex := float64(d.X) / float64(c[0])
+	ey := float64(d.Y) / float64(c[1])
+	ez := float64(d.Z) / float64(c[2])
+	lo := min(ex, min(ey, ez))
+	hi := max(ex, max(ey, ez))
+	if lo <= 0 {
+		return 1e18
+	}
+	return hi / lo
+}
+
+// BrickData is a brick's ghost-region voxel data, materialised for upload
+// to a (simulated) GPU 3D texture.
+type BrickData struct {
+	Brick Brick
+	Data  []float32 // ghost region, x-fastest
+}
+
+// FillBrick materialises a brick's ghost region from a source.
+func FillBrick(src Source, b Brick) (*BrickData, error) {
+	bd := &BrickData{Brick: b, Data: make([]float32, b.Ghost.Ext.Voxels())}
+	if err := src.Fill(b.Ghost, bd.Data); err != nil {
+		return nil, err
+	}
+	return bd, nil
+}
+
+// Sample trilinearly interpolates at the continuous *volume* voxel-space
+// position (px,py,pz). For positions inside the brick core this returns
+// exactly the same value as Volume.Sample on the full volume — the ghost
+// layer guarantees it (see tests).
+func (bd *BrickData) Sample(px, py, pz float32) float32 {
+	o := bd.Brick.Ghost.Org
+	return trilinear(bd.Data, bd.Brick.Ghost.Ext,
+		px-float32(o[0]), py-float32(o[1]), pz-float32(o[2]))
+}

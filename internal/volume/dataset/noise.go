@@ -1,0 +1,67 @@
+// Package dataset provides the synthetic stand-ins for the paper's three
+// evaluation datasets (Skull, Supernova, Plume) as deterministic analytic
+// fields, at any resolution. The paper's original data is unavailable; the
+// phantoms are designed to have comparable occupancy and opacity structure
+// so that ray-casting workloads (sample counts, early termination, fragment
+// counts) behave like the originals. See DESIGN.md §2.
+package dataset
+
+import "math"
+
+// hash3 is a deterministic integer hash of a 3D lattice point, mixed with a
+// seed; returns a value in [0,1).
+func hash3(x, y, z, seed uint32) float64 {
+	h := x*0x9E3779B1 ^ y*0x85EBCA77 ^ z*0xC2B2AE3D ^ seed*0x27D4EB2F
+	h ^= h >> 15
+	h *= 0x2C1B3C6D
+	h ^= h >> 12
+	h *= 0x297A2D39
+	h ^= h >> 15
+	return float64(h) / float64(1<<32)
+}
+
+// valueNoise is trilinearly interpolated lattice noise in [0,1).
+func valueNoise(x, y, z float64, seed uint32) float64 {
+	xf := math.Floor(x)
+	yf := math.Floor(y)
+	zf := math.Floor(z)
+	fx := smooth(x - xf)
+	fy := smooth(y - yf)
+	fz := smooth(z - zf)
+	xi, yi, zi := uint32(int64(xf)), uint32(int64(yf)), uint32(int64(zf))
+
+	c000 := hash3(xi, yi, zi, seed)
+	c100 := hash3(xi+1, yi, zi, seed)
+	c010 := hash3(xi, yi+1, zi, seed)
+	c110 := hash3(xi+1, yi+1, zi, seed)
+	c001 := hash3(xi, yi, zi+1, seed)
+	c101 := hash3(xi+1, yi, zi+1, seed)
+	c011 := hash3(xi, yi+1, zi+1, seed)
+	c111 := hash3(xi+1, yi+1, zi+1, seed)
+
+	c00 := c000 + (c100-c000)*fx
+	c10 := c010 + (c110-c010)*fx
+	c01 := c001 + (c101-c001)*fx
+	c11 := c011 + (c111-c011)*fx
+	c0 := c00 + (c10-c00)*fy
+	c1 := c01 + (c11-c01)*fy
+	return c0 + (c1-c0)*fz
+}
+
+// smooth is the C1 smoothstep fade used for noise interpolation.
+func smooth(t float64) float64 { return t * t * (3 - 2*t) }
+
+// fbm is fractal Brownian motion: `octaves` layers of value noise, each at
+// double frequency and half amplitude, normalised to [0,1).
+func fbm(x, y, z float64, octaves int, seed uint32) float64 {
+	sum := 0.0
+	amp := 0.5
+	norm := 0.0
+	for o := 0; o < octaves; o++ {
+		sum += amp * valueNoise(x, y, z, seed+uint32(o)*101)
+		norm += amp
+		x, y, z = x*2.03, y*2.03, z*2.03
+		amp *= 0.5
+	}
+	return sum / norm
+}

@@ -1,0 +1,129 @@
+package volume
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// File format: a minimal header followed by raw little-endian float32
+// samples, x-fastest. This stands in for the paper's pre-bricked volume
+// files on the cluster's disks and backs the out-of-core path.
+const (
+	fileMagic      = "GVMR"
+	fileVersion    = uint32(1)
+	fileHeaderSize = 4 + 4 + 3*8 // magic + version + dims
+)
+
+// WriteFile streams a source to a volume file at path, slab by slab, so
+// even 1024³ volumes can be written without materialising them.
+func WriteFile(path string, src Source) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	d := src.Dims()
+	if _, err := w.WriteString(fileMagic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 4+3*8)
+	binary.LittleEndian.PutUint32(hdr[0:], fileVersion)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(d.X))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(d.Y))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(d.Z))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	slab := make([]float32, int64(d.X)*int64(d.Y))
+	buf := make([]byte, len(slab)*4)
+	for z := 0; z < d.Z; z++ {
+		r := Region{Org: [3]int{0, 0, z}, Ext: Dims{d.X, d.Y, 1}}
+		if err := src.Fill(r, slab); err != nil {
+			return err
+		}
+		for i, s := range slab {
+			binary.LittleEndian.PutUint32(buf[i*4:], floatBits(s))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// FileSource reads regions from a volume file with positioned reads,
+// without loading the whole volume.
+type FileSource struct {
+	f    *os.File
+	path string
+	dims Dims
+}
+
+// OpenFile opens a volume file as a Source.
+func OpenFile(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, fileHeaderSize)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("volume: reading header of %s: %w", path, err)
+	}
+	if string(hdr[:4]) != fileMagic {
+		f.Close()
+		return nil, fmt.Errorf("volume: %s is not a GVMR volume file", path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != fileVersion {
+		f.Close()
+		return nil, fmt.Errorf("volume: %s has unsupported version %d", path, v)
+	}
+	d := Dims{
+		X: int(binary.LittleEndian.Uint64(hdr[8:])),
+		Y: int(binary.LittleEndian.Uint64(hdr[16:])),
+		Z: int(binary.LittleEndian.Uint64(hdr[24:])),
+	}
+	if d.X <= 0 || d.Y <= 0 || d.Z <= 0 {
+		f.Close()
+		return nil, fmt.Errorf("volume: %s has invalid dims %v", path, d)
+	}
+	return &FileSource{f: f, path: path, dims: d}, nil
+}
+
+// Close releases the underlying file.
+func (s *FileSource) Close() error { return s.f.Close() }
+
+// Name implements Source.
+func (s *FileSource) Name() string { return s.path }
+
+// Dims implements Source.
+func (s *FileSource) Dims() Dims { return s.dims }
+
+// Fill implements Source using one positioned read per contiguous row run.
+func (s *FileSource) Fill(r Region, dst []float32) error {
+	if err := checkRegion(s.dims, r, len(dst)); err != nil {
+		return err
+	}
+	e := r.End()
+	rowBytes := r.Ext.X * 4
+	buf := make([]byte, rowBytes)
+	di := 0
+	for z := r.Org[2]; z < e[2]; z++ {
+		for y := r.Org[1]; y < e[1]; y++ {
+			off := int64(fileHeaderSize) +
+				((int64(z)*int64(s.dims.Y)+int64(y))*int64(s.dims.X)+int64(r.Org[0]))*4
+			if _, err := s.f.ReadAt(buf, off); err != nil {
+				return fmt.Errorf("volume: reading %s: %w", s.path, err)
+			}
+			for i := 0; i < r.Ext.X; i++ {
+				dst[di+i] = bitsFloat(binary.LittleEndian.Uint32(buf[i*4:]))
+			}
+			di += r.Ext.X
+		}
+	}
+	return nil
+}

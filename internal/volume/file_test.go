@@ -1,0 +1,92 @@
+package volume
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vol.gvmr")
+	r := rand.New(rand.NewSource(53))
+	v := randomVolume(r, Dims{7, 6, 5})
+	if err := WriteFile(path, NewVolumeSource(v, "t")); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if fs.Dims() != v.Dims {
+		t.Fatalf("dims = %v, want %v", fs.Dims(), v.Dims)
+	}
+	got, err := Materialize(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v.Data {
+		if got.Data[i] != v.Data[i] {
+			t.Fatalf("sample %d = %v, want %v", i, got.Data[i], v.Data[i])
+		}
+	}
+}
+
+func TestFileRegionRead(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vol.gvmr")
+	r := rand.New(rand.NewSource(59))
+	v := randomVolume(r, Dims{9, 8, 7})
+	if err := WriteFile(path, NewVolumeSource(v, "t")); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	reg := Region{Org: [3]int{2, 3, 1}, Ext: Dims{4, 3, 5}}
+	dst := make([]float32, reg.Ext.Voxels())
+	if err := fs.Fill(reg, dst); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	e := reg.End()
+	for z := reg.Org[2]; z < e[2]; z++ {
+		for y := reg.Org[1]; y < e[1]; y++ {
+			for x := reg.Org[0]; x < e[0]; x++ {
+				if dst[i] != v.At(x, y, z) {
+					t.Fatalf("region read mismatch at (%d,%d,%d)", x, y, z)
+				}
+				i++
+			}
+		}
+	}
+}
+
+func TestOpenFileRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.gvmr")
+	if err := os.WriteFile(path, []byte("NOTAVOLUMEFILE_PADDING_PADDING"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); err == nil {
+		t.Error("garbage file accepted")
+	}
+	if _, err := OpenFile(filepath.Join(dir, "missing.gvmr")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestOpenFileRejectsTruncatedHeader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "short.gvmr")
+	if err := os.WriteFile(path, []byte("GV"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); err == nil {
+		t.Error("truncated header accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package volume
+
+import "gvmr/internal/vec"
+
+// Space maps voxel coordinates to world coordinates. The volume is centered
+// at the world origin with its largest axis spanning exactly one world unit,
+// preserving aspect ratio (so a 512×512×2048 plume is a tall box).
+type Space struct {
+	Dims   Dims
+	scale  float32 // world units per voxel
+	center vec.V3  // voxel-space center
+}
+
+// NewSpace builds the canonical space for a volume of the given dims.
+func NewSpace(d Dims) Space {
+	m := max(d.X, max(d.Y, d.Z))
+	if m == 0 {
+		m = 1
+	}
+	return Space{
+		Dims:   d,
+		scale:  1 / float32(m),
+		center: vec.V3{X: float32(d.X) / 2, Y: float32(d.Y) / 2, Z: float32(d.Z) / 2},
+	}
+}
+
+// VoxelSize returns the world-space edge length of one voxel.
+func (s Space) VoxelSize() float32 { return s.scale }
+
+// VoxelToWorld converts a continuous voxel-space position to world space.
+func (s Space) VoxelToWorld(v vec.V3) vec.V3 {
+	return v.Sub(s.center).Scale(s.scale)
+}
+
+// WorldToVoxel converts a world-space position to continuous voxel space.
+func (s Space) WorldToVoxel(w vec.V3) vec.V3 {
+	return w.Scale(1 / s.scale).Add(s.center)
+}
+
+// Bounds returns the world-space box of the whole volume.
+func (s Space) Bounds() vec.AABB {
+	return s.RegionBounds(Region{Ext: s.Dims})
+}
+
+// RegionBounds returns the world-space box of a voxel region.
+func (s Space) RegionBounds(r Region) vec.AABB {
+	e := r.End()
+	lo := s.VoxelToWorld(vec.V3{X: float32(r.Org[0]), Y: float32(r.Org[1]), Z: float32(r.Org[2])})
+	hi := s.VoxelToWorld(vec.V3{X: float32(e[0]), Y: float32(e[1]), Z: float32(e[2])})
+	return vec.AABB{Min: lo, Max: hi}
+}

@@ -1,0 +1,143 @@
+// Package volume provides the volumetric-data substrate: dense float32
+// scalar fields, world-space mapping, brick decomposition with one-voxel
+// ghost layers (so trilinear sampling is seamless across brick borders),
+// streaming sources for out-of-core rendering, and a simple raw file format.
+//
+// Conventions: voxel (i,j,k) stores the field value at the continuous
+// voxel-space position (i+0.5, j+0.5, k+0.5); data is laid out x-fastest.
+package volume
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dims is the extent of a volume or region in voxels.
+type Dims struct {
+	X, Y, Z int
+}
+
+// Voxels returns the total voxel count.
+func (d Dims) Voxels() int64 { return int64(d.X) * int64(d.Y) * int64(d.Z) }
+
+// Bytes returns the storage size for float32 samples.
+func (d Dims) Bytes() int64 { return d.Voxels() * 4 }
+
+// String renders the dims as "XxYxZ".
+func (d Dims) String() string { return fmt.Sprintf("%dx%dx%d", d.X, d.Y, d.Z) }
+
+// Cube returns n×n×n dims.
+func Cube(n int) Dims { return Dims{n, n, n} }
+
+// Region is an axis-aligned voxel-index box [Org, Org+Ext).
+type Region struct {
+	Org [3]int
+	Ext Dims
+}
+
+// End returns the exclusive upper corner per axis.
+func (r Region) End() [3]int {
+	return [3]int{r.Org[0] + r.Ext.X, r.Org[1] + r.Ext.Y, r.Org[2] + r.Ext.Z}
+}
+
+// Contains reports whether the voxel index (x,y,z) lies in the region.
+func (r Region) Contains(x, y, z int) bool {
+	e := r.End()
+	return x >= r.Org[0] && x < e[0] && y >= r.Org[1] && y < e[1] && z >= r.Org[2] && z < e[2]
+}
+
+// Volume is a dense in-memory scalar field.
+type Volume struct {
+	Dims Dims
+	Data []float32 // x-fastest, length Dims.Voxels()
+}
+
+// New allocates a zero-filled volume.
+func New(d Dims) *Volume {
+	return &Volume{Dims: d, Data: make([]float32, d.Voxels())}
+}
+
+// index returns the linear index of voxel (x,y,z); no bounds check.
+func (v *Volume) index(x, y, z int) int {
+	return (z*v.Dims.Y+y)*v.Dims.X + x
+}
+
+// At returns the value of voxel (x,y,z).
+func (v *Volume) At(x, y, z int) float32 { return v.Data[v.index(x, y, z)] }
+
+// Set stores the value of voxel (x,y,z).
+func (v *Volume) Set(x, y, z int, val float32) { v.Data[v.index(x, y, z)] = val }
+
+// MinMax returns the minimum and maximum sample values. An empty volume
+// returns (0, 0).
+func (v *Volume) MinMax() (lo, hi float32) {
+	if len(v.Data) == 0 {
+		return 0, 0
+	}
+	lo, hi = v.Data[0], v.Data[0]
+	for _, s := range v.Data {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	return lo, hi
+}
+
+// clampIdx clamps i into [0, n-1].
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// Sample trilinearly interpolates the field at the continuous voxel-space
+// position (px,py,pz), clamping at the boundary (CUDA's clamp-to-edge
+// texture addressing).
+func (v *Volume) Sample(px, py, pz float32) float32 {
+	return trilinear(v.Data, v.Dims, px, py, pz)
+}
+
+// trilinear is the shared sampling routine used by Volume and BrickData.
+func trilinear(data []float32, d Dims, px, py, pz float32) float32 {
+	qx := float64(px) - 0.5
+	qy := float64(py) - 0.5
+	qz := float64(pz) - 0.5
+	x0f := math.Floor(qx)
+	y0f := math.Floor(qy)
+	z0f := math.Floor(qz)
+	fx := float32(qx - x0f)
+	fy := float32(qy - y0f)
+	fz := float32(qz - z0f)
+	x0 := clampIdx(int(x0f), d.X)
+	y0 := clampIdx(int(y0f), d.Y)
+	z0 := clampIdx(int(z0f), d.Z)
+	x1 := clampIdx(int(x0f)+1, d.X)
+	y1 := clampIdx(int(y0f)+1, d.Y)
+	z1 := clampIdx(int(z0f)+1, d.Z)
+
+	row := d.X
+	slab := d.X * d.Y
+	c000 := data[z0*slab+y0*row+x0]
+	c100 := data[z0*slab+y0*row+x1]
+	c010 := data[z0*slab+y1*row+x0]
+	c110 := data[z0*slab+y1*row+x1]
+	c001 := data[z1*slab+y0*row+x0]
+	c101 := data[z1*slab+y0*row+x1]
+	c011 := data[z1*slab+y1*row+x0]
+	c111 := data[z1*slab+y1*row+x1]
+
+	c00 := c000 + (c100-c000)*fx
+	c10 := c010 + (c110-c010)*fx
+	c01 := c001 + (c101-c001)*fx
+	c11 := c011 + (c111-c011)*fx
+	c0 := c00 + (c10-c00)*fy
+	c1 := c01 + (c11-c01)*fy
+	return c0 + (c1-c0)*fz
+}
