@@ -200,9 +200,30 @@ func benchScene(b *testing.B, edge int) (*camera.Camera, volume.Space, *volume.B
 }
 
 // BenchmarkHostCastPixel measures the host's real ray-casting throughput
-// (the per-thread body of the map kernel).
+// (the per-thread body of the map kernel). Params are prepared once, as
+// Kernel does per brick — the per-ray light normalisation and per-sample
+// opacity-correction pow are hoisted out by Params.Prepare.
 func BenchmarkHostCastPixel(b *testing.B) {
 	cam, sp, bd, prm := benchScene(b, 64)
+	prm = prm.Prepare()
+	var samples int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		px := 64 + i%128
+		py := 64 + (i/128)%128
+		_, s := render.CastPixel(cam, sp, bd, prm, px, py)
+		samples += s
+	}
+	b.ReportMetric(float64(samples)/float64(b.N), "samples/ray")
+}
+
+// BenchmarkHostCastPixelFineStep is the same ray at StepVoxels = 0.5,
+// where every sample used to pay a math.Pow opacity correction that is
+// now folded into the prepared transfer table.
+func BenchmarkHostCastPixelFineStep(b *testing.B) {
+	cam, sp, bd, prm := benchScene(b, 64)
+	prm.StepVoxels = 0.5
+	prm = prm.Prepare()
 	var samples int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"gvmr/internal/experiments"
+	"gvmr/internal/volume"
 )
 
 func main() {
@@ -132,4 +133,11 @@ func main() {
 	if need("zerocopy") {
 		fmt.Println(experiments.ZeroCopy(sc))
 	}
+
+	// The sweep and the figure renders share dataset synthesis through the
+	// process-wide staging cache; show how much re-synthesis it absorbed.
+	st := volume.Cache.Stats()
+	fmt.Printf("staging cache: %d materialisations, %d cached stages, %d evictions, %.2f GiB in use (cap %.0f GiB)\n",
+		st.Materialisations, st.Hits, st.Evictions,
+		float64(st.BytesInUse)/(1<<30), float64(st.Capacity)/(1<<30))
 }

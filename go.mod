@@ -1,0 +1,3 @@
+module gvmr
+
+go 1.24

@@ -162,3 +162,13 @@ func OpenVolumeFile(path string) (*volume.FileSource, error) {
 func WrapVolume(v *volume.Volume, tag string) Source {
 	return volume.NewVolumeSource(v, tag)
 }
+
+// StagingCacheStats reports the process-wide volume staging cache
+// counters: analytic sources are materialised once per identity and every
+// later brick stage is served as a zero-copy view (see internal/volume).
+// Set GVMR_STAGING_BYTES to resize the cache ("0" or "off" disables), or
+// Options.NoStagingCache to bypass it for one render.
+func StagingCacheStats() volume.CacheStats { return volume.Cache.Stats() }
+
+// FlushStagingCache drops every cached volume, releasing its memory.
+func FlushStagingCache() { volume.Cache.Flush() }

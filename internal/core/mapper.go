@@ -45,7 +45,7 @@ func (m *rayCastMapper) Init(p mapreduce.Ctx, w *mapreduce.Worker) error {
 // real data production happens here (array copy, analytic evaluation, or
 // file read).
 func (m *rayCastMapper) Stage(p mapreduce.Ctx, w *mapreduce.Worker, c mapreduce.Chunk) (*volume.BrickData, error) {
-	return volume.FillBrick(m.src, c.(brickChunk).brick)
+	return volume.StageBrick(m.src, c.(brickChunk).brick)
 }
 
 // Map implements mapreduce.Mapper.

@@ -86,6 +86,11 @@ type Options struct {
 	// FromDisk streams bricks through the simulated disk (out-of-core).
 	FromDisk bool
 
+	// NoStagingCache disables the process-wide volume staging cache for
+	// this render: every brick stage re-evaluates the source (the pre-cache
+	// behavior, useful for benchmarking synthesis itself).
+	NoStagingCache bool
+
 	// InSitu models the §7 in-situ pipeline: bricks are already resident
 	// on the cluster's nodes (produced by a co-located simulation,
 	// distributed round-robin across nodes), workers are scheduled with

@@ -67,12 +67,20 @@ func Render(cl *cluster.Cluster, opt Options) (*Result, error) {
 			cam.Width, cam.Height, opt.Width, opt.Height)
 	}
 
+	// Brick staging reads through the process-wide staging cache: the
+	// source is materialised at most once per identity and every Stage
+	// call becomes a row-wise copy (virtual disk/PCIe time is still
+	// charged by the engine as configured).
+	src := opt.Source
+	if !opt.NoStagingCache {
+		src = volume.Cached(src)
+	}
 	var sampler render.SampleFn
 	if opt.Sampler == Slicing {
 		sampler = render.CastPixelSlicing
 	}
 	mapper := &rayCastMapper{
-		src:     opt.Source,
+		src:     src,
 		grid:    grid,
 		cam:     cam,
 		prm:     opt.renderParams(),

@@ -35,6 +35,11 @@ func RenderSequence(cl *cluster.Cluster, opt Options, frames int, orbitDegrees f
 	if err := opt.fillDefaults(); err != nil {
 		return nil, err
 	}
+	// Cross-frame staging reuse needs no wiring here: Render routes every
+	// frame's source through the process-wide staging cache (keyed by
+	// source identity), so the field is evaluated for frame 0 and frames
+	// 1..n-1 stage out of the same materialised volume — see
+	// TestRenderSequenceMaterialisesSourceOnce.
 	sp := volume.NewSpace(opt.Source.Dims())
 	base, err := camera.Fit(sp.Bounds(), opt.Width, opt.Height)
 	if err != nil {

@@ -127,7 +127,7 @@ func (t *Texture3D) Free() { t.Buf.dev.Free(t.Buf) }
 // 3D-texture uploads were synchronous at the time — the paper calls this
 // out explicitly (§3.1.2, Chunk).
 func (d *Device) UploadTexture3D(p *sim.Proc, bd *volume.BrickData) (*Texture3D, error) {
-	bytes := int64(len(bd.Data)) * 4
+	bytes := bd.Bytes()
 	buf, err := d.Alloc(bytes)
 	if err != nil {
 		return nil, err

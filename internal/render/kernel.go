@@ -48,7 +48,7 @@ func NewKernel(cam *camera.Camera, sp volume.Space, tex *gpu.Texture3D, prm Para
 		Cam:   cam,
 		Space: sp,
 		Tex:   tex,
-		Prm:   prm,
+		Prm:   prm.Prepare(),
 		FP:    fp,
 		Out:   make([]composite.Fragment, grid.Count()*BlockDim*BlockDim),
 		grid:  grid,

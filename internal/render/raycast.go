@@ -11,6 +11,7 @@ package render
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"gvmr/internal/camera"
 	"gvmr/internal/composite"
@@ -38,6 +39,89 @@ type Params struct {
 	// Light is the world-space directional light used when Shading is
 	// set; zero means the default oblique light.
 	Light vec.V3
+
+	// Prepared by Prepare(): per-Params constants hoisted out of the
+	// per-ray and per-sample paths. Zero-value Params still work — the
+	// samplers call Prepare lazily — but kernels prepare once up front.
+	// The prep* fields snapshot the inputs the constants were derived
+	// from, so mutating a prepared Params re-derives instead of silently
+	// using stale constants.
+	prepared  bool
+	prepStep  float32
+	prepLight vec.V3
+	prepTF    *transfer.Func
+	lightNorm vec.V3         // normalised Light (or the default light)
+	tfStep    *transfer.Func // opacity-corrected TF when StepVoxels != 1
+}
+
+// tfStepCache memoises opacity-corrected transfer tables per
+// (*transfer.Func, step), so samplers called per pixel with unprepared
+// Params don't rebuild the table per ray. Like the rest of the renderer
+// it assumes a transfer function's Table is not mutated after first use
+// (transfer.Func documents this). The memo is bounded: workloads that
+// build fresh TFs per frame roll it over instead of growing it for the
+// process lifetime — a rollover only costs rebuilding a small table.
+var tfStepCache = struct {
+	sync.Mutex
+	m map[tfStepKey]*transfer.Func
+}{m: map[tfStepKey]*transfer.Func{}}
+
+const tfStepCacheMax = 64
+
+type tfStepKey struct {
+	tf   *transfer.Func
+	step float32
+}
+
+func correctedTF(tf *transfer.Func, step float32) *transfer.Func {
+	key := tfStepKey{tf: tf, step: step}
+	tfStepCache.Lock()
+	c, ok := tfStepCache.m[key]
+	tfStepCache.Unlock()
+	if ok {
+		return c
+	}
+	c = tf.OpacityCorrected(step)
+	tfStepCache.Lock()
+	if len(tfStepCache.m) >= tfStepCacheMax {
+		tfStepCache.m = map[tfStepKey]*transfer.Func{}
+	}
+	tfStepCache.m[key] = c
+	tfStepCache.Unlock()
+	return c
+}
+
+// Prepare returns p with its derived per-Params constants computed: the
+// normalised light direction and, for non-unit steps, the transfer
+// function with opacity correction folded into its table (replacing a
+// math.Pow per sample with nothing). Kernels call it once per brick;
+// calling CastPixel directly with unprepared Params still works and
+// prepares on the fly (the corrected table is memoised process-wide).
+func (p Params) Prepare() Params {
+	if p.prepared && p.prepTF == p.TF && p.prepStep == p.StepVoxels && p.prepLight == p.Light {
+		return p
+	}
+	light := p.Light
+	if light == (vec.V3{}) {
+		light = vec.New3(0.5, 0.8, 0.6)
+	}
+	p.lightNorm = light.Norm()
+	p.tfStep = nil
+	if p.TF != nil && p.StepVoxels > 0 && p.StepVoxels != 1 {
+		p.tfStep = correctedTF(p.TF, p.StepVoxels)
+	}
+	p.prepared = true
+	p.prepTF, p.prepStep, p.prepLight = p.TF, p.StepVoxels, p.Light
+	return p
+}
+
+// lookupTF returns the transfer function the sampler should use: the
+// opacity-corrected table for non-unit steps, else the original.
+func (p *Params) lookupTF() *transfer.Func {
+	if p.tfStep != nil {
+		return p.tfStep
+	}
+	return p.TF
 }
 
 // shadeAmbient and shadeDiffuse weight the two lighting terms.
@@ -86,18 +170,16 @@ func CastPixel(cam *camera.Camera, sp volume.Space, bd *volume.BrickData, prm Pa
 	if k < 0 {
 		k = 0
 	}
-	// Opacity correction for non-unit steps keeps appearance stable when
-	// the step size changes; at StepVoxels == 1 it is exact lookup.
-	correct := prm.StepVoxels != 1
-	light := prm.Light
-	if light == (vec.V3{}) {
-		light = vec.New3(0.5, 0.8, 0.6)
-	}
-	light = light.Norm()
+	// Per-Params constants (normalised light, opacity-corrected transfer
+	// table for non-unit steps) are hoisted out of the per-ray path;
+	// kernels prepare once per brick.
+	prm = prm.Prepare()
+	tf := prm.lookupTF()
 
 	acc := vec.V4{}
 	var samples int64
-	entry := float32(math.Inf(1))
+	// entry < 0 marks "no contributing sample yet"; t is never negative.
+	entry := float32(-1)
 	for {
 		t := (float32(k) + 0.5) * step
 		if t >= t1 {
@@ -106,22 +188,19 @@ func CastPixel(cam *camera.Camera, sp volume.Space, bd *volume.BrickData, prm Pa
 		pos := sp.WorldToVoxel(ray.At(t))
 		s := bd.Sample(pos.X, pos.Y, pos.Z)
 		samples++
-		c := prm.TF.Lookup(s)
+		c := tf.Lookup(s)
 		if c.W > 0 {
-			if entry == float32(math.Inf(1)) {
+			if entry < 0 {
 				entry = t
 			}
 			if prm.Shading {
-				shade := shadeAt(bd, pos, light)
+				shade := shadeAt(bd, pos, prm.lightNorm)
 				samples += 6
 				c.X *= shade
 				c.Y *= shade
 				c.Z *= shade
 			}
 			a := c.W
-			if correct {
-				a = 1 - float32(math.Pow(float64(1-a), float64(prm.StepVoxels)))
-			}
 			// Premultiply and accumulate front to back.
 			acc = composite.Under(acc, vec.V4{X: c.X * a, Y: c.Y * a, Z: c.Z * a, W: a})
 			if acc.W >= prm.TerminationAlpha {
@@ -135,7 +214,7 @@ func CastPixel(cam *camera.Camera, sp volume.Space, bd *volume.BrickData, prm Pa
 	}
 	// Depth is the brick entry point along the ray: fragments of one ray
 	// across disjoint bricks sort correctly by it.
-	if entry == float32(math.Inf(1)) {
+	if entry < 0 {
 		entry = t0
 	}
 	return composite.Fragment{

@@ -15,6 +15,7 @@ func Reference(cam *camera.Camera, src volume.Source, prm Params, background vec
 	if err := prm.Validate(); err != nil {
 		return nil, err
 	}
+	prm = prm.Prepare()
 	grid, err := volume.MakeGrid(src.Dims(), [3]int{1, 1, 1})
 	if err != nil {
 		return nil, err

@@ -384,3 +384,29 @@ func TestShadeAtHomogeneousRegion(t *testing.T) {
 		t.Errorf("homogeneous shade = %v, want 1 (no surface)", got)
 	}
 }
+
+func TestPrepareDetectsMutation(t *testing.T) {
+	// Mutating a prepared Params (copy) must re-derive the hoisted
+	// constants instead of silently reusing stale ones.
+	src, cam, prm := testScene(t, 16, 24)
+	bd, sp := wholeBrick(t, src)
+	coarse := prm.Prepare()
+	fine := coarse
+	fine.StepVoxels = 0.25
+	fragMutated, sMutated := CastPixel(cam, sp, bd, fine, 12, 12)
+	fresh := prm
+	fresh.StepVoxels = 0.25
+	fragFresh, sFresh := CastPixel(cam, sp, bd, fresh, 12, 12)
+	if sMutated != sFresh {
+		t.Fatalf("mutated-after-Prepare took %d samples, fresh params %d", sMutated, sFresh)
+	}
+	if fragMutated != fragFresh {
+		t.Fatalf("mutated-after-Prepare fragment %+v != fresh %+v", fragMutated, fragFresh)
+	}
+	// And the finer step must actually differ from the coarse one.
+	fragCoarse, sCoarse := CastPixel(cam, sp, bd, coarse, 12, 12)
+	if sCoarse >= sFresh {
+		t.Fatalf("fine step took %d samples, coarse %d; mutation ignored?", sFresh, sCoarse)
+	}
+	_ = fragCoarse
+}

@@ -63,10 +63,11 @@ func CastPixelSlicing(cam *camera.Camera, sp volume.Space, bd *volume.BrickData,
 		dk = -1
 	}
 
+	prm = prm.Prepare()
+	tf := prm.lookupTF()
 	acc := vec.V4{}
 	var samples int64
-	entry := float32(math.Inf(1))
-	correct := prm.StepVoxels != 1
+	entry := float32(-1) // no contributing sample yet; t ≥ 0 on this path
 	maxPlanes := int64(4 * (sp.Dims.X + sp.Dims.Y + sp.Dims.Z))
 	for iter := int64(0); ; iter++ {
 		if iter > maxPlanes {
@@ -83,15 +84,12 @@ func CastPixelSlicing(cam *camera.Camera, sp volume.Space, bd *volume.BrickData,
 		pos := sp.WorldToVoxel(ray.At(t))
 		s := bd.Sample(pos.X, pos.Y, pos.Z)
 		samples++
-		c := prm.TF.Lookup(s)
+		c := tf.Lookup(s)
 		if c.W > 0 {
-			if math.IsInf(float64(entry), 1) {
+			if entry < 0 {
 				entry = t
 			}
 			a := c.W
-			if correct {
-				a = 1 - float32(math.Pow(float64(1-a), float64(prm.StepVoxels)))
-			}
 			acc = composite.Under(acc, vec.V4{X: c.X * a, Y: c.Y * a, Z: c.Z * a, W: a})
 			if acc.W >= prm.TerminationAlpha {
 				break
@@ -102,7 +100,7 @@ func CastPixelSlicing(cam *camera.Camera, sp volume.Space, bd *volume.BrickData,
 	if acc.W == 0 {
 		return composite.Placeholder(key), samples
 	}
-	if math.IsInf(float64(entry), 1) {
+	if entry < 0 {
 		entry = t0
 	}
 	return composite.Fragment{Key: key, R: acc.X, G: acc.Y, B: acc.Z, A: acc.W, Depth: entry}, samples

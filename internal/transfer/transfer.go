@@ -5,6 +5,7 @@ package transfer
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"gvmr/internal/vec"
@@ -12,7 +13,9 @@ import (
 
 // Func is a sampled transfer function over the domain [0,1]. Lookup
 // interpolates linearly between table entries, like a linearly-filtered 1D
-// texture.
+// texture. Treat Table as immutable once the function is in use: the
+// renderer caches per-Func derived tables (opacity correction), so edits
+// should build a new Func instead of mutating the slice in place.
 type Func struct {
 	Table []vec.V4
 }
@@ -93,6 +96,24 @@ func (f *Func) Lookup(s float32) vec.V4 {
 	}
 	t := pos - float32(i)
 	return f.Table[i].Lerp(f.Table[i+1], t)
+}
+
+// OpacityCorrected returns a copy of f with every table entry's alpha
+// replaced by the step-size opacity correction 1-(1-a)^step (colors are
+// unchanged, straight alpha). Ray casters use it to precompute the
+// correction once per table entry instead of calling math.Pow per sample;
+// because both tables are interpolated piecewise-linearly, corrected
+// lookups differ from correcting an interpolated alpha only within a
+// table cell, which is below perceptual tolerance for the ≥64-entry
+// tables the presets use. An entry's alpha is 0 or 1 exactly when the
+// original's is, so empty-space and saturation behavior are preserved.
+func (f *Func) OpacityCorrected(step float32) *Func {
+	table := make([]vec.V4, len(f.Table))
+	for i, c := range f.Table {
+		c.W = 1 - float32(math.Pow(float64(1-c.W), float64(step)))
+		table[i] = c
+	}
+	return &Func{Table: table}
 }
 
 // MaxAlpha returns the largest alpha in the table; a fully transparent

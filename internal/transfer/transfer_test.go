@@ -1,6 +1,7 @@
 package transfer
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -147,5 +148,36 @@ func TestLookupBoundedProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestOpacityCorrectedEquivalence bounds the difference between the
+// precomputed table correction (correct alphas, then interpolate) and the
+// exact per-sample correction (interpolate, then pow) the ray caster used
+// to compute: both are piecewise-linear approximations of the same smooth
+// curve, so they may only diverge within one table cell.
+func TestOpacityCorrectedEquivalence(t *testing.T) {
+	for _, name := range []string{"skull", "supernova", "plume"} {
+		f, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, step := range []float32{0.25, 0.5, 2, 4} {
+			corrected := f.OpacityCorrected(step)
+			for i := 0; i <= 4096; i++ {
+				s := float32(i) / 4096
+				exact := 1 - float32(math.Pow(float64(1-f.Lookup(s).W), float64(step)))
+				got := corrected.Lookup(s).W
+				if d := math.Abs(float64(got - exact)); d > 0.01 {
+					t.Fatalf("%s step %v at s=%v: corrected %v vs exact %v (|Δ|=%v)",
+						name, step, s, got, exact, d)
+				}
+				// Empty space must stay exactly empty: the c.W > 0
+				// contribution gate depends on it.
+				if exact == 0 != (got == 0) {
+					t.Fatalf("%s step %v at s=%v: zero-alpha preservation broken", name, step, s)
+				}
+			}
+		}
 	}
 }

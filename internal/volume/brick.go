@@ -142,10 +142,25 @@ func factorScore(d Dims, c [3]int) float64 {
 }
 
 // BrickData is a brick's ghost-region voxel data, materialised for upload
-// to a (simulated) GPU 3D texture.
+// to a (simulated) GPU 3D texture. It is either copy-backed (Data holds
+// the ghost region) or view-backed (full/fullDims reference a dense
+// volume, the staging cache's zero-copy path); both sample identically.
 type BrickData struct {
 	Brick Brick
-	Data  []float32 // ghost region, x-fastest
+	Data  []float32 // ghost region, x-fastest; nil when view-backed
+	// View backing: the whole volume's data, indexed through the ghost
+	// region. Sampling arithmetic is bit-identical to the copied layout.
+	full     []float32
+	fullDims Dims
+}
+
+// Bytes returns the ghost-region payload size regardless of backing: the
+// held data for copy-backed bricks, the ghost extent for views.
+func (bd *BrickData) Bytes() int64 {
+	if bd.Data != nil {
+		return int64(len(bd.Data)) * 4
+	}
+	return bd.Brick.Bytes()
 }
 
 // FillBrick materialises a brick's ghost region from a source.
@@ -157,12 +172,57 @@ func FillBrick(src Source, b Brick) (*BrickData, error) {
 	return bd, nil
 }
 
+// ViewBrick returns a BrickData that samples the brick's ghost region
+// directly out of a dense volume without copying it.
+func ViewBrick(v *Volume, b Brick) *BrickData {
+	return &BrickData{Brick: b, full: v.Data, fullDims: v.Dims}
+}
+
+// StageBrick materialises a brick's ghost region from a source like
+// FillBrick, but serves a zero-copy view when the source is backed by a
+// dense volume — a staging-cached source (materialising it on first use)
+// or an in-memory VolumeSource. The render path stages bricks through
+// this: with the cache warm, staging allocates and copies nothing. If
+// the cache budget is saturated by in-flight work, it falls back to the
+// lazy per-brick fill.
+func StageBrick(src Source, b Brick) (*BrickData, error) {
+	switch s := src.(type) {
+	case *CachedSource:
+		v, ok, err := s.cache.volumeFor(s.src)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return FillBrick(s.src, b)
+		}
+		return viewBrickChecked(v, b)
+	case *VolumeSource:
+		return viewBrickChecked(s.V, b)
+	}
+	return FillBrick(src, b)
+}
+
+// viewBrickChecked validates the ghost region against the volume before
+// building a view, matching the stage-time error FillBrick would have
+// returned (instead of an index panic at sample time).
+func viewBrickChecked(v *Volume, b Brick) (*BrickData, error) {
+	if err := checkRegion(v.Dims, b.Ghost, int(b.Ghost.Ext.Voxels())); err != nil {
+		return nil, err
+	}
+	return ViewBrick(v, b), nil
+}
+
 // Sample trilinearly interpolates at the continuous *volume* voxel-space
 // position (px,py,pz). For positions inside the brick core this returns
 // exactly the same value as Volume.Sample on the full volume — the ghost
 // layer guarantees it (see tests).
 func (bd *BrickData) Sample(px, py, pz float32) float32 {
 	o := bd.Brick.Ghost.Org
-	return trilinear(bd.Data, bd.Brick.Ghost.Ext,
-		px-float32(o[0]), py-float32(o[1]), pz-float32(o[2]))
+	lx := px - float32(o[0])
+	ly := py - float32(o[1])
+	lz := pz - float32(o[2])
+	if bd.full != nil {
+		return trilinearAt(bd.full, bd.fullDims, bd.Brick.Ghost, lx, ly, lz)
+	}
+	return trilinear(bd.Data, bd.Brick.Ghost.Ext, lx, ly, lz)
 }

@@ -1,0 +1,292 @@
+package volume
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func testField(x, y, z float64) float32 {
+	return float32(x*0.5 + y*0.3 + z*0.2)
+}
+
+// countingSource wraps a FuncSource and counts Fill calls, to observe how
+// often the underlying field is actually evaluated.
+type countingSource struct {
+	*FuncSource
+	fills atomic.Int64
+}
+
+func (s *countingSource) Fill(r Region, dst []float32) error {
+	s.fills.Add(1)
+	return s.FuncSource.Fill(r, dst)
+}
+
+// TestCachedBrickFillEquivalence is the staging-cache correctness
+// contract: brick fills served from the cache are bit-identical to direct
+// fills, and view-backed bricks sample bit-identically to copy-backed
+// ones over core, ghost, and out-of-ghost (clamped) positions.
+func TestCachedBrickFillEquivalence(t *testing.T) {
+	d := Dims{X: 17, Y: 13, Z: 11}
+	direct := NewFuncSource("cache-equiv", d, testField)
+	cache := NewStagingCache(1 << 20)
+	cached := cache.Wrap(direct)
+	if _, ok := cached.(*CachedSource); !ok {
+		t.Fatalf("Wrap returned %T, want *CachedSource", cached)
+	}
+	g, err := MakeGrid(d, [3]int{3, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	for _, b := range g.Bricks {
+		want, err := FillBrick(direct, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := FillBrick(cached, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("brick %d voxel %d: cached %v != direct %v",
+					b.ID, i, got.Data[i], want.Data[i])
+			}
+		}
+		view, err := StageBrick(cached, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.Data != nil {
+			t.Fatalf("brick %d: StageBrick through cache should be view-backed", b.ID)
+		}
+		// Sample over the ghost region and slightly beyond (clamping).
+		o, e := b.Ghost.Org, b.Ghost.End()
+		for i := 0; i < 500; i++ {
+			px := float32(o[0]) - 1 + r.Float32()*float32(e[0]-o[0]+2)
+			py := float32(o[1]) - 1 + r.Float32()*float32(e[1]-o[1]+2)
+			pz := float32(o[2]) - 1 + r.Float32()*float32(e[2]-o[2]+2)
+			if w, v := want.Sample(px, py, pz), view.Sample(px, py, pz); w != v {
+				t.Fatalf("brick %d at (%v,%v,%v): view %v != copy %v", b.ID, px, py, pz, v, w)
+			}
+		}
+	}
+	st := cache.Stats()
+	if st.Materialisations != 1 {
+		t.Errorf("materialisations = %d, want 1", st.Materialisations)
+	}
+	if st.BytesInUse != d.Bytes() {
+		t.Errorf("bytes in use = %d, want %d", st.BytesInUse, d.Bytes())
+	}
+}
+
+// TestCacheMaterialisesOnceUnderConcurrency hammers one cache from many
+// goroutines (run with -race) and checks single materialisation.
+func TestCacheMaterialisesOnceUnderConcurrency(t *testing.T) {
+	d := Dims{X: 32, Y: 32, Z: 32}
+	under := &countingSource{FuncSource: NewFuncSource("cache-conc", d, testField)}
+	cache := NewStagingCache(1 << 24)
+	g, err := MakeGrid(d, [3]int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := cache.Wrap(under)
+			for _, b := range g.Bricks {
+				bd, err := FillBrick(src, b)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if bd.Data[0] != testField(
+					(float64(b.Ghost.Org[0])+0.5)/float64(d.X),
+					(float64(b.Ghost.Org[1])+0.5)/float64(d.Y),
+					(float64(b.Ghost.Org[2])+0.5)/float64(d.Z)) {
+					errs <- fmt.Errorf("brick %d: wrong data", b.ID)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := under.fills.Load(); n != 1 {
+		t.Errorf("underlying Fill called %d times, want exactly 1", n)
+	}
+	if st := cache.Stats(); st.Materialisations != 1 {
+		t.Errorf("materialisations = %d, want 1", st.Materialisations)
+	}
+}
+
+// TestCacheEvictionAndBypass exercises the bounded-memory policy: LRU
+// entries are evicted to fit the budget, sources beyond the budget bypass
+// the cache entirely, and opted-out or already-dense sources pass through.
+func TestCacheEvictionAndBypass(t *testing.T) {
+	small := Dims{X: 16, Y: 16, Z: 16} // 16 KiB
+	cache := NewStagingCache(3 * small.Bytes())
+	fill := func(tag string) {
+		src := cache.Wrap(NewFuncSource(tag, small, testField))
+		dst := make([]float32, small.Voxels())
+		if err := src.Fill(Region{Ext: small}, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		fill(fmt.Sprintf("evict-%d", i))
+	}
+	st := cache.Stats()
+	if st.BytesInUse > cache.Capacity() {
+		t.Errorf("bytes in use %d over capacity %d", st.BytesInUse, cache.Capacity())
+	}
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	// LRU: the oldest entries were dropped, the newest survive.
+	fill("evict-4")
+	if st2 := cache.Stats(); st2.Hits != st.Hits+1 {
+		t.Errorf("most recent entry was evicted (hits %d -> %d)", st.Hits, st2.Hits)
+	}
+	fill("evict-0")
+	if st2 := cache.Stats(); st2.Materialisations != st.Materialisations+1 {
+		t.Errorf("oldest entry should have been re-materialised")
+	}
+
+	// A source bigger than the whole budget bypasses the cache.
+	huge := NewFuncSource("huge", Dims{X: 64, Y: 64, Z: 64}, testField)
+	if s := cache.Wrap(huge); s != Source(huge) {
+		t.Errorf("over-budget source should bypass the cache, got %T", s)
+	}
+	// Explicit opt-out.
+	out := NewFuncSource("optout", small, testField)
+	out.NoCache = true
+	if s := cache.Wrap(out); s != Source(out) {
+		t.Errorf("opted-out source should bypass the cache, got %T", s)
+	}
+	// Already-dense volumes pass through.
+	vs := NewVolumeSource(New(small), "dense")
+	if s := cache.Wrap(vs); s != Source(vs) {
+		t.Errorf("VolumeSource should bypass the cache, got %T", s)
+	}
+	// Wrapping is idempotent.
+	c1 := cache.Wrap(NewFuncSource("idem", small, testField))
+	if c2 := cache.Wrap(c1); c2 != c1 {
+		t.Errorf("re-wrapping a cached source should be a no-op")
+	}
+	// A disabled cache is the identity.
+	var nilCache *StagingCache
+	src := NewFuncSource("nilwrap", small, testField)
+	if s := nilCache.Wrap(src); s != Source(src) {
+		t.Error("nil cache should pass sources through")
+	}
+	if s := NewStagingCache(0).Wrap(src); s != Source(src) {
+		t.Error("zero-capacity cache should pass sources through")
+	}
+}
+
+// TestCacheHitSurvivesConcurrentEviction churns a capacity-one cache
+// with two competing sources from many goroutines (run with -race): a
+// hit whose entry is evicted mid-flight must still return the volume it
+// found, never (nil, nil). Regression test for eviction mutating entries
+// that concurrent hitters hold.
+func TestCacheHitSurvivesConcurrentEviction(t *testing.T) {
+	d := Dims{X: 8, Y: 8, Z: 8}
+	cache := NewStagingCache(d.Bytes()) // room for exactly one volume
+	g, err := MakeGrid(d, [3]int{2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := cache.Wrap(NewFuncSource(fmt.Sprintf("churn-%d", w%2), d, testField))
+			for i := 0; i < 200; i++ {
+				bd, err := StageBrick(src, g.Bricks[i%2])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if bd.Sample(1, 1, 1) != bd.Sample(1, 1, 1) {
+					errs <- fmt.Errorf("unstable sample")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Evictions == 0 {
+		t.Error("churn produced no evictions; test is not exercising the race")
+	}
+}
+
+// TestParseBytes covers the GVMR_STAGING_BYTES grammar, including the
+// fail-safe rejection of garbage.
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"off", 0, true},
+		{" OFF ", 0, true},
+		{"1024", 1024, true},
+		{"2G", 2 << 30, true},
+		{"2g", 2 << 30, true},
+		{"512MiB", 512 << 20, true},
+		{"3kb", 3 << 10, true},
+		{"1T", 1 << 40, true},
+		{"-1", 0, false},
+		{"garbage", 0, false},
+		{"2GG", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseBytes(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestCacheFlush drops entries and releases accounted bytes.
+func TestCacheFlush(t *testing.T) {
+	d := Dims{X: 8, Y: 8, Z: 8}
+	cache := NewStagingCache(1 << 20)
+	src := cache.Wrap(NewFuncSource("flush", d, testField))
+	dst := make([]float32, d.Voxels())
+	if err := src.Fill(Region{Ext: d}, dst); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.BytesInUse == 0 {
+		t.Fatal("nothing cached")
+	}
+	cache.Flush()
+	if st := cache.Stats(); st.BytesInUse != 0 {
+		t.Errorf("bytes in use after flush = %d", st.BytesInUse)
+	}
+	// Still serves correctly after a flush (re-materialises).
+	if err := src.Fill(Region{Ext: d}, dst); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Materialisations != 2 {
+		t.Errorf("materialisations = %d, want 2", st.Materialisations)
+	}
+}

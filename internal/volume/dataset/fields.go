@@ -19,20 +19,24 @@ const (
 func Names() []string { return []string{Skull, Supernova, Plume} }
 
 // New returns a streaming Source for the named dataset at the given dims.
-// Values are in [0,1].
+// Values are in [0,1]. The source carries both the exact per-voxel
+// reference field and the row-batched fast evaluator Fill uses (see
+// fastFieldTolerance); its tag embeds name and dims, so it is safe to
+// share through the volume staging cache.
 func New(name string, d volume.Dims) (volume.Source, error) {
 	var f volume.Field
+	var rows volume.RowFiller
 	switch strings.ToLower(name) {
 	case Skull:
-		f = SkullField
+		f, rows = SkullField, SkullRows
 	case Supernova:
-		f = SupernovaField
+		f, rows = SupernovaField, SupernovaRows
 	case Plume:
-		f = PlumeField
+		f, rows = PlumeField, PlumeRows
 	default:
 		return nil, fmt.Errorf("dataset: unknown dataset %q (have %v)", name, Names())
 	}
-	return volume.NewFuncSource(fmt.Sprintf("%s-%s", name, d), d, f), nil
+	return volume.NewFuncSourceRows(fmt.Sprintf("%s-%s", name, d), d, f, rows), nil
 }
 
 // PaperDims returns the resolution the paper stores the named dataset at,
@@ -92,7 +96,7 @@ func SkullField(x, y, z float64) float32 {
 		q := rx*rx/(e.ax*e.ax) + ry*ry/(e.ay*e.ay) + dz*dz/(e.az*e.az)
 		// Smooth membership: 1 well inside, 0 well outside, C1 falloff
 		// across q ∈ [1-w, 1+w].
-		const w = 0.08
+		const w = shellW
 		switch {
 		case q <= 1-w:
 			sum += e.val

@@ -1,0 +1,309 @@
+package dataset
+
+import (
+	"math"
+	"sync"
+)
+
+// This file holds the row-batched fast evaluators for the three datasets:
+// the volume.RowFiller implementations FuncSource.Fill uses. They hoist
+// everything that is constant along an x-row (trig, per-ellipsoid terms,
+// radial offsets), evaluate fbm noise incrementally across the lattice,
+// replace math.Exp with the polynomial expNeg, and skip provably-empty
+// voxels — together they make first-time materialisation of a dataset
+// roughly an order of magnitude faster than per-voxel Field calls.
+//
+// They are fast-math: results may differ from the exact reference fields
+// (SkullField, SupernovaField, PlumeField) by up to fastFieldTolerance,
+// and values the reference puts below zeroCutoff may be flushed to zero.
+// TestRowsMatchReferenceFields enforces both bounds.
+
+// fastFieldTolerance bounds |row-evaluated − reference| per voxel, except
+// within fastFieldTolerance of PlumeField's 0.02 empty-space threshold,
+// where the two paths may fall on different sides of the cut.
+const fastFieldTolerance = 1e-4
+
+// zeroCutoff is the magnitude below which the fast path may round a
+// field value to exactly zero (far tails of the Gaussian falloffs).
+const zeroCutoff = 1e-6
+
+// shellW is the skull phantom's smooth-membership half-width (shared by
+// the reference field and the row evaluator).
+const shellW = 0.08
+
+// rowScratch recycles per-row float64 buffers; Fill calls row evaluators
+// from multiple goroutines, so scratch cannot be global mutable state.
+var rowScratch = sync.Pool{New: func() any { return new([]float64) }}
+
+func getScratch(n int) (*[]float64, []float64) {
+	p := rowScratch.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	return p, (*p)[:n]
+}
+
+// ---- Skull ----
+
+// ellipsoidFast is a skull ellipsoid with the per-evaluation constants
+// (rotation trig, reciprocal squared axes, support bounds) precomputed
+// once at package init instead of per voxel.
+type ellipsoidFast struct {
+	cx, cy, cz             float64
+	invAx2, invAy2, invAz2 float64
+	cos, sin               float64
+	val                    float64
+	// maxDy2/maxDz2 bound the squared y/z offsets of the q < 1+shellW
+	// support, for whole-row ellipsoid rejection.
+	maxDy2, maxDz2 float64
+}
+
+var skullFast = func() []ellipsoidFast {
+	if len(skullEllipsoids) > 16 {
+		panic("dataset: skull phantom outgrew SkullRows' fixed row-ellipsoid buffer")
+	}
+	out := make([]ellipsoidFast, len(skullEllipsoids))
+	k := 1 + shellW
+	for i, e := range skullEllipsoids {
+		c, s := math.Cos(e.phi), math.Sin(e.phi)
+		out[i] = ellipsoidFast{
+			cx: e.cx, cy: e.cy, cz: e.cz,
+			invAx2: 1 / (e.ax * e.ax), invAy2: 1 / (e.ay * e.ay), invAz2: 1 / (e.az * e.az),
+			cos: c, sin: s, val: e.val,
+			// The rotated ellipse {q ≤ k} projects on y to
+			// |dy| ≤ √k·√(ax²sin² + ay²cos²); z is unrotated.
+			maxDy2: k * (e.ax*e.ax*s*s + e.ay*e.ay*c*c),
+			maxDz2: k * e.az * e.az,
+		}
+	}
+	return out
+}()
+
+// SkullRows is the row-batched SkullField: per row it keeps only the
+// ellipsoids whose support intersects the row (y/z rejection) with their
+// y/z terms folded, so the per-voxel loop is a handful of fused terms per
+// surviving ellipsoid and no trig at all.
+func SkullRows(dst []float32, xs []float64, y, z float64) {
+	py := 2*y - 1
+	pz := 2*z - 1
+	type rowEll struct {
+		cx, invAx2, invAy2 float64
+		cos, sin           float64
+		sdy, cdy, zq       float64
+		val                float64
+	}
+	var act [16]rowEll
+	n := 0
+	for i := range skullFast {
+		e := &skullFast[i]
+		dz := pz - e.cz
+		if dz*dz > e.maxDz2 {
+			continue
+		}
+		dy := py - e.cy
+		if dy*dy > e.maxDy2 {
+			continue
+		}
+		act[n] = rowEll{
+			cx: e.cx, invAx2: e.invAx2, invAy2: e.invAy2,
+			cos: e.cos, sin: e.sin,
+			sdy: e.sin * dy, cdy: e.cos * dy,
+			zq:  dz * dz * e.invAz2,
+			val: e.val,
+		}
+		n++
+	}
+	if n == 0 {
+		zero32(dst)
+		return
+	}
+	for i, x := range xs {
+		px := 2*x - 1
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			e := &act[j]
+			dx := px - e.cx
+			rx := e.cos*dx + e.sdy
+			ry := e.cdy - e.sin*dx
+			q := rx*rx*e.invAx2 + ry*ry*e.invAy2 + e.zq
+			switch {
+			case q <= 1-shellW:
+				sum += e.val
+			case q < 1+shellW:
+				t := (1 + shellW - q) / (2 * shellW)
+				sum += e.val * t * t * (3 - 2*t)
+			}
+		}
+		if sum < 0 {
+			sum = 0
+		}
+		if sum > 1 {
+			sum = 1
+		}
+		dst[i] = float32(sum)
+	}
+}
+
+// ---- Supernova ----
+
+// SupernovaRows is the row-batched SupernovaField: the two fbm fields are
+// evaluated incrementally over the sub-row that can be non-empty (|p| ≤
+// novaRMax — outside it every Gaussian term is below zeroCutoff), and the
+// falloffs use expNeg.
+func SupernovaRows(dst []float32, xs []float64, y, z float64) {
+	py := 2*y - 1
+	pz := 2*z - 1
+	pyz2 := py*py + pz*pz
+	// All three Gaussian terms are < zeroCutoff beyond this radius:
+	// shell needs (r-0.71)/0.085 > 3.8, core r/0.16 > 3.8, filaments
+	// (r-0.35)/0.22 > 3.8.
+	const novaRMax = 1.19
+	if pyz2 > novaRMax*novaRMax {
+		zero32(dst)
+		return
+	}
+	// |px| ≤ xmax bounds the candidate sub-row (px = 2x-1 increases with x).
+	xmax := math.Sqrt(novaRMax*novaRMax - pyz2)
+	i0, i1 := len(xs), -1
+	for i, x := range xs {
+		px := 2*x - 1
+		if px >= -xmax {
+			if px > xmax {
+				break
+			}
+			if i < i0 {
+				i0 = i
+			}
+			i1 = i
+		}
+	}
+	if i1 < 0 {
+		zero32(dst)
+		return
+	}
+	zero32(dst[:i0])
+	zero32(dst[i1+1:])
+	m := i1 - i0 + 1
+	pp, pxs := getScratch(m)
+	pt, turb := getScratch(m)
+	pf, fil := getScratch(m)
+	for i := 0; i < m; i++ {
+		pxs[i] = 2*xs[i0+i] - 1
+	}
+	fbmRow(turb, pxs, 4, 7, py*4+13, pz*4+29, 4, 0xA11CE)
+	fbmRow(fil, pxs, 7, 3, py*7+5, pz*7+11, 3, 0xBEEF)
+	const (
+		invShell = 1 / 0.085
+		invCore  = 1 / 0.16
+		invFil   = 1 / 0.22
+	)
+	for i := 0; i < m; i++ {
+		px := pxs[i]
+		r := math.Sqrt(px*px + pyz2)
+		shellR := 0.62 + 0.18*(turb[i]-0.5)
+		shell := expNeg(sq((r - shellR) * invShell))
+		core := 0.9 * expNeg(sq(r*invCore))
+		f := 0.35 * expNeg(sq((r-0.35)*invFil)) * fil[i]
+		v := 0.95*shell + core + f
+		if v > 1 {
+			v = 1
+		}
+		dst[i0+i] = float32(v)
+	}
+	rowScratch.Put(pp)
+	rowScratch.Put(pt)
+	rowScratch.Put(pf)
+}
+
+// ---- Plume ----
+
+// PlumeRows is the row-batched PlumeField. The helical axis, width, trig
+// and source-blob terms depend only on (y, z) and are hoisted per row; a
+// first pass finds the sub-row that can clear the field's 0.02 empty-space
+// threshold (everything outside is exactly 0 on both the fast and the
+// reference path, keeping empty space bit-identical), and only that span
+// pays for turbulence fbm and expNeg.
+func PlumeRows(dst []float32, xs []float64, y, z float64) {
+	h := z
+	swirl := 5.5 * h
+	sinS, cosS := math.Sincos(2 * math.Pi * swirl)
+	axisX := 0.5 + 0.13*h*cosS
+	axisY := 0.5 + 0.13*h*sinS
+	dy := y - axisY
+	dy2 := dy * dy
+	width := 0.045 + 0.16*h
+	invW2 := 1 / (width * width)
+	hFall := 1 - 0.55*h
+	const inv009 = 1 / 0.09
+	const inv005 = 1 / 0.05
+	// Source-blob exponent terms that are constant on the row.
+	srcYZ := sq((y-0.5)*inv009) + sq(z*inv005)
+	// Conservative cuts: density ≤ 1.45·hFall·exp(-u), src ≤ 0.8·exp(-us);
+	// below densCut/srcCut density < 0.019 and src < 0.001, so v < 0.02
+	// and the field's threshold zeroes the voxel on both paths. Inside the
+	// span, src still contributes to non-empty voxels until it falls under
+	// srcDropCut (0.8·e⁻¹⁶ ≈ 9e-8, below fastFieldTolerance).
+	densCut := math.Log(1.45 * hFall / 0.019)
+	const srcCut = 6.7 // ln(0.8/0.001)
+	const srcDropCut = 16
+	srcRow := srcYZ < srcCut
+	srcCompute := srcYZ < srcDropCut
+	i0, i1 := len(xs), -1
+	for i, x := range xs {
+		dx := x - axisX
+		u := (dx*dx + dy2) * invW2
+		if u < densCut || (srcRow && sq((x-0.5)*inv009)+srcYZ < srcCut) {
+			if i < i0 {
+				i0 = i
+			}
+			i1 = i
+		}
+	}
+	if i1 < 0 {
+		zero32(dst)
+		return
+	}
+	zero32(dst[:i0])
+	zero32(dst[i1+1:])
+	m := i1 - i0 + 1
+	pt, turb := getScratch(m)
+	fbmRow(turb, xs[i0:i1+1], 9, 1, y*9+17, z*22+5, 4, 0x9D2C)
+	for i := 0; i < m; i++ {
+		x := xs[i0+i]
+		dx := x - axisX
+		u := (dx*dx + dy2) * invW2
+		v := expNeg(u) * hFall * (0.55 + 0.9*turb[i])
+		if srcCompute {
+			v += 0.8 * expNeg(sq((x-0.5)*inv009)+srcYZ)
+		}
+		out := float32(0)
+		if v >= 0.02 {
+			if v > 1 {
+				v = 1
+			}
+			out = float32(v)
+		}
+		dst[i0+i] = out
+	}
+	rowScratch.Put(pt)
+}
+
+// zero32 clears a float32 row segment. It scans before storing: row
+// destinations are usually freshly allocated — already zero and still
+// backed by the kernel's shared zero page — so skipping redundant stores
+// avoids both the write pass and the page-allocation faults for empty
+// space, which for the sparse plume is most of the volume. The scan
+// stops at the first nonzero value and the remainder is cleared with
+// stores. (A scanned-over negative zero is left in place; it compares
+// equal to zero everywhere downstream.)
+func zero32(s []float32) {
+	i := 0
+	for ; i < len(s); i++ {
+		if s[i] != 0 {
+			break
+		}
+	}
+	for ; i < len(s); i++ {
+		s[i] = 0
+	}
+}

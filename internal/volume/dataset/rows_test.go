@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"gvmr/internal/volume"
+)
+
+// TestRowsMatchReferenceFields is the fast-math equivalence contract: the
+// row-batched evaluators must match the exact reference fields to within
+// fastFieldTolerance everywhere, except that (a) reference values below
+// zeroCutoff may be flushed to exactly zero, and (b) within the tolerance
+// of PlumeField's 0.02 empty-space threshold the two paths may land on
+// different sides of the cut.
+func TestRowsMatchReferenceFields(t *testing.T) {
+	cases := []struct {
+		name string
+		dims volume.Dims
+	}{
+		{Skull, volume.Cube(64)},
+		{Supernova, volume.Cube(64)},
+		{Plume, volume.Dims{X: 48, Y: 48, Z: 96}},
+	}
+	for _, c := range cases {
+		src, err := New(c.name, c.dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := src.(*volume.FuncSource)
+		if fs.Rows == nil {
+			t.Fatalf("%s: no row evaluator", c.name)
+		}
+		fast, err := volume.Materialize(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := volume.Materialize(volume.NewFuncSource(fs.Tag+"-ref", c.dims, fs.Field))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst float64
+		bad := 0
+		for i := range ref.Data {
+			r := float64(ref.Data[i])
+			f := float64(fast.Data[i])
+			d := math.Abs(r - f)
+			if d <= fastFieldTolerance {
+				continue
+			}
+			// Zero-flush exemption: tiny tails may become exactly 0.
+			if f == 0 && r < zeroCutoff {
+				continue
+			}
+			// Plume threshold-band exemption: one side of the 0.02 cut.
+			if c.name == Plume && (f == 0 || r == 0) &&
+				math.Abs(math.Max(r, f)-0.02) <= fastFieldTolerance {
+				continue
+			}
+			bad++
+			if d > worst {
+				worst = d
+			}
+		}
+		if bad > 0 {
+			t.Errorf("%s: %d voxels beyond tolerance %g (worst |Δ| = %g)",
+				c.name, bad, fastFieldTolerance, worst)
+		}
+	}
+}
+
+// TestFbmRowMatchesFbm pins the row-batched noise to the scalar reference.
+func TestFbmRowMatchesFbm(t *testing.T) {
+	xs := make([]float64, 257)
+	for i := range xs {
+		xs[i] = float64(i) / 256
+	}
+	out := make([]float64, len(xs))
+	for _, tc := range []struct {
+		ax, bx, y, z float64
+		oct          int
+		seed         uint32
+	}{
+		{9, 1, 17.3, 5.9, 4, 0x9D2C},
+		{8, 3, -2.7, 28.1, 4, 0xA11CE},
+		{14, -4, 4.2, 10.6, 3, 0xBEEF},
+	} {
+		fbmRow(out, xs, tc.ax, tc.bx, tc.y, tc.z, tc.oct, tc.seed)
+		for i, x := range xs {
+			want := fbm(tc.ax*x+tc.bx, tc.y, tc.z, tc.oct, tc.seed)
+			if d := math.Abs(out[i] - want); d > 1e-12 {
+				t.Fatalf("fbmRow(%v) at x=%v: %v vs %v (|Δ|=%g)", tc, x, out[i], want, d)
+			}
+		}
+	}
+}
+
+// TestExpNegAccuracy bounds the polynomial exp against math.Exp over the
+// exponent range the fields use.
+func TestExpNegAccuracy(t *testing.T) {
+	for u := 0.0; u < 200; u += 0.00973 {
+		got := expNeg(u)
+		want := math.Exp(-u)
+		if want == 0 {
+			if got != 0 {
+				t.Fatalf("expNeg(%v) = %v, want 0", u, got)
+			}
+			continue
+		}
+		if rel := math.Abs(got-want) / want; rel > 1e-8 {
+			t.Fatalf("expNeg(%v) relative error %g", u, rel)
+		}
+	}
+	if expNeg(1000) != 0 {
+		t.Error("expNeg should underflow to 0")
+	}
+	if got := expNeg(-1.5); math.Abs(got-math.Exp(1.5)) > 1e-9*math.Exp(1.5) {
+		t.Errorf("expNeg(-1.5) = %v", got)
+	}
+}
+
+// TestRowsOverwriteDirtyBuffers pins the Fill contract the lazy zero32
+// relies on: filling a poisoned destination yields exactly the same
+// bytes as filling a fresh one.
+func TestRowsOverwriteDirtyBuffers(t *testing.T) {
+	for _, name := range Names() {
+		d := volume.Dims{X: 33, Y: 17, Z: 29}
+		src, err := New(name, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := make([]float32, d.Voxels())
+		if err := src.Fill(volume.Region{Ext: d}, fresh); err != nil {
+			t.Fatal(err)
+		}
+		dirty := make([]float32, d.Voxels())
+		for i := range dirty {
+			dirty[i] = float32(i%7) - 3
+		}
+		if err := src.Fill(volume.Region{Ext: d}, dirty); err != nil {
+			t.Fatal(err)
+		}
+		for i := range fresh {
+			if fresh[i] != dirty[i] {
+				t.Fatalf("%s voxel %d: dirty-buffer fill %v != fresh fill %v",
+					name, i, dirty[i], fresh[i])
+			}
+		}
+	}
+}

@@ -3,6 +3,20 @@
 // ghost layers (so trilinear sampling is seamless across brick borders),
 // streaming sources for out-of-core rendering, and a simple raw file format.
 //
+// # Staging cache
+//
+// Analytic sources (FuncSource) are expensive to evaluate and perfectly
+// reproducible, so the package also provides a process-wide staging cache
+// (StagingCache, with the shared instance Cache and the helper Cached).
+// Wrapping a source routes every Fill through a dense volume that is
+// materialised exactly once per source identity (Name + Dims); brick
+// staging through StageBrick then serves zero-copy views of that volume.
+// The cache is bounded (default min(8 GiB, half of available memory);
+// GVMR_STAGING_BYTES overrides, "0"/"off" disables) with least-recently-
+// used eviction, and sources whose volume exceeds the budget bypass it
+// entirely, preserving the lazy out-of-core path for huge datasets. See
+// cache.go for the policy details.
+//
 // Conventions: voxel (i,j,k) stores the field value at the continuous
 // voxel-space position (i+0.5, j+0.5, k+0.5); data is laid out x-fastest.
 package volume
@@ -104,8 +118,19 @@ func (v *Volume) Sample(px, py, pz float32) float32 {
 	return trilinear(v.Data, v.Dims, px, py, pz)
 }
 
-// trilinear is the shared sampling routine used by Volume and BrickData.
+// trilinear is the shared sampling routine used by Volume and copy-backed
+// BrickData: the whole array is the region.
 func trilinear(data []float32, d Dims, px, py, pz float32) float32 {
+	return trilinearAt(data, d, Region{Ext: d}, px, py, pz)
+}
+
+// trilinearAt samples the sub-region r of a full volume at r-local
+// continuous coordinates, clamping at the region boundary (CUDA's
+// clamp-to-edge texture addressing). The weight and clamping arithmetic
+// over a region is exactly the same as over a copied r.Ext array — only
+// the final indexing adds r's origin and the full-volume strides — so
+// view-backed bricks are bit-identical to copy-backed ones.
+func trilinearAt(data []float32, full Dims, r Region, px, py, pz float32) float32 {
 	qx := float64(px) - 0.5
 	qy := float64(py) - 0.5
 	qz := float64(pz) - 0.5
@@ -115,15 +140,21 @@ func trilinear(data []float32, d Dims, px, py, pz float32) float32 {
 	fx := float32(qx - x0f)
 	fy := float32(qy - y0f)
 	fz := float32(qz - z0f)
-	x0 := clampIdx(int(x0f), d.X)
-	y0 := clampIdx(int(y0f), d.Y)
-	z0 := clampIdx(int(z0f), d.Z)
-	x1 := clampIdx(int(x0f)+1, d.X)
-	y1 := clampIdx(int(y0f)+1, d.Y)
-	z1 := clampIdx(int(z0f)+1, d.Z)
+	x0 := clampIdx(int(x0f), r.Ext.X)
+	y0 := clampIdx(int(y0f), r.Ext.Y)
+	z0 := clampIdx(int(z0f), r.Ext.Z)
+	x1 := clampIdx(int(x0f)+1, r.Ext.X)
+	y1 := clampIdx(int(y0f)+1, r.Ext.Y)
+	z1 := clampIdx(int(z0f)+1, r.Ext.Z)
 
-	row := d.X
-	slab := d.X * d.Y
+	row := full.X
+	slab := full.X * full.Y
+	x0 += r.Org[0]
+	x1 += r.Org[0]
+	y0 += r.Org[1]
+	y1 += r.Org[1]
+	z0 += r.Org[2]
+	z1 += r.Org[2]
 	c000 := data[z0*slab+y0*row+x0]
 	c100 := data[z0*slab+y0*row+x1]
 	c010 := data[z0*slab+y1*row+x0]
