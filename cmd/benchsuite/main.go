@@ -6,9 +6,17 @@
 //	benchsuite -scale paper all
 //	benchsuite -scale quick fig3 fig4
 //	benchsuite -out results fig2        # writes PNGs next to the tables
+//	benchsuite -scale quick -json BENCH_fig2.json seqbench
 //
 // Subcommands: fig2 fig3 fig4 efficiency sec63 micro baseline claims
-// inoutcore ablation zerocopy all
+// inoutcore ablation zerocopy seqbench all
+//
+// The figure sweeps fan independent cells out across host cores through
+// the internal/schedule worker pool; -serial opts out (tables are
+// bit-identical either way). seqbench runs a multi-frame orbit of the
+// Figure 2 skull dataset serially and in parallel, verifies the outputs
+// match bit for bit, and emits the machine-readable wall-clock record
+// (-json path, default BENCH_fig2.json) that tracks the perf trajectory.
 package main
 
 import (
@@ -27,6 +35,10 @@ func main() {
 	var (
 		scaleName = flag.String("scale", "paper", "experiment scale: paper|quick")
 		outDir    = flag.String("out", "", "directory for rendered PNGs (fig2)")
+		serial    = flag.Bool("serial", false, "run sweep cells one at a time (scheduler opt-out)")
+		workers   = flag.Int("workers", 0, "scheduler pool width for sweeps (0 = GOMAXPROCS)")
+		jsonPath  = flag.String("json", "BENCH_fig2.json", "output path for the seqbench record")
+		frames    = flag.Int("frames", 8, "frames in the seqbench orbit")
 	)
 	flag.Parse()
 	var sc experiments.Scale
@@ -38,6 +50,8 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q", *scaleName)
 	}
+	sc.Serial = *serial
+	sc.Workers = *workers
 
 	cmds := flag.Args()
 	if len(cmds) == 0 {
@@ -47,6 +61,7 @@ func main() {
 		"all": true, "fig2": true, "fig3": true, "fig4": true,
 		"efficiency": true, "sec63": true, "micro": true, "baseline": true,
 		"claims": true, "inoutcore": true, "ablation": true, "zerocopy": true,
+		"seqbench": true,
 	}
 	want := map[string]bool{}
 	for _, c := range cmds {
@@ -132,6 +147,27 @@ func main() {
 	}
 	if need("zerocopy") {
 		fmt.Println(experiments.ZeroCopy(sc))
+	}
+	if want["seqbench"] {
+		// Not part of "all": it is a wall-clock A/B of the frame
+		// scheduler, not a paper table.
+		log.Printf("seqbench: %d-frame orbit, %s scale, serial then parallel...", *frames, sc.Name)
+		b, err := experiments.RunSeqBench(sc, *frames)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("seqbench: serial %.2fs, parallel %.2fs (%d workers) → %.2fx wall speedup, bit-identical: %v\n",
+			b.Serial.WallSeconds, b.Parallel.WallSeconds, b.Parallel.Workers,
+			b.SpeedupWall, b.BitIdentical)
+		if !b.BitIdentical {
+			log.Fatal("seqbench: parallel output diverged from serial — determinism bug")
+		}
+		if *jsonPath != "" {
+			if err := b.WriteJSON(*jsonPath); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("seqbench: wrote %s\n", *jsonPath)
+		}
 	}
 
 	// The sweep and the figure renders share dataset synthesis through the

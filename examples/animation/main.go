@@ -7,14 +7,25 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"gvmr"
 )
 
+// tinyOr returns small instead of normal when GVMR_EXAMPLE_TINY is set:
+// the repo's examples smoke test runs every example at toy dimensions so
+// the example code paths stay exercised by tier-1 CI.
+func tinyOr(normal, small int) int {
+	if os.Getenv("GVMR_EXAMPLE_TINY") != "" {
+		return small
+	}
+	return normal
+}
+
 func main() {
 	log.SetFlags(0)
 
-	src, err := gvmr.Dataset("supernova", 128)
+	src, err := gvmr.Dataset("supernova", tinyOr(128, 16))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -27,9 +38,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	const frames = 8
+	frames := tinyOr(8, 3)
 	seq, err := gvmr.RenderSequence(cl, gvmr.Options{
-		Source: src, TF: tf, Width: 512, Height: 512, Shading: true,
+		Source: src, TF: tf, Width: tinyOr(512, 48), Height: tinyOr(512, 48), Shading: true,
 	}, frames, 360)
 	if err != nil {
 		log.Fatal(err)

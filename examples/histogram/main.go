@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
 
 	"gvmr/internal/cluster"
 	"gvmr/internal/gpu"
@@ -70,6 +71,16 @@ func (r *sumReducer) Reduce(key int32, vals []int32) {
 	}
 }
 
+// tinyOr returns small instead of normal when GVMR_EXAMPLE_TINY is set:
+// the repo's examples smoke test runs every example at toy dimensions so
+// the example code paths stay exercised by tier-1 CI.
+func tinyOr(normal, small int) int {
+	if os.Getenv("GVMR_EXAMPLE_TINY") != "" {
+		return small
+	}
+	return normal
+}
+
 func main() {
 	log.SetFlags(0)
 	env := sim.NewEnv()
@@ -80,7 +91,7 @@ func main() {
 
 	var chunks []mapreduce.Chunk
 	for i := 0; i < 16; i++ {
-		chunks = append(chunks, sampleChunk{id: i, n: 100_000})
+		chunks = append(chunks, sampleChunk{id: i, n: tinyOr(100_000, 2_000)})
 	}
 	var reducers []*sumReducer
 	stats, err := mapreduce.Run(mapreduce.Config[int32, []float64]{

@@ -14,6 +14,16 @@ import (
 	"gvmr"
 )
 
+// tinyOr returns small instead of normal when GVMR_EXAMPLE_TINY is set:
+// the repo's examples smoke test runs every example at toy dimensions so
+// the example code paths stay exercised by tier-1 CI.
+func tinyOr(normal, small int) int {
+	if os.Getenv("GVMR_EXAMPLE_TINY") != "" {
+		return small
+	}
+	return normal
+}
+
 func main() {
 	log.SetFlags(0)
 
@@ -24,7 +34,7 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 	path := filepath.Join(dir, "supernova.gvmr")
-	src, err := gvmr.Dataset("supernova", 256)
+	src, err := gvmr.Dataset("supernova", tinyOr(256, 32))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,8 +63,8 @@ func main() {
 	res, err := gvmr.Render(cl, gvmr.Options{
 		Source:       file,
 		TF:           tf,
-		Width:        512,
-		Height:       512,
+		Width:        tinyOr(512, 48),
+		Height:       tinyOr(512, 48),
 		FromDisk:     true, // charge disk I/O per brick
 		BricksPerGPU: 4,
 	})

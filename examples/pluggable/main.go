@@ -8,14 +8,25 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"gvmr"
 )
 
+// tinyOr returns small instead of normal when GVMR_EXAMPLE_TINY is set:
+// the repo's examples smoke test runs every example at toy dimensions so
+// the example code paths stay exercised by tier-1 CI.
+func tinyOr(normal, small int) int {
+	if os.Getenv("GVMR_EXAMPLE_TINY") != "" {
+		return small
+	}
+	return normal
+}
+
 func main() {
 	log.SetFlags(0)
 
-	src, err := gvmr.Dataset("skull", 128)
+	src, err := gvmr.Dataset("skull", tinyOr(128, 16))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +54,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		opt := gvmr.Options{Source: src, TF: tf, Width: 512, Height: 512}
+		opt := gvmr.Options{Source: src, TF: tf, Width: tinyOr(512, 48), Height: tinyOr(512, 48)}
 		c.mutate(&opt)
 		res, err := gvmr.Render(cl, opt)
 		if err != nil {

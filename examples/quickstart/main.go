@@ -5,9 +5,20 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"gvmr"
 )
+
+// tinyOr returns small instead of normal when GVMR_EXAMPLE_TINY is set:
+// the repo's examples smoke test runs every example at toy dimensions so
+// the example code paths stay exercised by tier-1 CI.
+func tinyOr(normal, small int) int {
+	if os.Getenv("GVMR_EXAMPLE_TINY") != "" {
+		return small
+	}
+	return normal
+}
 
 func main() {
 	log.SetFlags(0)
@@ -21,7 +32,7 @@ func main() {
 
 	// The built-in synthetic skull at 128³ with its preset transfer
 	// function.
-	src, err := gvmr.Dataset("skull", 128)
+	src, err := gvmr.Dataset("skull", tinyOr(128, 16))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,8 +44,8 @@ func main() {
 	res, err := gvmr.Render(cl, gvmr.Options{
 		Source: src,
 		TF:     tf,
-		Width:  512,
-		Height: 512,
+		Width:  tinyOr(512, 48),
+		Height: tinyOr(512, 48),
 	})
 	if err != nil {
 		log.Fatal(err)

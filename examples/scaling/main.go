@@ -7,14 +7,25 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"gvmr"
 )
 
+// tinyOr returns small instead of normal when GVMR_EXAMPLE_TINY is set:
+// the repo's examples smoke test runs every example at toy dimensions so
+// the example code paths stay exercised by tier-1 CI.
+func tinyOr(normal, small int) int {
+	if os.Getenv("GVMR_EXAMPLE_TINY") != "" {
+		return small
+	}
+	return normal
+}
+
 func main() {
 	log.SetFlags(0)
 
-	src, err := gvmr.Dataset("skull", 256)
+	src, err := gvmr.Dataset("skull", tinyOr(256, 16))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,7 +42,7 @@ func main() {
 			log.Fatal(err)
 		}
 		res, err := gvmr.Render(cl, gvmr.Options{
-			Source: src, TF: tf, Width: 512, Height: 512, GPUs: gpus,
+			Source: src, TF: tf, Width: tinyOr(512, 48), Height: tinyOr(512, 48), GPUs: gpus,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,60 @@
+// Examples smoke test: builds and runs every examples/* binary at tiny
+// dimensions (GVMR_EXAMPLE_TINY), so the example code paths are compiled
+// and executed by tier-1 `go test ./...` instead of rotting as dead code.
+package gvmr_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test builds binaries; skipped in -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goTool := filepath.Join(runtime.GOROOT(), "bin", "go")
+	if _, err := os.Stat(goTool); err != nil {
+		goTool = "go" // fall back to PATH
+	}
+	repoRoot, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		found++
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			runDir := t.TempDir() // examples write PNGs to their cwd
+			bin := filepath.Join(runDir, name)
+			build := exec.Command(goTool, "build", "-o", bin, "./examples/"+name)
+			build.Dir = repoRoot
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			run := exec.Command(bin)
+			run.Dir = runDir
+			run.Env = append(os.Environ(), "GVMR_EXAMPLE_TINY=1")
+			out, err := run.CombinedOutput()
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+	if found < 6 {
+		t.Errorf("found %d examples, expected at least 6", found)
+	}
+}

@@ -1,0 +1,165 @@
+// Golden-image regression tests: every built-in preset renders to a
+// committed SHA-256 digest of its exact float32 framebuffer, so any
+// change to the kernels, compositing, partitioning or scheduling that
+// moves a single bit of a single pixel fails loudly.
+//
+// The digests in testdata/golden.json are produced by the renderer
+// itself; regenerate after an intentional image change with
+//
+//	GVMR_UPDATE_GOLDEN=1 go test -run TestGoldenImages .
+//
+// and review the diff. The renderer is pure Go IEEE-754 float math with
+// no fused-multiply-add contraction on amd64/arm64 test targets, so the
+// digests are stable across runs, pool widths and serial/parallel modes
+// — that stability is itself asserted here.
+package gvmr_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gvmr"
+)
+
+// goldenConfigs are the committed render configurations: the paper's two
+// headline datasets plus the procedural plume field, at small dims so the
+// suite stays fast.
+var goldenConfigs = []struct {
+	name    string
+	dataset string
+	edge    int
+	gpus    int
+	size    int
+	shading bool
+}{
+	{"skull_32_shaded", "skull", 32, 2, 64, true},
+	{"supernova_32", "supernova", 32, 2, 64, false},
+	{"plume_32_procedural", "plume", 32, 2, 64, false},
+}
+
+func renderGolden(t *testing.T, i int) *gvmr.Result {
+	t.Helper()
+	c := goldenConfigs[i]
+	cl, err := gvmr.NewCluster(c.gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := gvmr.Dataset(c.dataset, c.edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := gvmr.Preset(c.dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gvmr.Render(cl, gvmr.Options{
+		Source: src, TF: tf, Width: c.size, Height: c.size,
+		GPUs: c.gpus, Shading: c.shading,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+const goldenPath = "testdata/golden.json"
+
+func TestGoldenImages(t *testing.T) {
+	got := map[string]string{}
+	for i, c := range goldenConfigs {
+		res := renderGolden(t, i)
+		if res.Image.MeanLuminance() <= 0 {
+			t.Fatalf("%s: black image", c.name)
+		}
+		got[c.name] = res.Image.Digest()
+		// Cross-run determinism, independent of the committed file: the
+		// same configuration must reproduce the same bits.
+		if again := renderGolden(t, i); again.Image.Digest() != got[c.name] {
+			t.Errorf("%s: digest changed between two renders in one process", c.name)
+		}
+	}
+
+	if os.Getenv("GVMR_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read %s (regenerate with GVMR_UPDATE_GOLDEN=1): %v", goldenPath, err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, digest := range got {
+		if want[name] == "" {
+			t.Errorf("%s: no committed digest (regenerate with GVMR_UPDATE_GOLDEN=1)", name)
+		} else if want[name] != digest {
+			t.Errorf("%s: image digest %s != committed %s — the rendered bits changed; "+
+				"if intentional, regenerate with GVMR_UPDATE_GOLDEN=1 and review",
+				name, digest, want[name])
+		}
+	}
+	for name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("committed digest %q has no matching config", name)
+		}
+	}
+}
+
+// TestGoldenSequenceSerialVsParallel locks the scheduler contract down at
+// the public API: an orbit rendered serially and through the parallel
+// frame scheduler produces bit-identical images and per-frame virtual
+// times.
+func TestGoldenSequenceSerialVsParallel(t *testing.T) {
+	render := func(serial bool) *gvmr.SequenceResult {
+		t.Helper()
+		cl, err := gvmr.NewCluster(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := gvmr.Dataset("skull", 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tf, err := gvmr.Preset("skull")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := gvmr.RenderSequence(cl, gvmr.Options{
+			Source: src, TF: tf, Width: 48, Height: 48,
+			SequenceSerial:  serial,
+			SequenceWorkers: 4, // force a real pool in parallel mode
+		}, 4, 360)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seq
+	}
+	serial := render(true)
+	parallel := render(false)
+	if serial.LastImage.Digest() != parallel.LastImage.Digest() {
+		t.Error("serial and parallel sequence images differ")
+	}
+	if !reflect.DeepEqual(serial.PerFrame, parallel.PerFrame) {
+		t.Errorf("per-frame times differ:\nserial   %v\nparallel %v",
+			serial.PerFrame, parallel.PerFrame)
+	}
+	if serial.Total != parallel.Total || serial.Agg != parallel.Agg {
+		t.Error("sequence accounting differs between serial and parallel modes")
+	}
+}

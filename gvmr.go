@@ -7,7 +7,8 @@
 // against the paper's measured costs, while every algorithm — ray
 // casting, partitioning, counting sort, compositing — runs for real and
 // produces real images. See DESIGN.md for the substitution argument and
-// EXPERIMENTS.md for paper-vs-measured results.
+// the spec/instance split; cmd/benchsuite regenerates the
+// paper-vs-measured tables.
 //
 // Quickstart:
 //
@@ -88,9 +89,48 @@ func Render(cl *Cluster, opt Options) (*Result, error) {
 type SequenceResult = core.SequenceResult
 
 // RenderSequence renders an orbiting animation of `frames` frames and
-// reports the sustained frame rate (§4.2's interactivity figure of merit).
+// reports the sustained frame rate (§4.2's interactivity figure of
+// merit). Frames are independent simulations, so by default they render
+// concurrently across host cores, each on a fresh instance of the
+// cluster's spec; images, per-frame virtual times and aggregated
+// statistics are bit-identical to serial execution
+// (Options.SequenceSerial opts out).
 func RenderSequence(cl *Cluster, opt Options, frames int, orbitDegrees float64) (*SequenceResult, error) {
 	return core.RenderSequence(cl, opt, frames, orbitDegrees)
+}
+
+// Frame is one delivered frame of RenderAsync: the full Result plus the
+// frame's virtual duration, or Err if the frame failed.
+type Frame = core.Frame
+
+// OrbitCameras builds `frames` cameras orbiting the source's fitted
+// default view by orbitDegrees in total — the camera path RenderSequence
+// renders, exposed so RenderFrames/RenderAsync can consume or modify it.
+func OrbitCameras(src Source, width, height, frames int, orbitDegrees float64) ([]*Camera, error) {
+	return core.OrbitCameras(src, width, height, frames, orbitDegrees)
+}
+
+// RenderFrames renders one frame per camera — an animation path, a
+// parameter sweep's views, a stereo pair — concurrently across host
+// cores, each frame on a fresh instance of the cluster's spec, and
+// returns the results in camera order. Output is bit-identical to
+// rendering the cameras one at a time; the cluster's virtual clock
+// advances by the summed frame durations, as a serial session would.
+func RenderFrames(cl *Cluster, opt Options, cams []*Camera) ([]*Result, error) {
+	return core.RenderFrames(cl, opt, cams)
+}
+
+// RenderAsync renders one frame per camera concurrently and returns a
+// stream that delivers the frames in camera order, each as soon as it
+// and its predecessors are done — drive a UI or an encoder while later
+// frames still render. A failed frame arrives in-stream with Err set;
+// the channel closes after the last frame. The stream applies
+// backpressure (rendering runs only a small window ahead of the
+// consumer); a consumer that stops reading early MUST call the returned
+// stop function to release the render workers (`defer stop()` is safe —
+// it is a no-op after completion).
+func RenderAsync(cl *Cluster, opt Options, cams []*Camera) (<-chan Frame, func(), error) {
+	return core.RenderFramesAsync(cl, opt, cams)
 }
 
 // TraceLog collects per-operation activity spans; attach one to

@@ -129,3 +129,67 @@ func TestPublicAPICustomTransfer(t *testing.T) {
 		t.Errorf("custom TF lookup = %v", c)
 	}
 }
+
+// TestPublicAPIRenderFrames exercises the parallel frame APIs the way an
+// animation consumer would: build an orbit path, render it synchronously
+// and as a stream, and check the two agree frame for frame.
+func TestPublicAPIRenderFrames(t *testing.T) {
+	src, err := gvmr.Dataset("skull", 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := gvmr.Preset("skull")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := gvmr.Options{Source: src, TF: tf, Width: 48, Height: 48, SequenceWorkers: 3}
+	cams, err := gvmr.OrbitCameras(src, 48, 48, 3, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := gvmr.NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := gvmr.RenderFrames(cl, opt, cams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d frames", len(results))
+	}
+	for i, r := range results {
+		if r.Image.MeanLuminance() <= 0 {
+			t.Errorf("frame %d black", i)
+		}
+	}
+	if cl.Env.Now() <= 0 {
+		t.Error("session clock did not advance")
+	}
+
+	cl2, err := gvmr.NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, stop, err := gvmr.RenderAsync(cl2, opt, cams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	i := 0
+	for fr := range stream {
+		if fr.Err != nil {
+			t.Fatalf("frame %d: %v", fr.Index, fr.Err)
+		}
+		if fr.Index != i {
+			t.Fatalf("frame %d delivered at position %d", fr.Index, i)
+		}
+		if fr.Result.Image.Digest() != results[i].Image.Digest() {
+			t.Errorf("stream frame %d differs from synchronous frame", i)
+		}
+		i++
+	}
+	if i != 3 {
+		t.Fatalf("stream delivered %d of 3 frames", i)
+	}
+}

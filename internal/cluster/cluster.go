@@ -2,7 +2,7 @@
 // Cluster — nodes with a quad-core CPU, a disk, one QDR InfiniBand NIC and
 // four Tesla-class GPUs sharing a PCIe complex — plus the network
 // connecting them. All constants are calibrated against the costs the
-// paper reports; see DESIGN.md §6 and EXPERIMENTS.md.
+// paper reports; see DESIGN.md §6.
 package cluster
 
 import (

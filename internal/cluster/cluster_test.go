@@ -231,3 +231,65 @@ func TestResourceNamesAreDistinct(t *testing.T) {
 		}
 	}
 }
+
+func TestSpecInstanceIndependence(t *testing.T) {
+	spec := AC(4)
+	a, err := spec.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Env == b.Env {
+		t.Fatal("clone shares the simulation environment")
+	}
+	if a.Params != b.Params {
+		t.Error("clone spec differs from source spec")
+	}
+	// Advancing one instance's clock must not move the other's.
+	a.Env.Go("tick", func(p *sim.Proc) { p.Sleep(sim.Second) })
+	if err := a.Env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Env.Now() != 0 {
+		t.Errorf("clone clock moved to %v", b.Env.Now())
+	}
+	// No shared resources or devices.
+	for i := 0; i < a.TotalGPUs(); i++ {
+		if a.Device(i) == b.Device(i) {
+			t.Errorf("instances share device %d", i)
+		}
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].PCIe == b.Nodes[i].PCIe || a.Nodes[i].CPU == b.Nodes[i].CPU {
+			t.Errorf("instances share node %d resources", i)
+		}
+	}
+}
+
+func TestSetDeviceWorkers(t *testing.T) {
+	cl, err := AC(4).Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SetDeviceWorkers(2)
+	for i := 0; i < cl.TotalGPUs(); i++ {
+		if cl.Device(i).Workers != 2 {
+			t.Errorf("device %d workers = %d", i, cl.Device(i).Workers)
+		}
+	}
+	cl.SetDeviceWorkers(0)
+	if cl.Device(0).Workers != 0 {
+		t.Error("workers cap not cleared")
+	}
+}
+
+func TestInstanceValidates(t *testing.T) {
+	bad := AC(4)
+	bad.Nodes = 0
+	if _, err := bad.Instance(); err == nil {
+		t.Error("invalid spec instantiated")
+	}
+}

@@ -1,0 +1,40 @@
+package cluster
+
+import "gvmr/internal/sim"
+
+// Spec is the immutable hardware description of a cluster. It is the
+// vocabulary type of the spec/instance split: a Spec carries only value
+// data (node counts, bandwidths, rates — no simulation state), so it can
+// be instantiated any number of times, each instance binding a fresh
+// simulation environment with its clock at zero. Params predates the
+// split and remains the underlying struct; Spec is the name to use when
+// a value describes hardware rather than a live machine.
+type Spec = Params
+
+// Instance builds a live cluster from the spec on a fresh simulation
+// environment. Every call returns a fully independent machine: separate
+// virtual clock, separate resources, separate devices — the unit the
+// parallel frame scheduler (internal/schedule) hands to each concurrent
+// render job.
+func (p Params) Instance() (*Cluster, error) {
+	return New(sim.NewEnv(), p)
+}
+
+// Clone instantiates a fresh cluster of this cluster's spec, with its
+// virtual clock at zero and no accumulated device statistics. The
+// receiver is not touched.
+func (c *Cluster) Clone() (*Cluster, error) {
+	return c.Params.Instance()
+}
+
+// SetDeviceWorkers caps the host-side parallelism every device in the
+// cluster uses to execute kernel blocks (zero restores the GOMAXPROCS
+// default). The cap changes only wall-clock behavior: per-block results
+// are summed in block order, so virtual times and images are identical
+// at any setting. The frame scheduler uses it to split host cores
+// between concurrent frames and the blocks within each frame's kernels.
+func (c *Cluster) SetDeviceWorkers(n int) {
+	for _, d := range c.gpus {
+		d.Workers = n
+	}
+}

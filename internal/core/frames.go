@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"gvmr/internal/camera"
+	"gvmr/internal/cluster"
+	"gvmr/internal/schedule"
+	"gvmr/internal/sim"
+)
+
+// Frame is one delivered frame of a multi-frame render: the full Result
+// plus the frame's virtual duration. Err is set instead of Result when
+// the frame failed.
+type Frame struct {
+	Index  int
+	Result *Result
+	// Time is the frame's simulated duration on its own cluster
+	// instance — the value RenderSequence reports in PerFrame.
+	Time sim.Time
+	Err  error
+}
+
+// renderFrameJob renders cams[f] on a fresh instance of cl's spec and
+// returns the result plus the frame's virtual duration. It is the unit
+// of work both RenderFrames and RenderFramesAsync schedule.
+func renderFrameJob(cl *cluster.Cluster, opt Options, cams []*camera.Camera, devWorkers, f int) (Frame, error) {
+	inst, err := cl.Params.Instance()
+	if err != nil {
+		return Frame{Index: f}, err
+	}
+	inst.SetDeviceWorkers(devWorkers)
+	frameOpt := opt
+	frameOpt.Camera = cams[f]
+	start := inst.Env.Now()
+	r, err := Render(inst, frameOpt)
+	if err != nil {
+		return Frame{Index: f}, fmt.Errorf("core: frame %d: %w", f, err)
+	}
+	return Frame{Index: f, Result: r, Time: inst.Env.Now() - start}, nil
+}
+
+func validateFrames(opt *Options, cams []*camera.Camera) error {
+	if err := opt.fillDefaults(); err != nil {
+		return err
+	}
+	if len(cams) == 0 {
+		return fmt.Errorf("core: no cameras")
+	}
+	for i, cam := range cams {
+		if cam == nil {
+			return fmt.Errorf("core: nil camera %d", i)
+		}
+	}
+	return nil
+}
+
+// RenderFrames renders one frame per camera — an animation path, a
+// turntable, a stereo pair — concurrently across host cores, each frame
+// on a fresh instance of the cluster's spec, and returns the results in
+// camera order. Options.SequenceSerial and Options.SequenceWorkers
+// control the pool exactly as in RenderSequence (a non-nil Options.Trace
+// also forces serial, and the serial path renders on the caller's
+// cluster itself, so a trace stays one coherent timeline); output is
+// bit-identical at any pool width. The caller's cluster clock advances
+// by the summed frame durations, as if it had rendered the frames back
+// to back.
+func RenderFrames(cl *cluster.Cluster, opt Options, cams []*camera.Camera) ([]*Result, error) {
+	if err := validateFrames(&opt, cams); err != nil {
+		return nil, err
+	}
+	if opt.SequenceSerial || opt.Trace != nil {
+		// Pre-scheduler behavior: frames back to back on the caller's
+		// cluster, its clock advancing with each render.
+		out := make([]*Result, len(cams))
+		for f, cam := range cams {
+			frameOpt := opt
+			frameOpt.Camera = cam
+			r, err := Render(cl, frameOpt)
+			if err != nil {
+				return nil, fmt.Errorf("core: frame %d: %w", f, err)
+			}
+			out[f] = r
+		}
+		return out, nil
+	}
+	workers := schedule.Workers(opt.SequenceWorkers, len(cams))
+	devWorkers := schedule.DeviceWorkers(workers)
+	frames, err := schedule.Map(workers, len(cams), func(f int) (Frame, error) {
+		return renderFrameJob(cl, opt, cams, devWorkers, f)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(frames))
+	var total sim.Time
+	for i, fr := range frames {
+		out[i] = fr.Result
+		total += fr.Time
+	}
+	if err := cl.Env.RunUntil(cl.Env.Now() + total); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RenderFramesAsync renders one frame per camera concurrently and
+// streams the frames on the returned channel in camera order, each as
+// soon as it and all its predecessors are done. The stream applies
+// backpressure: rendering runs only a small window ahead of the
+// consumer, so undelivered framebuffers stay bounded. A failed frame is
+// delivered in-stream with Err set; remaining frames still render. The
+// channel closes after the last frame.
+//
+// The returned stop function cancels the stream: frames already
+// rendering finish, no new frames start, and the channel closes early.
+// A consumer that stops reading before the channel closes MUST call
+// stop (or keep draining) — abandoning the channel otherwise blocks the
+// render goroutines forever. Calling stop after completion is a no-op;
+// it is safe to `defer stop()`.
+//
+// Every frame renders on a fresh instance of the cluster's spec — the
+// caller's cluster clock is not advanced (consumers that want session
+// accounting sum Frame.Time themselves), and a non-nil Options.Trace
+// only serialises execution; its spans come from per-frame instances
+// that each start at virtual time zero. Use RenderFrames with
+// SequenceSerial for a single coherent timeline.
+func RenderFramesAsync(cl *cluster.Cluster, opt Options, cams []*camera.Camera) (<-chan Frame, func(), error) {
+	if err := validateFrames(&opt, cams); err != nil {
+		return nil, nil, err
+	}
+	workers := 1
+	if !opt.SequenceSerial && opt.Trace == nil {
+		workers = schedule.Workers(opt.SequenceWorkers, len(cams))
+	}
+	devWorkers := schedule.DeviceWorkers(workers)
+	done := make(chan struct{})
+	var stopOnce sync.Once
+	stop := func() { stopOnce.Do(func() { close(done) }) }
+	items := schedule.Stream(workers, len(cams), func(f int) (Frame, error) {
+		return renderFrameJob(cl, opt, cams, devWorkers, f)
+	}, done)
+	out := make(chan Frame)
+	go func() {
+		defer close(out)
+		for item := range items {
+			fr := item.Value
+			fr.Index = item.Index
+			if item.Err != nil {
+				fr.Err = item.Err
+			}
+			select {
+			case out <- fr:
+			case <-done:
+				return
+			}
+		}
+	}()
+	return out, stop, nil
+}

@@ -98,8 +98,22 @@ type Options struct {
 	// interconnect hand-off instead of a disk read.
 	InSitu bool
 
+	// SequenceSerial forces RenderSequence and RenderFrames to execute
+	// one frame at a time on the caller's cluster (the pre-scheduler
+	// behavior). The default renders independent frames concurrently
+	// across host cores, each on a fresh instance of the cluster's spec;
+	// images, per-frame virtual times and aggregated statistics are
+	// bit-identical either way.
+	SequenceSerial bool
+	// SequenceWorkers caps the frame scheduler's pool width (0 means
+	// GOMAXPROCS). Values above GOMAXPROCS are honored, which forces
+	// real concurrency even on small machines — the determinism tests
+	// use that.
+	SequenceWorkers int
+
 	// Trace, when non-nil, collects per-operation activity spans (see
-	// internal/trace) for timeline export.
+	// internal/trace) for timeline export. A non-nil Trace forces
+	// serial sequence execution so the log stays one coherent timeline.
 	Trace *trace.Log
 
 	Compositor Compositor

@@ -7,10 +7,49 @@ import (
 	"gvmr/internal/camera"
 	"gvmr/internal/cluster"
 	"gvmr/internal/img"
+	"gvmr/internal/mapreduce"
+	"gvmr/internal/schedule"
 	"gvmr/internal/sim"
 	"gvmr/internal/vec"
 	"gvmr/internal/volume"
 )
+
+// SequenceStats sums the per-frame MapReduce statistics of a sequence in
+// frame order. Serial and parallel execution produce bit-identical
+// values — the scheduler's determinism contract, locked down by the
+// golden-image test suite.
+type SequenceStats struct {
+	// Stage is the per-frame MeanStage decomposition summed over frames.
+	Stage mapreduce.StageTimes
+	// MapCompute/MapComm sum the §6.3 map-phase decomposition.
+	MapCompute sim.Time
+	MapComm    sim.Time
+	// Wire traffic totals.
+	TotalEmitted  int64
+	TotalReceived int64
+	BytesOnWire   int64
+	Messages      int64
+}
+
+func aggregateStats(frames []*mapreduce.JobStats) SequenceStats {
+	var agg SequenceStats
+	for _, s := range frames {
+		if s == nil {
+			continue
+		}
+		agg.Stage.Map += s.MeanStage.Map
+		agg.Stage.PartitionIO += s.MeanStage.PartitionIO
+		agg.Stage.Sort += s.MeanStage.Sort
+		agg.Stage.Reduce += s.MeanStage.Reduce
+		agg.MapCompute += s.MapCompute
+		agg.MapComm += s.MapComm
+		agg.TotalEmitted += s.TotalEmitted
+		agg.TotalReceived += s.TotalReceived
+		agg.BytesOnWire += s.BytesOnWire
+		agg.Messages += s.Messages
+	}
+	return agg
+}
 
 // SequenceResult summarises a multi-frame animation render: the
 // interactive-visualization use the paper motivates (§4.2: "scientists
@@ -21,43 +60,84 @@ type SequenceResult struct {
 	PerFrame  []sim.Time
 	MeanFPS   float64
 	LastImage *img.Image
+	// FrameStats are each frame's full MapReduce statistics, in frame
+	// order.
+	FrameStats []*mapreduce.JobStats
+	// Agg sums the per-frame statistics in frame order.
+	Agg SequenceStats
+	// Workers is the scheduler pool width the render used (1 means the
+	// frames executed one at a time).
+	Workers int
 }
 
-// RenderSequence renders `frames` frames while orbiting the camera around
-// the volume by orbitDegrees in total, on one cluster (virtual time
-// accumulates across frames, as a real interactive session would). It
-// returns per-frame times and the sustained frame rate. The per-frame
-// images are rendered fully; only the last is retained.
-func RenderSequence(cl *cluster.Cluster, opt Options, frames int, orbitDegrees float64) (*SequenceResult, error) {
+// OrbitCameras builds `frames` cameras orbiting the volume's fitted
+// default view around its vertical axis by orbitDegrees in total —
+// the camera path RenderSequence renders and the public RenderFrames
+// API accepts verbatim.
+func OrbitCameras(src volume.Source, width, height, frames int, orbitDegrees float64) ([]*camera.Camera, error) {
 	if frames < 1 {
 		return nil, fmt.Errorf("core: %d frames", frames)
 	}
-	if err := opt.fillDefaults(); err != nil {
-		return nil, err
-	}
-	// Cross-frame staging reuse needs no wiring here: Render routes every
-	// frame's source through the process-wide staging cache (keyed by
-	// source identity), so the field is evaluated for frame 0 and frames
-	// 1..n-1 stage out of the same materialised volume — see
-	// TestRenderSequenceMaterialisesSourceOnce.
-	sp := volume.NewSpace(opt.Source.Dims())
-	base, err := camera.Fit(sp.Bounds(), opt.Width, opt.Height)
+	sp := volume.NewSpace(src.Dims())
+	base, err := camera.Fit(sp.Bounds(), width, height)
 	if err != nil {
 		return nil, err
 	}
 	center := sp.Bounds().Center()
 	rel := base.Eye.Sub(center)
-
-	res := &SequenceResult{Frames: frames}
-	start := cl.Env.Now()
+	cams := make([]*camera.Camera, frames)
 	for f := 0; f < frames; f++ {
 		angle := orbitDegrees * math.Pi / 180 * float64(f) / float64(frames)
 		rot := vec.RotateY(angle)
 		eye := center.Add(rot.MulPoint(rel))
-		cam, err := camera.New(eye, center, vec.New3(0, 1, 0), base.FovY, opt.Width, opt.Height)
+		cams[f], err = camera.New(eye, center, vec.New3(0, 1, 0), base.FovY, width, height)
 		if err != nil {
 			return nil, err
 		}
+	}
+	return cams, nil
+}
+
+// RenderSequence renders `frames` frames while orbiting the camera around
+// the volume by orbitDegrees in total, and returns per-frame virtual
+// times and the sustained frame rate. Virtual time accumulates on the
+// caller's cluster across frames, as a real interactive session would.
+// The per-frame images are rendered fully; only the last is retained.
+//
+// Frames are independent simulations, so by default they execute
+// concurrently across host cores (the internal/schedule worker pool):
+// each frame renders on a fresh instance of the cluster's spec and the
+// per-frame virtual times are stitched back into serial accounting —
+// images, per-frame times and aggregated statistics are bit-identical
+// to serial execution. Set Options.SequenceSerial to force the
+// one-frame-at-a-time path; a non-nil Options.Trace also forces it, so
+// a trace stays a single coherent timeline.
+func RenderSequence(cl *cluster.Cluster, opt Options, frames int, orbitDegrees float64) (*SequenceResult, error) {
+	if err := opt.fillDefaults(); err != nil {
+		return nil, err
+	}
+	// Cross-frame staging reuse needs no wiring here: Render routes every
+	// frame's source through the process-wide staging cache (keyed by
+	// source identity), so the field is evaluated once and every frame
+	// stages out of the same materialised volume — in parallel mode the
+	// first frame to arrive fills the cache while the rest block briefly,
+	// then all stage concurrently (the cache was built for exactly this).
+	cams, err := OrbitCameras(opt.Source, opt.Width, opt.Height, frames, orbitDegrees)
+	if err != nil {
+		return nil, err
+	}
+	if opt.SequenceSerial || opt.Trace != nil {
+		return renderSequenceSerial(cl, opt, cams)
+	}
+	return renderSequenceParallel(cl, opt, cams)
+}
+
+// renderSequenceSerial is the pre-scheduler path: every frame renders on
+// the caller's cluster, back to back on its single virtual clock.
+func renderSequenceSerial(cl *cluster.Cluster, opt Options, cams []*camera.Camera) (*SequenceResult, error) {
+	res := &SequenceResult{Frames: len(cams), Workers: 1}
+	start := cl.Env.Now()
+	for f, cam := range cams {
 		frameOpt := opt
 		frameOpt.Camera = cam
 		frameStart := cl.Env.Now()
@@ -66,11 +146,54 @@ func RenderSequence(cl *cluster.Cluster, opt Options, frames int, orbitDegrees f
 			return nil, fmt.Errorf("core: frame %d: %w", f, err)
 		}
 		res.PerFrame = append(res.PerFrame, cl.Env.Now()-frameStart)
+		res.FrameStats = append(res.FrameStats, r.Stats)
 		res.LastImage = r.Image
 	}
 	res.Total = cl.Env.Now() - start
-	if res.Total > 0 {
-		res.MeanFPS = float64(frames) / res.Total.Seconds()
-	}
+	finishSequence(res)
 	return res, nil
+}
+
+// renderSequenceParallel fans the frames out over the worker pool, one
+// fresh cluster instance per frame, and stitches the per-frame virtual
+// times back into the serial accounting: PerFrame[f] is frame f's
+// simulated duration, Total is their sum (frames run back to back in
+// virtual time, exactly as the serial path schedules them), and the
+// caller's cluster clock advances by Total.
+func renderSequenceParallel(cl *cluster.Cluster, opt Options, cams []*camera.Camera) (*SequenceResult, error) {
+	workers := schedule.Workers(opt.SequenceWorkers, len(cams))
+	devWorkers := schedule.DeviceWorkers(workers)
+	outs, err := schedule.Map(workers, len(cams), func(f int) (Frame, error) {
+		fr, err := renderFrameJob(cl, opt, cams, devWorkers, f)
+		if err == nil && f != len(cams)-1 {
+			// Only the last image is retained (as in the serial path);
+			// don't hold every frame's framebuffer until the join.
+			fr.Result.Image = nil
+		}
+		return fr, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &SequenceResult{Frames: len(cams), Workers: workers}
+	for _, o := range outs {
+		res.PerFrame = append(res.PerFrame, o.Time)
+		res.FrameStats = append(res.FrameStats, o.Result.Stats)
+		res.Total += o.Time
+		res.LastImage = o.Result.Image
+	}
+	// The caller's session clock advances as if it had rendered the
+	// frames itself.
+	if err := cl.Env.RunUntil(cl.Env.Now() + res.Total); err != nil {
+		return nil, err
+	}
+	finishSequence(res)
+	return res, nil
+}
+
+func finishSequence(res *SequenceResult) {
+	res.Agg = aggregateStats(res.FrameStats)
+	if res.Total > 0 {
+		res.MeanFPS = float64(res.Frames) / res.Total.Seconds()
+	}
 }

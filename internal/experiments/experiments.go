@@ -1,8 +1,8 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (§5, §6.3, footnote 1, and the §3 micro-costs), plus the
 // §6.1 design ablations. It is shared by cmd/benchsuite and the root
-// bench_test.go so the numbers in EXPERIMENTS.md come from exactly one
-// code path.
+// bench_test.go so every reported number comes from exactly one code
+// path (see DESIGN.md §4 for the experiment index).
 package experiments
 
 import (
@@ -12,6 +12,7 @@ import (
 	"gvmr/internal/cluster"
 	"gvmr/internal/core"
 	"gvmr/internal/mapreduce"
+	"gvmr/internal/schedule"
 	"gvmr/internal/sim"
 	"gvmr/internal/transfer"
 	"gvmr/internal/volume"
@@ -42,6 +43,23 @@ type Scale struct {
 	BaselineGPUs         int
 	// AblationEdge sizes the §6.1 ablation renders.
 	AblationEdge int
+
+	// Serial forces the figure sweeps to run one cell at a time on the
+	// calling goroutine (the frame scheduler's opt-out, for debugging
+	// and serial-vs-parallel A/B benchmarks). The default fans
+	// independent cells out across host cores; rows are stitched back
+	// in grid order either way, so tables are bit-identical.
+	Serial bool
+	// Workers caps the fan-out pool width (0 means GOMAXPROCS).
+	Workers int
+}
+
+// poolWidth resolves the scheduler pool for a fan-out of n jobs.
+func (sc Scale) poolWidth(n int) int {
+	if sc.Serial {
+		return 1
+	}
+	return schedule.Workers(sc.Workers, n)
 }
 
 // Paper returns the full evaluation scale: 512² images, 128³–1024³
@@ -98,11 +116,19 @@ func FromEnv() Scale {
 // a fresh AC cluster with the given GPU count. mutate may adjust options
 // before the run.
 func RenderConfig(ds string, dims volume.Dims, gpus, imgSize int, mutate func(*core.Options)) (*core.Result, error) {
-	env := sim.NewEnv()
-	cl, err := cluster.New(env, cluster.AC(gpus))
+	return RenderConfigWorkers(ds, dims, gpus, imgSize, 0, mutate)
+}
+
+// RenderConfigWorkers is RenderConfig with a cap on per-device host
+// parallelism (0 means GOMAXPROCS). Parallel sweeps cap it so concurrent
+// cells don't oversubscribe the machine; the cap changes wall-clock
+// behavior only — virtual times and images are identical at any setting.
+func RenderConfigWorkers(ds string, dims volume.Dims, gpus, imgSize, devWorkers int, mutate func(*core.Options)) (*core.Result, error) {
+	cl, err := cluster.AC(gpus).Instance()
 	if err != nil {
 		return nil, err
 	}
+	cl.SetDeviceWorkers(devWorkers)
 	src, err := dataset.New(ds, dims)
 	if err != nil {
 		return nil, err
@@ -142,36 +168,49 @@ type SweepRow struct {
 
 // Sweep renders the full (edge × GPU count) grid with the skull dataset
 // (the paper's size-scaling workload) and returns one row per rendered
-// configuration. Configurations whose volume exceeds a single device's
-// VRAM are skipped at 1 GPU, exactly as the paper's Figure 3 starts the
-// 1024³ series at 2 GPUs.
+// configuration, in grid order. Configurations whose volume exceeds a
+// single device's VRAM are skipped at 1 GPU, exactly as the paper's
+// Figure 3 starts the 1024³ series at 2 GPUs.
+//
+// Every cell is an independent simulation on its own cluster instance, so
+// cells fan out across host cores (Scale.Serial opts out); rows come back
+// stitched in grid order and are bit-identical to a serial sweep.
 func Sweep(sc Scale) ([]SweepRow, error) {
 	vram := cluster.AC(1).GPU.VRAMBytes
-	var rows []SweepRow
+	type cell struct {
+		dims volume.Dims
+		gpus int
+	}
+	var cells []cell
 	for _, edge := range sc.Edges {
 		dims := volume.Cube(edge)
 		for _, gpus := range sc.GPUCounts {
 			if gpus == 1 && dims.Bytes() >= vram {
 				continue // cannot hold the volume on one device in core
 			}
-			res, err := RenderConfig(dataset.Skull, dims, gpus, sc.ImageSize, nil)
-			if err != nil {
-				return nil, fmt.Errorf("sweep %v on %d GPUs: %w", dims, gpus, err)
-			}
-			rows = append(rows, SweepRow{
-				Dataset:    dataset.Skull,
-				Dims:       dims,
-				GPUs:       gpus,
-				Bricks:     res.Grid.NumBricks(),
-				Stage:      res.Stats.MeanStage,
-				Runtime:    res.Runtime,
-				FPS:        res.FPS,
-				VPSM:       res.VPSMillions,
-				MapCompute: res.Stats.MapCompute,
-				MapComm:    res.Stats.MapComm,
-				Emitted:    res.Stats.TotalEmitted,
-			})
+			cells = append(cells, cell{dims: dims, gpus: gpus})
 		}
 	}
-	return rows, nil
+	workers := sc.poolWidth(len(cells))
+	devWorkers := schedule.DeviceWorkers(workers)
+	return schedule.Map(workers, len(cells), func(i int) (SweepRow, error) {
+		c := cells[i]
+		res, err := RenderConfigWorkers(dataset.Skull, c.dims, c.gpus, sc.ImageSize, devWorkers, nil)
+		if err != nil {
+			return SweepRow{}, fmt.Errorf("sweep %v on %d GPUs: %w", c.dims, c.gpus, err)
+		}
+		return SweepRow{
+			Dataset:    dataset.Skull,
+			Dims:       c.dims,
+			GPUs:       c.gpus,
+			Bricks:     res.Grid.NumBricks(),
+			Stage:      res.Stats.MeanStage,
+			Runtime:    res.Runtime,
+			FPS:        res.FPS,
+			VPSM:       res.VPSMillions,
+			MapCompute: res.Stats.MapCompute,
+			MapComm:    res.Stats.MapComm,
+			Emitted:    res.Stats.TotalEmitted,
+		}, nil
+	})
 }

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -214,5 +216,63 @@ func TestRenderConfigMutate(t *testing.T) {
 	}
 	if res.Grid.NumBricks() != 4 {
 		t.Errorf("mutate ignored: %d bricks", res.Grid.NumBricks())
+	}
+}
+
+// TestSweepParallelMatchesSerial: fanning sweep cells out across the
+// scheduler pool must produce row-for-row identical tables.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	serialSc := tiny()
+	serialSc.Serial = true
+	serial, err := Sweep(serialSc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parSc := tiny()
+	parSc.Workers = 4 // force a real pool even on one core
+	parallel, err := Sweep(parSc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("sweep rows differ between serial and parallel execution:\nserial   %+v\nparallel %+v",
+			serial, parallel)
+	}
+}
+
+// TestSeqBenchRecord exercises the BENCH_fig2.json generator end to end
+// at test scale: both legs must agree bit for bit and the record must
+// round-trip through JSON.
+func TestSeqBenchRecord(t *testing.T) {
+	b, err := RunSeqBench(tiny(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.BitIdentical {
+		t.Error("seqbench legs diverged")
+	}
+	if b.Serial.WallSeconds <= 0 || b.Parallel.WallSeconds <= 0 || b.SpeedupWall <= 0 {
+		t.Errorf("wall-clock fields not populated: %+v", b)
+	}
+	if b.Config.Frames != 3 || b.Config.Dataset != dataset.Skull {
+		t.Errorf("config not recorded: %+v", b.Config)
+	}
+	if len(b.Virtual.PerFrameSeconds) != 3 || b.Virtual.MeanFPS <= 0 {
+		t.Errorf("virtual figures not populated: %+v", b.Virtual)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := b.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SeqBench
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Config != b.Config {
+		t.Error("config did not round-trip through JSON")
 	}
 }

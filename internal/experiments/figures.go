@@ -7,6 +7,7 @@ import (
 
 	"gvmr/internal/core"
 	"gvmr/internal/report"
+	"gvmr/internal/schedule"
 	"gvmr/internal/sim"
 	"gvmr/internal/volume"
 	"gvmr/internal/volume/dataset"
@@ -27,15 +28,25 @@ func Fig2(sc Scale, outDir string) (*report.Table, error) {
 		{dataset.Supernova, volume.Cube(sc.Fig2Edge)},
 		{dataset.Plume, dataset.PaperDims(dataset.Plume, sc.Fig2Edge*4)},
 	}
-	for _, j := range jobs {
+	// The three dataset renders are independent simulations: fan them out
+	// across cores, then write PNGs and table rows in dataset order.
+	workers := sc.poolWidth(len(jobs))
+	devWorkers := schedule.DeviceWorkers(workers)
+	results, err := schedule.Map(workers, len(jobs), func(i int) (*core.Result, error) {
 		// Figure renders use gradient shading — the paper's images are
 		// shaded (§2: "interpolation and shading calculations").
-		res, err := RenderConfig(j.name, j.dims, 4, sc.ImageSize, func(o *core.Options) {
-			o.Shading = true
-		})
+		res, err := RenderConfigWorkers(jobs[i].name, jobs[i].dims, 4, sc.ImageSize, devWorkers,
+			func(o *core.Options) { o.Shading = true })
 		if err != nil {
-			return nil, fmt.Errorf("fig2 %s: %w", j.name, err)
+			return nil, fmt.Errorf("fig2 %s: %w", jobs[i].name, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		res := results[i]
 		file := "-"
 		if outDir != "" {
 			if err := os.MkdirAll(outDir, 0o755); err != nil {

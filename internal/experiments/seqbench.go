@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"gvmr/internal/cluster"
+	"gvmr/internal/core"
+	"gvmr/internal/schedule"
+	"gvmr/internal/sim"
+	"gvmr/internal/transfer"
+	"gvmr/internal/volume"
+	"gvmr/internal/volume/dataset"
+)
+
+// SeqBenchConfig records everything needed to interpret a sequence
+// benchmark row: the workload and the machine it ran on.
+type SeqBenchConfig struct {
+	Scale      string `json:"scale"`
+	Dataset    string `json:"dataset"`
+	Dims       string `json:"dims"`
+	GPUs       int    `json:"gpus"`
+	Frames     int    `json:"frames"`
+	ImageSize  int    `json:"image_size"`
+	Shading    bool   `json:"shading"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Workers    int    `json:"parallel_workers"`
+}
+
+// SeqBenchLeg is one timed execution of the sequence.
+type SeqBenchLeg struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	Workers     int     `json:"workers"`
+}
+
+// SeqBenchVirtual carries the simulation-side figures of merit — the
+// paper-comparable numbers, identical between the two legs by the
+// scheduler's determinism contract.
+type SeqBenchVirtual struct {
+	TotalSeconds    float64   `json:"total_seconds"`
+	MeanFPS         float64   `json:"mean_fps"`
+	VPSMillions     float64   `json:"vps_millions"`
+	PerFrameSeconds []float64 `json:"per_frame_seconds"`
+}
+
+// SeqBench is the machine-readable record cmd/benchsuite writes to
+// BENCH_fig2.json: one multi-frame orbit of the Figure 2 skull dataset,
+// rendered serially and through the parallel frame scheduler, with
+// wall-clock for both and proof the outputs matched bit for bit.
+type SeqBench struct {
+	Config       SeqBenchConfig  `json:"config"`
+	Serial       SeqBenchLeg     `json:"serial"`
+	Parallel     SeqBenchLeg     `json:"parallel"`
+	SpeedupWall  float64         `json:"speedup_wall"`
+	BitIdentical bool            `json:"bit_identical"`
+	Virtual      SeqBenchVirtual `json:"virtual"`
+}
+
+// RunSeqBench renders a `frames`-frame orbit of the skull dataset at the
+// scale's Figure 2 size on a 4-GPU cluster, once serially (frames back
+// to back on one cluster) and once through the parallel frame scheduler,
+// and reports wall-clock for both plus the (identical) virtual figures
+// of merit. Both legs go through core.RenderFrames, which returns every
+// frame's image and statistics, so bit-identity is verified per frame —
+// image digests, per-frame virtual runtimes and full JobStats — not
+// just on the final frame. The staging cache is pre-warmed with a
+// single untimed frame so neither leg pays dataset materialisation.
+func RunSeqBench(sc Scale, frames int) (*SeqBench, error) {
+	dims := volume.Cube(sc.Fig2Edge)
+	src, err := dataset.New(dataset.Skull, dims)
+	if err != nil {
+		return nil, err
+	}
+	tf, err := transfer.Preset(dataset.Skull)
+	if err != nil {
+		return nil, err
+	}
+	opt := core.Options{
+		Source: src, TF: tf,
+		Width: sc.ImageSize, Height: sc.ImageSize,
+		Shading: true,
+	}
+	spec := cluster.AC(4)
+	cams, err := core.OrbitCameras(src, sc.ImageSize, sc.ImageSize, frames, 360)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pre-warm the staging cache (materialise the dataset once, untimed)
+	// so the serial and parallel legs both stage out of host memory.
+	warm, err := spec.Instance()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := core.Render(warm, opt); err != nil {
+		return nil, err
+	}
+
+	run := func(serial bool) ([]*core.Result, float64, int, error) {
+		cl, err := spec.Instance()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		o := opt
+		o.SequenceSerial = serial
+		workers := 1
+		if !serial {
+			workers = schedule.Workers(0, frames)
+		}
+		start := time.Now()
+		results, err := core.RenderFrames(cl, o, cams)
+		return results, time.Since(start).Seconds(), workers, err
+	}
+	serial, serialWall, _, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	parallel, parWall, parWorkers, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-frame bit-identity: every image, every virtual runtime, every
+	// full JobStats record.
+	identical := len(serial) == len(parallel)
+	var total sim.Time
+	perFrame := make([]float64, 0, len(serial))
+	for i := range serial {
+		if !identical {
+			break
+		}
+		identical = serial[i].Image.Digest() == parallel[i].Image.Digest() &&
+			serial[i].Runtime == parallel[i].Runtime &&
+			reflect.DeepEqual(serial[i].Stats, parallel[i].Stats)
+		total += serial[i].Runtime
+		perFrame = append(perFrame, serial[i].Runtime.Seconds())
+	}
+
+	voxels := float64(dims.Voxels()) * float64(frames)
+	out := &SeqBench{
+		Config: SeqBenchConfig{
+			Scale:      sc.Name,
+			Dataset:    dataset.Skull,
+			Dims:       dims.String(),
+			GPUs:       4,
+			Frames:     frames,
+			ImageSize:  sc.ImageSize,
+			Shading:    true,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			Workers:    schedule.Workers(0, frames),
+		},
+		Serial:       SeqBenchLeg{WallSeconds: serialWall, Workers: 1},
+		Parallel:     SeqBenchLeg{WallSeconds: parWall, Workers: parWorkers},
+		BitIdentical: identical,
+		Virtual: SeqBenchVirtual{
+			TotalSeconds:    total.Seconds(),
+			MeanFPS:         float64(frames) / total.Seconds(),
+			VPSMillions:     voxels / total.Seconds() / 1e6,
+			PerFrameSeconds: perFrame,
+		},
+	}
+	if parWall > 0 {
+		out.SpeedupWall = serialWall / parWall
+	}
+	return out, nil
+}
+
+// WriteJSON writes the record, indented, to path.
+func (b *SeqBench) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

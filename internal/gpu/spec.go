@@ -10,7 +10,7 @@ import "gvmr/internal/sim"
 
 // Spec is the performance model of a device. The defaults in TeslaC1060
 // are calibrated against the micro-costs the paper reports (§3) and the
-// §6.3 bottleneck analysis; see EXPERIMENTS.md.
+// §6.3 bottleneck analysis; see DESIGN.md §6.
 type Spec struct {
 	Name string
 	// VRAMBytes is the device memory capacity.
@@ -70,6 +70,16 @@ func (s *Stats) Add(other Stats) {
 	s.Samples += other.Samples
 	s.Emitted += other.Emitted
 	s.RaysHit += other.RaysHit
+}
+
+// Sub removes other from s. Device counters are lifetime totals; callers
+// that need per-job figures snapshot at job start and Sub the snapshot
+// out, so a job's stats don't depend on what ran before it on the device.
+func (s *Stats) Sub(other Stats) {
+	s.Threads -= other.Threads
+	s.Samples -= other.Samples
+	s.Emitted -= other.Emitted
+	s.RaysHit -= other.RaysHit
 }
 
 // Kernel is a CUDA-kernel equivalent: real computation decomposed into a

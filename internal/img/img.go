@@ -4,11 +4,15 @@ package img
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"image"
 	"image/color"
 	"image/png"
 	"io"
+	"math"
 	"os"
 
 	"gvmr/internal/vec"
@@ -127,6 +131,26 @@ func Diff(a, b *Image) (maxErr, meanErr float64) {
 	}
 	meanErr = sum / float64(3*len(a.Pix))
 	return maxErr, meanErr
+}
+
+// Digest returns a SHA-256 hex digest over the image dimensions and the
+// exact float32 bit patterns of every pixel. Two images digest equal iff
+// they are bit-identical — the golden-image regression tests and the
+// serial-vs-parallel determinism tests compare renders through it.
+func (im *Image) Digest() string {
+	h := sha256.New()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(im.W))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(im.H))
+	h.Write(buf[:])
+	for _, c := range im.Pix {
+		binary.LittleEndian.PutUint32(buf[0:], math.Float32bits(c.X))
+		binary.LittleEndian.PutUint32(buf[4:], math.Float32bits(c.Y))
+		binary.LittleEndian.PutUint32(buf[8:], math.Float32bits(c.Z))
+		binary.LittleEndian.PutUint32(buf[12:], math.Float32bits(c.W))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // MeanLuminance returns the average of (R+G+B)/3 over all pixels: a cheap

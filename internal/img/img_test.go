@@ -3,6 +3,7 @@ package img
 import (
 	"bytes"
 	"image/png"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -116,5 +117,29 @@ func TestMeanLuminance(t *testing.T) {
 	got := im.MeanLuminance()
 	if got < 0.49 || got > 0.51 {
 		t.Errorf("MeanLuminance = %v, want 0.5", got)
+	}
+}
+
+func TestDigest(t *testing.T) {
+	a := New(4, 3, vec.V4{X: 0.25, W: 1})
+	b := New(4, 3, vec.V4{X: 0.25, W: 1})
+	if a.Digest() != b.Digest() {
+		t.Error("identical images digest differently")
+	}
+	if len(a.Digest()) != 64 {
+		t.Errorf("digest length %d, want 64 hex chars", len(a.Digest()))
+	}
+	// A one-ULP change in one channel of one pixel must change the digest.
+	c := New(4, 3, vec.V4{X: 0.25, W: 1})
+	px := c.At(2, 1)
+	px.Y = math.Float32frombits(math.Float32bits(px.Y) + 1)
+	c.Set(2, 1, px)
+	if a.Digest() == c.Digest() {
+		t.Error("one-ULP pixel change not reflected in digest")
+	}
+	// Same pixel data at different dims must digest differently.
+	d := New(3, 4, vec.V4{X: 0.25, W: 1})
+	if a.Digest() == d.Digest() {
+		t.Error("dims not part of the digest")
 	}
 }

@@ -44,6 +44,7 @@ func Run[V, S any](cfg Config[V, S]) (*JobStats, error) {
 			Node:  cfg.Cluster.NodeOf(i),
 			tr:    cfg.Trace,
 			lane:  fmt.Sprintf("gpu%d", i),
+			work0: cfg.Cluster.Device(i).Stats().Work,
 		}
 	}
 	reducers := make([]*reducerState[V], cfg.Reducers)
@@ -336,13 +337,15 @@ func assembleStats[V, S any](cfg Config[V, S], makespan sim.Time,
 	perWorker := make([]StageTimes, len(workers))
 	for i, w := range workers {
 		perWorker[i] = StageTimes{Map: w.mapTime, PartitionIO: w.partIOTime}
+		work := w.Dev.Stats().Work
+		work.Sub(w.work0)
 		js.Workers = append(js.Workers, WorkerStats{
 			Index:     w.Index,
 			Chunks:    w.chunksDone,
 			Emitted:   w.emitted,
 			Discarded: w.discarded,
 			CommBusy:  w.commBusy,
-			Kernel:    w.Dev.Stats().Work,
+			Kernel:    work,
 		})
 		js.TotalEmitted += w.emitted
 		js.MapCompute += w.kernelTime

@@ -30,6 +30,13 @@ type Worker struct {
 	chunksDone int
 	emitted    int64
 	discarded  int64
+
+	// work0 snapshots the device's lifetime kernel-work counters at job
+	// start, so WorkerStats.Kernel reports this job's work only — a job's
+	// statistics must not depend on what ran on the device before it
+	// (multi-frame sessions reuse devices; the parallel frame scheduler
+	// gives every frame a fresh one; both must report identically).
+	work0 gpu.Stats
 }
 
 // span records an activity interval on the worker's trace lane (no-op

@@ -1,0 +1,233 @@
+// Package schedule is a bounded worker-pool job scheduler for
+// independent simulation jobs.
+//
+// The simulation kernel (internal/sim) is cooperative: one Env advances
+// one process at a time, so a multi-frame animation or a parameter sweep
+// executes serially in wall-clock no matter how many host cores exist —
+// even though every frame and every sweep cell is an independent
+// simulation. The scheduler closes that gap: each job instantiates its
+// own cluster (cluster.Params.Instance) bound to a fresh Env, jobs run
+// concurrently across real host cores, and the caller stitches per-job
+// virtual times back into serial accounting by index order. Because every
+// job is a self-contained deterministic simulation and results are
+// combined in index order, parallel execution is bit-identical to serial
+// execution — see the golden-image and determinism tests at the module
+// root.
+package schedule
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested pool width: requested > 0 is honored (so
+// callers and tests can force real concurrency even on small machines),
+// zero means GOMAXPROCS. The result is clamped to [1, jobs].
+func Workers(requested, jobs int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// DeviceWorkers splits GOMAXPROCS across a pool of the given width: each
+// job's simulated devices get this many host cores for kernel-block
+// execution, so frame-level and block-level parallelism compose instead
+// of oversubscribing the machine. A pool of one (the serial degenerate
+// case) keeps full block-level parallelism.
+func DeviceWorkers(poolWidth int) int {
+	if poolWidth < 1 {
+		poolWidth = 1
+	}
+	dw := runtime.GOMAXPROCS(0) / poolWidth
+	if dw < 1 {
+		dw = 1
+	}
+	return dw
+}
+
+// Item is one streamed job result.
+type Item[T any] struct {
+	Index int
+	Value T
+	Err   error
+}
+
+// Map runs job(0..n-1) on a pool of `workers` goroutines and returns the
+// results in index order. On failure it returns the error of the
+// lowest-index failed job — exactly the error a serial loop would have
+// stopped on — and cancels jobs that have not started yet (jobs already
+// running complete). workers <= 1 runs the jobs inline in index order,
+// stopping at the first error like a plain loop.
+func Map[T any](workers, n int, job func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if workers = Workers(workers, n); workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := job(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next, failed int64
+	failed = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1) - 1)
+				if i >= n {
+					return
+				}
+				if atomic.LoadInt64(&failed) >= 0 {
+					continue // drain remaining indexes without running them
+				}
+				v, err := job(i)
+				if err != nil {
+					errs[i] = err
+					atomic.StoreInt64(&failed, int64(i))
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	// First error by index: deterministic regardless of which goroutine
+	// hit its error first in wall-clock.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Stream runs jobs like Map but delivers every result on the returned
+// channel in strict index order, each as soon as it and all its
+// predecessors are done — a frame stream. Errors are delivered in-stream
+// as items with Err set; all jobs run regardless (consumers that want
+// fail-fast semantics use Map). The channel is closed after item n-1.
+//
+// The stream applies backpressure: workers run at most a small window
+// ahead of the consumer (in-flight jobs plus a little lookahead), so a
+// slow consumer bounds resident results instead of accumulating all n.
+//
+// Closing `done` cancels the stream: jobs already running finish (a
+// simulation cannot be interrupted mid-event), no new jobs start, every
+// goroutine exits, and the output channel closes early. A consumer that
+// stops reading MUST cancel (or drain) — otherwise delivery blocks
+// forever. nil means not cancellable.
+func Stream[T any](workers, n int, job func(int) (T, error), done <-chan struct{}) <-chan Item[T] {
+	workers = Workers(workers, n)
+	out := make(chan Item[T], workers)
+	if n == 0 {
+		close(out)
+		return out
+	}
+	go func() {
+		defer close(out)
+		if workers == 1 {
+			for i := 0; i < n; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				v, err := job(i)
+				select {
+				case out <- Item[T]{Index: i, Value: v, Err: err}:
+				case <-done:
+					return
+				}
+			}
+			return
+		}
+		var mu sync.Mutex
+		cond := sync.NewCond(&mu)
+		cancelled := false
+		ready := make([]*Item[T], n)
+		// window bounds how far ahead of the consumer workers may run.
+		// Slots are acquired in index order before a job starts and
+		// released after its item is delivered, so the lowest undelivered
+		// index always holds a slot — progress is guaranteed.
+		window := make(chan struct{}, workers+2)
+		var next int64
+		var wg sync.WaitGroup
+		finished := make(chan struct{})
+		defer close(finished)
+		if done != nil {
+			// Wake the delivery loop out of cond.Wait on cancellation.
+			go func() {
+				select {
+				case <-done:
+					mu.Lock()
+					cancelled = true
+					cond.Broadcast()
+					mu.Unlock()
+				case <-finished:
+				}
+			}()
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case window <- struct{}{}:
+					case <-done: // nil when not cancellable: never ready
+						return
+					}
+					i := int(atomic.AddInt64(&next, 1) - 1)
+					if i >= n {
+						<-window
+						return
+					}
+					v, err := job(i)
+					mu.Lock()
+					ready[i] = &Item[T]{Index: i, Value: v, Err: err}
+					cond.Broadcast()
+					mu.Unlock()
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			mu.Lock()
+			for ready[i] == nil && !cancelled {
+				cond.Wait()
+			}
+			if cancelled {
+				mu.Unlock()
+				return // workers exit via done; jobs in flight finish
+			}
+			item := *ready[i]
+			ready[i] = nil // release the result once delivered
+			mu.Unlock()
+			select {
+			case out <- item:
+			case <-done:
+				return
+			}
+			<-window
+		}
+		wg.Wait()
+	}()
+	return out
+}
