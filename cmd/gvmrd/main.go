@@ -1,0 +1,120 @@
+// Command gvmrd is the gvmr render daemon: it serves frames rendered on
+// the simulated multi-GPU cluster over HTTP, with request coalescing, a
+// bounded rendered-frame cache and admission-control backpressure (see
+// internal/server and DESIGN.md §7).
+//
+// Usage:
+//
+//	gvmrd serve -addr :8421 -gpus 8 -workers 0 -queue 64
+//	gvmrd loadtest -duration 10s -concurrency 16 -json BENCH_serve.json
+//
+// Endpoints:
+//
+//	GET /render?dataset=skull&edge=64&size=256&orbit=30&shading=1&format=png
+//	GET /stats
+//	GET /healthz
+//
+// The loadtest subcommand hammers a service (its own in-process one by
+// default, or -addr for a running daemon) with a zipf mix of repeated
+// and unique cameras, verifies the coalescer, the frame cache and
+// bit-identity against a direct render, and writes the machine-readable
+// BENCH_serve.json record.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gvmr/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gvmrd: ")
+	args := os.Args[1:]
+	sub := "serve"
+	if len(args) > 0 && args[0] != "" && args[0][0] != '-' {
+		sub, args = args[0], args[1:]
+	}
+	switch sub {
+	case "serve":
+		runServe(args)
+	case "loadtest":
+		runLoadtest(args)
+	default:
+		fmt.Fprintf(os.Stderr, "gvmrd: unknown subcommand %q (serve|loadtest)\n", sub)
+		os.Exit(2)
+	}
+}
+
+// serviceFlags registers the flags shared by serve and loadtest's
+// self-hosted mode, returning a constructor.
+func serviceFlags(fs *flag.FlagSet) func() (*server.Service, error) {
+	var (
+		gpus       = fs.Int("gpus", 4, "simulated cluster GPU count per render")
+		workers    = fs.Int("workers", 0, "concurrent renders (0 = GOMAXPROCS)")
+		queue      = fs.Int("queue", 64, "admitted renders that may wait beyond the workers (admission bound)")
+		frameBytes = fs.Int64("frame-bytes", 0, "frame cache budget in bytes (0 = GVMR_FRAME_BYTES or 256 MiB, -1 disables)")
+		maxEdge    = fs.Int("max-edge", 512, "largest dataset cube edge a request may ask for")
+		maxPixels  = fs.Int("max-pixels", 4096*4096, "largest image (width*height) a request may ask for")
+	)
+	return func() (*server.Service, error) {
+		return server.New(server.Config{
+			GPUs:            *gpus,
+			Workers:         *workers,
+			MaxQueue:        *queue,
+			FrameCacheBytes: *frameBytes,
+			MaxPixels:       *maxPixels,
+			MaxEdge:         *maxEdge,
+		})
+	}
+}
+
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8421", "listen address")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+	mkService := serviceFlags(fs)
+	_ = fs.Parse(args)
+
+	svc, err := mkService()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: svc.Handler()}
+	st := svc.Stats()
+	log.Printf("listening on %s (%d workers, queue %d, frame cache %d MiB)",
+		ln.Addr(), st.Workers, st.QueueCapacity, st.Cache.Capacity>>20)
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("%v: draining...", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Close(ctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("drained; bye")
+}

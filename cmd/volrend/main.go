@@ -39,6 +39,9 @@ func main() {
 		dynamic    = flag.Bool("dynamic", false, "dynamic chunk scheduling")
 		step       = flag.Float64("step", 1.0, "marching step in voxels")
 		tracePath  = flag.String("trace", "", "write a chrome://tracing timeline JSON to this path")
+		orbit      = flag.Float64("orbit", 0, "camera angle in degrees along the fitted orbit (gvmrd's camera parameterisation)")
+		shading    = flag.Bool("shading", false, "gradient diffuse shading")
+		digest     = flag.Bool("digest", false, "print the SHA-256 digest of the exact framebuffer bits (compare with gvmrd's X-Gvmr-Digest)")
 	)
 	flag.Parse()
 
@@ -87,7 +90,15 @@ func main() {
 		FromDisk:     *fromDisk,
 		BricksPerGPU: *bricks,
 		StepVoxels:   float32(*step),
+		Shading:      *shading,
 		Background:   vec.New4(0, 0, 0, 1),
+	}
+	if *orbit != 0 {
+		cam, err := gvmr.OrbitCamera(src, *imgSize, *imgSize, *orbit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.Camera = cam
 	}
 	switch *compositor {
 	case "direct-send":
@@ -140,6 +151,9 @@ func main() {
 		res.Stats.TotalEmitted, res.Stats.TotalReceived, res.Stats.Messages,
 		float64(res.Stats.BytesOnWire)/(1<<20))
 
+	if *digest {
+		fmt.Printf("digest      %s\n", res.Image.Digest())
+	}
 	if *out != "" {
 		if err := res.Image.WritePNG(*out); err != nil {
 			log.Fatal(err)
@@ -158,7 +172,7 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d spans; open in chrome://tracing)\n", *tracePath, traceLog.Len())
 	}
-	if *out == "" && *ppm == "" {
+	if *out == "" && *ppm == "" && !*digest {
 		fmt.Fprintln(os.Stderr, "note: no -o/-ppm given, image discarded")
 	}
 }

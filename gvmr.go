@@ -106,8 +106,18 @@ type Frame = core.Frame
 // OrbitCameras builds `frames` cameras orbiting the source's fitted
 // default view by orbitDegrees in total — the camera path RenderSequence
 // renders, exposed so RenderFrames/RenderAsync can consume or modify it.
+// A partial orbit reaches its endpoint (the last camera sits at exactly
+// orbitDegrees); a full-turn orbit spaces frames orbit/frames apart so
+// the wrap frame doesn't duplicate frame zero; a single frame is the
+// fitted base view (use OrbitCamera for one frame at a given angle).
 func OrbitCameras(src Source, width, height, frames int, orbitDegrees float64) ([]*Camera, error) {
 	return core.OrbitCameras(src, width, height, frames, orbitDegrees)
+}
+
+// OrbitCamera builds the single camera `degrees` along the fitted orbit —
+// the view a render-service request addresses.
+func OrbitCamera(src Source, width, height int, degrees float64) (*Camera, error) {
+	return core.OrbitCamera(src, width, height, degrees)
 }
 
 // RenderFrames renders one frame per camera — an animation path, a

@@ -22,23 +22,41 @@ type Frame struct {
 	Err  error
 }
 
+// RenderOn renders one frame on a fresh instance of spec and returns the
+// result plus the frame's virtual duration — the single-frame job API:
+// every call is an independent, deterministic simulation, safe to issue
+// concurrently from any number of goroutines. devWorkers caps the host
+// cores the instance's simulated devices use for kernel blocks (≤ 0
+// means all of GOMAXPROCS); callers running many jobs at once split the
+// machine with schedule.DeviceWorkers. The render service calls this
+// once per admitted request.
+func RenderOn(spec cluster.Spec, opt Options, devWorkers int) (*Result, sim.Time, error) {
+	inst, err := spec.Instance()
+	if err != nil {
+		return nil, 0, err
+	}
+	if devWorkers > 0 {
+		inst.SetDeviceWorkers(devWorkers)
+	}
+	start := inst.Env.Now()
+	r, err := Render(inst, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	return r, inst.Env.Now() - start, nil
+}
+
 // renderFrameJob renders cams[f] on a fresh instance of cl's spec and
 // returns the result plus the frame's virtual duration. It is the unit
 // of work both RenderFrames and RenderFramesAsync schedule.
 func renderFrameJob(cl *cluster.Cluster, opt Options, cams []*camera.Camera, devWorkers, f int) (Frame, error) {
-	inst, err := cl.Params.Instance()
-	if err != nil {
-		return Frame{Index: f}, err
-	}
-	inst.SetDeviceWorkers(devWorkers)
 	frameOpt := opt
 	frameOpt.Camera = cams[f]
-	start := inst.Env.Now()
-	r, err := Render(inst, frameOpt)
+	r, dur, err := RenderOn(cl.Params, frameOpt, devWorkers)
 	if err != nil {
 		return Frame{Index: f}, fmt.Errorf("core: frame %d: %w", f, err)
 	}
-	return Frame{Index: f, Result: r, Time: inst.Env.Now() - start}, nil
+	return Frame{Index: f, Result: r, Time: dur}, nil
 }
 
 func validateFrames(opt *Options, cams []*camera.Camera) error {

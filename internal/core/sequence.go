@@ -74,28 +74,73 @@ type SequenceResult struct {
 // default view around its vertical axis by orbitDegrees in total —
 // the camera path RenderSequence renders and the public RenderFrames
 // API accepts verbatim.
+//
+// A partial orbit reaches its endpoint: the last camera sits at exactly
+// orbitDegrees (a 90° sweep over 8 frames spaces them 90/7° apart). A
+// full-turn orbit (any multiple of 360°) instead spaces frames
+// orbit/frames apart, so the would-be final frame — a duplicate of frame
+// zero — is not rendered twice. With frames == 1 the single camera is
+// the fitted base view regardless of orbitDegrees; use OrbitCamera for
+// one frame at a specific angle.
 func OrbitCameras(src volume.Source, width, height, frames int, orbitDegrees float64) ([]*camera.Camera, error) {
 	if frames < 1 {
 		return nil, fmt.Errorf("core: %d frames", frames)
 	}
-	sp := volume.NewSpace(src.Dims())
-	base, err := camera.Fit(sp.Bounds(), width, height)
+	base, err := fitOrbit(src, width, height)
 	if err != nil {
 		return nil, err
 	}
-	center := sp.Bounds().Center()
-	rel := base.Eye.Sub(center)
+	denom := float64(frames)
+	if frames > 1 && math.Mod(orbitDegrees, 360) != 0 {
+		denom = float64(frames - 1)
+	}
 	cams := make([]*camera.Camera, frames)
 	for f := 0; f < frames; f++ {
-		angle := orbitDegrees * math.Pi / 180 * float64(f) / float64(frames)
-		rot := vec.RotateY(angle)
-		eye := center.Add(rot.MulPoint(rel))
-		cams[f], err = camera.New(eye, center, vec.New3(0, 1, 0), base.FovY, width, height)
+		cams[f], err = base.at(orbitDegrees * math.Pi / 180 * float64(f) / denom)
 		if err != nil {
 			return nil, err
 		}
 	}
 	return cams, nil
+}
+
+// OrbitCamera builds the single camera at `degrees` along the fitted
+// orbit — the view OrbitCameras(…, frames, orbit) places its cameras on.
+// It is the per-request camera constructor the render service uses.
+func OrbitCamera(src volume.Source, width, height int, degrees float64) (*camera.Camera, error) {
+	base, err := fitOrbit(src, width, height)
+	if err != nil {
+		return nil, err
+	}
+	return base.at(degrees * math.Pi / 180)
+}
+
+// orbitBase is the shared geometry of a fitted orbit: one definition of
+// the camera path, so sequence frames and the render service's
+// single-frame requests at equal angles are the same view bit for bit.
+type orbitBase struct {
+	fovY          float64
+	width, height int
+	center, rel   vec.V3
+}
+
+func fitOrbit(src volume.Source, width, height int) (orbitBase, error) {
+	sp := volume.NewSpace(src.Dims())
+	base, err := camera.Fit(sp.Bounds(), width, height)
+	if err != nil {
+		return orbitBase{}, err
+	}
+	center := sp.Bounds().Center()
+	return orbitBase{
+		fovY: base.FovY, width: width, height: height,
+		center: center, rel: base.Eye.Sub(center),
+	}, nil
+}
+
+// at builds the camera `angle` radians along the orbit.
+func (b orbitBase) at(angle float64) (*camera.Camera, error) {
+	eye := b.center.Add(vec.RotateY(angle).MulPoint(b.rel))
+	return camera.New(eye, b.center, vec.New3(0, 1, 0), b.fovY, b.width, b.height)
 }
 
 // RenderSequence renders `frames` frames while orbiting the camera around

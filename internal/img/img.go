@@ -106,6 +106,60 @@ func (im *Image) WritePPM(path string) error {
 	return w.Flush()
 }
 
+// EncodeRaw writes the framebuffer as raw little-endian float32 RGBA —
+// W·H·16 bytes, row-major, the exact bits the renderer composited. The
+// render service's format=raw responses use it so clients (and the CI
+// smoke test) can compare served bits against a direct render.
+func (im *Image) EncodeRaw(w io.Writer) error {
+	buf := make([]byte, 16<<10)
+	n := 0
+	for _, c := range im.Pix {
+		binary.LittleEndian.PutUint32(buf[n:], math.Float32bits(c.X))
+		binary.LittleEndian.PutUint32(buf[n+4:], math.Float32bits(c.Y))
+		binary.LittleEndian.PutUint32(buf[n+8:], math.Float32bits(c.Z))
+		binary.LittleEndian.PutUint32(buf[n+12:], math.Float32bits(c.W))
+		n += 16
+		if n == len(buf) {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			n = 0
+		}
+	}
+	if n > 0 {
+		if _, err := w.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RawBytes returns the number of bytes EncodeRaw produces for a w×h image.
+func RawBytes(w, h int) int64 { return int64(w) * int64(h) * 16 }
+
+// DecodeRaw reads a raw float32 RGBA framebuffer (EncodeRaw's format) of
+// the given dimensions.
+func DecodeRaw(r io.Reader, w, h int) (*Image, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("img: invalid raw size %dx%d", w, h)
+	}
+	data := make([]byte, RawBytes(w, h))
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, fmt.Errorf("img: raw framebuffer: %w", err)
+	}
+	im := &Image{W: w, H: h, Pix: make([]vec.V4, w*h)}
+	for i := range im.Pix {
+		n := i * 16
+		im.Pix[i] = vec.V4{
+			X: math.Float32frombits(binary.LittleEndian.Uint32(data[n:])),
+			Y: math.Float32frombits(binary.LittleEndian.Uint32(data[n+4:])),
+			Z: math.Float32frombits(binary.LittleEndian.Uint32(data[n+8:])),
+			W: math.Float32frombits(binary.LittleEndian.Uint32(data[n+12:])),
+		}
+	}
+	return im, nil
+}
+
 // Diff compares two images and returns the maximum and mean absolute
 // channel error (RGB only). Mismatched sizes return max error 2.
 func Diff(a, b *Image) (maxErr, meanErr float64) {

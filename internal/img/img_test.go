@@ -143,3 +143,36 @@ func TestDigest(t *testing.T) {
 		t.Error("dims not part of the digest")
 	}
 }
+
+// TestRawRoundTrip checks EncodeRaw/DecodeRaw preserve every bit,
+// including NaN payloads and negative zeros.
+func TestRawRoundTrip(t *testing.T) {
+	im := New(33, 7, vec.V4{})
+	for i := range im.Pix {
+		im.Pix[i] = vec.V4{
+			X: float32(i) * 0.013, Y: -float32(i),
+			Z: float32(math.Inf(1)), W: float32(math.Copysign(0, -1)),
+		}
+	}
+	im.Pix[5].X = float32(math.NaN())
+	var buf bytes.Buffer
+	if err := im.EncodeRaw(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != RawBytes(im.W, im.H) {
+		t.Fatalf("raw size %d != %d", buf.Len(), RawBytes(im.W, im.H))
+	}
+	back, err := DecodeRaw(&buf, im.W, im.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Digest() != im.Digest() {
+		t.Error("raw round trip changed bits")
+	}
+	if _, err := DecodeRaw(bytes.NewReader(nil), 2, 2); err == nil {
+		t.Error("truncated raw accepted")
+	}
+	if _, err := DecodeRaw(bytes.NewReader(nil), 0, 2); err == nil {
+		t.Error("zero-size raw accepted")
+	}
+}

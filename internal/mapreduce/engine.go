@@ -196,7 +196,16 @@ func Run[V, S any](cfg Config[V, S]) (*JobStats, error) {
 				})
 			}
 
+			// emitFailed is set on the first out-of-range key: the error is
+			// recorded once, later emits from the same (buggy) mapper are
+			// dropped instead of growing errs without bound, and the map
+			// loop below treats the worker as failed so it drains its
+			// remaining chunks and exits.
+			emitFailed := false
 			emit := func(kv KV[V]) {
+				if emitFailed {
+					return
+				}
 				if kv.Key < 0 {
 					w.discarded++ // placeholder, dropped at partition
 					return
@@ -205,6 +214,7 @@ func Run[V, S any](cfg Config[V, S]) (*JobStats, error) {
 					errs = append(errs, fmt.Errorf(
 						"mapreduce: worker %d emitted key %d outside range %d",
 						w.Index, kv.Key, cfg.KeyRange))
+					emitFailed = true
 					return
 				}
 				r := w.Index % cfg.Reducers
@@ -254,6 +264,10 @@ func Run[V, S any](cfg Config[V, S]) (*JobStats, error) {
 				if err := cfg.Mapper.Map(p, w, sc.chunk, sc.staged, emit); err != nil {
 					errs = append(errs, fmt.Errorf(
 						"mapreduce: worker %d mapping chunk %d: %w", w.Index, sc.chunk.ID(), err))
+					failed = true
+					continue
+				}
+				if emitFailed {
 					failed = true
 					continue
 				}

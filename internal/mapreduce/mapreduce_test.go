@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -226,6 +227,50 @@ func TestKeyOutOfRangeFails(t *testing.T) {
 	cfg.KeyRange = 3 // mapper emits modulo 16: some keys exceed 3
 	if _, err := Run(cfg); err == nil {
 		t.Error("out-of-range key accepted")
+	}
+}
+
+// overflowMapper emits Key == KeyRange for every value — each emit
+// violates the key contract — and counts Map calls and emit attempts.
+type overflowMapper struct {
+	histMapper
+	keyRange int32
+	mapCalls int
+	emits    int
+}
+
+func (m *overflowMapper) Map(p Ctx, w *Worker, c Chunk, vals []int32, emit func(KV[int32])) error {
+	m.mapCalls++
+	for range vals {
+		m.emits++
+		emit(KV[int32]{Key: m.keyRange, Val: 1})
+	}
+	return nil
+}
+
+// TestKeyOutOfRangeFailsWorker checks that the first contract violation
+// marks the worker failed: it records one error, drains its remaining
+// chunks without mapping them, and exits — a buggy mapper must not keep
+// mapping every chunk while the error list grows without bound.
+func TestKeyOutOfRangeFailsWorker(t *testing.T) {
+	cfg, _ := newHistConfig(t, 1, 4, 50, 16)
+	m := &overflowMapper{
+		histMapper: histMapper{failChunk: -1, failStage: -1},
+		keyRange:   cfg.KeyRange,
+	}
+	cfg.Mapper = m
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("out-of-range key accepted")
+	}
+	if want := "outside range"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err, want)
+	}
+	if m.mapCalls != 1 {
+		t.Errorf("Map called %d times, want 1 (worker must drain after the violation)", m.mapCalls)
+	}
+	if m.emits != 50 {
+		t.Errorf("emit attempts = %d, want 50 (only the first chunk maps)", m.emits)
 	}
 }
 

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup is a singleflight: concurrent calls with the same key share
+// one execution of fn. It is the request coalescer — a storm of identical
+// render requests costs one render; everyone gets the same frame (or the
+// same error; failures are not cached, so the next request re-renders).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{} // closed when frame/err are set
+	waiters int           // followers currently sharing this call
+	frame   *Frame
+	err     error
+}
+
+// do runs fn once per in-flight key. The first caller (shared == false)
+// starts fn; followers (shared == true) share its result. fn executes in
+// its own goroutine, detached from any caller's context: every caller —
+// the initiator included — waits on its own ctx, so one impatient client
+// abandons only its response, never the shared render (which completes
+// and commits to the cache for whoever asks next).
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*Frame, error)) (f *Frame, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.frame, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		c.frame, c.err = fn()
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	select {
+	case <-c.done:
+		return c.frame, false, c.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+// waiting reports how many followers are currently blocked on key's
+// in-flight call (0 when the key is idle). Tests use it to arrange
+// deterministic coalescing without racing the leader.
+func (g *flightGroup) waiting(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c.waiters
+	}
+	return 0
+}

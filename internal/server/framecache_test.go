@@ -1,0 +1,179 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"gvmr/internal/img"
+	"gvmr/internal/vec"
+)
+
+// mkFrame builds a committed-size test frame (raw bytes + a fake PNG).
+func mkFrame(key string, w, h, pngLen int) *Frame {
+	return &Frame{
+		Key: key, Width: w, Height: h,
+		Image: img.New(w, h, vec.V4{}),
+		PNG:   make([]byte, pngLen),
+	}
+}
+
+// renderInto reserves, "renders" and commits one frame, the way the
+// service does.
+func renderInto(c *FrameCache, key string, w, h int) bool {
+	if !c.Reserve(key, img.RawBytes(w, h)) {
+		return false
+	}
+	c.Commit(key, mkFrame(key, w, h, 100))
+	return true
+}
+
+// TestFrameCacheLRUAndBudget mirrors the staging cache's bounded-memory
+// policy: LRU frames are evicted to fit the budget and the newest
+// survive.
+func TestFrameCacheLRUAndBudget(t *testing.T) {
+	w, h := 16, 16
+	per := img.RawBytes(w, h) + 100
+	c := NewFrameCache(3 * per)
+	for i := 0; i < 5; i++ {
+		if !renderInto(c, fmt.Sprintf("f%d", i), w, h) {
+			t.Fatalf("frame %d did not cache", i)
+		}
+	}
+	st := c.Stats()
+	if st.BytesInUse > c.Capacity() {
+		t.Errorf("bytes in use %d over capacity %d", st.BytesInUse, c.Capacity())
+	}
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	if _, ok := c.Get("f4"); !ok {
+		t.Error("most recent frame was evicted")
+	}
+	if _, ok := c.Get("f0"); ok {
+		t.Error("oldest frame survived a full wrap")
+	}
+}
+
+// TestFrameCacheReserveFallback mirrors TestCacheFallbackWhenBudgetInFlight
+// for the frame cache: when the whole budget is held by an in-flight
+// reservation, a further Reserve declines (the render proceeds uncached)
+// instead of evicting or overshooting.
+func TestFrameCacheReserveFallback(t *testing.T) {
+	w, h := 16, 16
+	c := NewFrameCache(img.RawBytes(w, h) + 200) // room for ~one frame
+	if !c.Reserve("inflight", img.RawBytes(w, h)) {
+		t.Fatal("first reservation declined")
+	}
+	if c.Reserve("victim", img.RawBytes(w, h)) {
+		t.Fatal("second reservation accepted while the budget is held in flight")
+	}
+	if st := c.Stats(); st.Bypassed != 1 {
+		t.Errorf("bypassed = %d, want 1", st.Bypassed)
+	}
+	c.Commit("inflight", mkFrame("inflight", w, h, 100))
+	// Ready entries are evictable: the same reservation now succeeds.
+	if !c.Reserve("victim", img.RawBytes(w, h)) {
+		t.Fatal("reservation still declined after the in-flight frame committed")
+	}
+	if _, ok := c.Get("inflight"); ok {
+		t.Error("committed frame should have been evicted for the new reservation")
+	}
+	c.Release("victim")
+	if st := c.Stats(); st.BytesInUse != 0 {
+		t.Errorf("bytes in use = %d after release, want 0", st.BytesInUse)
+	}
+}
+
+// TestFrameCacheFailedRenderNotCached mirrors the staging cache's
+// failures-are-not-cached policy.
+func TestFrameCacheFailedRenderNotCached(t *testing.T) {
+	w, h := 8, 8
+	c := NewFrameCache(1 << 20)
+	if !c.Reserve("fail", img.RawBytes(w, h)) {
+		t.Fatal("reservation declined")
+	}
+	c.Release("fail")
+	if st := c.Stats(); st.BytesInUse != 0 || st.Inserts != 0 {
+		t.Errorf("failed render left state: %+v", st)
+	}
+	if _, ok := c.Get("fail"); ok {
+		t.Error("failed render served from cache")
+	}
+	if !renderInto(c, "fail", w, h) {
+		t.Error("re-render after failure did not cache")
+	}
+}
+
+// TestFrameCacheBypassAndDisable covers over-budget frames, duplicate
+// reservations and the disabled cache.
+func TestFrameCacheBypassAndDisable(t *testing.T) {
+	c := NewFrameCache(1 << 10)
+	if c.Reserve("huge", 1<<20) {
+		t.Error("over-budget reservation accepted")
+	}
+	if !c.Reserve("dup", 512) {
+		t.Fatal("reservation declined")
+	}
+	if c.Reserve("dup", 512) {
+		t.Error("duplicate reservation accepted")
+	}
+	var disabled *FrameCache
+	if _, ok := disabled.Get("x"); ok {
+		t.Error("nil cache hit")
+	}
+	if disabled.Reserve("x", 1) {
+		t.Error("nil cache reserved")
+	}
+	z := NewFrameCache(0)
+	if z.Reserve("x", 1) {
+		t.Error("zero-capacity cache reserved")
+	}
+	if _, ok := z.Get("x"); ok {
+		t.Error("zero-capacity cache hit")
+	}
+}
+
+// TestFrameCacheCommitAdjustsCharge: the reservation is an estimate (raw
+// bytes); Commit adjusts to the actual frame size (raw + PNG) and evicts
+// if the adjustment pushed the cache over budget.
+func TestFrameCacheCommitAdjustsCharge(t *testing.T) {
+	w, h := 8, 8
+	raw := img.RawBytes(w, h)
+	c := NewFrameCache(2*raw + 150)
+	renderInto(c, "a", w, h) // raw+100
+	if !c.Reserve("b", raw) {
+		t.Fatal("second reservation declined")
+	}
+	// Commit with a PNG that pushes past the budget: LRU ("a") must go.
+	c.Commit("b", mkFrame("b", w, h, 200))
+	st := c.Stats()
+	if st.BytesInUse != raw+200 {
+		t.Errorf("bytes in use = %d, want %d", st.BytesInUse, raw+200)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("LRU frame survived the commit adjustment")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Error("committed frame missing")
+	}
+}
+
+// TestFrameCacheFlush drops ready frames but leaves reservations.
+func TestFrameCacheFlush(t *testing.T) {
+	w, h := 8, 8
+	c := NewFrameCache(1 << 20)
+	renderInto(c, "ready", w, h)
+	c.Reserve("pending", img.RawBytes(w, h))
+	c.Flush()
+	if _, ok := c.Get("ready"); ok {
+		t.Error("flushed frame still served")
+	}
+	st := c.Stats()
+	if st.BytesInUse != img.RawBytes(w, h) {
+		t.Errorf("bytes in use = %d, want the pending reservation only", st.BytesInUse)
+	}
+	c.Commit("pending", mkFrame("pending", w, h, 10))
+	if _, ok := c.Get("pending"); !ok {
+		t.Error("reservation did not survive the flush")
+	}
+}

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"gvmr/internal/img"
+)
+
+// HTTP response headers on /render.
+const (
+	// HeaderDigest carries the SHA-256 of the exact float32 framebuffer
+	// bits — compare it against img.Image.Digest of a direct render.
+	HeaderDigest = "X-Gvmr-Digest"
+	// HeaderServed says how the request was satisfied: cache, coalesced,
+	// or render.
+	HeaderServed = "X-Gvmr-Served"
+	// HeaderRuntime is the frame's virtual duration in seconds on the
+	// simulated cluster (the paper's figure of merit, not wall time).
+	HeaderRuntime = "X-Gvmr-Runtime-Seconds"
+	// HeaderWidth and HeaderHeight size a format=raw framebuffer.
+	HeaderWidth  = "X-Gvmr-Width"
+	HeaderHeight = "X-Gvmr-Height"
+)
+
+// Handler returns the HTTP API over the service:
+//
+//	GET /render?dataset=skull&edge=64&size=256&orbit=30&shading=1&format=png
+//	GET /stats
+//	GET /healthz
+//
+// /render query parameters: dataset (skull|supernova|plume), edge, size
+// (square image) or w+h, orbit (degrees), gpus, shading (0/1), step
+// (voxels), ta (termination alpha), format (png, the default, or raw —
+// little-endian float32 RGBA, the renderer's exact bits).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/render", s.handleRender)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// parseRenderRequest decodes /render query parameters into a Request
+// (normalization and limit checks happen inside Service.Render).
+func parseRenderRequest(r *http.Request) (Request, string, error) {
+	q := r.URL.Query()
+	req := Request{Dataset: q.Get("dataset")}
+	intArg := func(name string, dst *int) error {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("bad %s=%q", name, v)
+			}
+			*dst = n
+		}
+		return nil
+	}
+	floatArg := func(name string, dst *float64) error {
+		if v := q.Get(name); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("bad %s=%q", name, v)
+			}
+			*dst = f
+		}
+		return nil
+	}
+	size := 0
+	for _, e := range []error{
+		intArg("edge", &req.Edge), intArg("size", &size),
+		intArg("w", &req.Width), intArg("h", &req.Height),
+		intArg("gpus", &req.GPUs), floatArg("orbit", &req.Orbit),
+	} {
+		if e != nil {
+			return req, "", e
+		}
+	}
+	if size != 0 {
+		if req.Width != 0 || req.Height != 0 {
+			return req, "", fmt.Errorf("size and w/h are mutually exclusive")
+		}
+		req.Width, req.Height = size, size
+	}
+	if v := q.Get("shading"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return req, "", fmt.Errorf("bad shading=%q", v)
+		}
+		req.Shading = b
+	}
+	var step, ta float64
+	if err := floatArg("step", &step); err != nil {
+		return req, "", err
+	}
+	if err := floatArg("ta", &ta); err != nil {
+		return req, "", err
+	}
+	req.StepVoxels = float32(step)
+	req.TerminationAlpha = float32(ta)
+	format := q.Get("format")
+	if format == "" {
+		format = "png"
+	}
+	if format != "png" && format != "raw" {
+		return req, "", fmt.Errorf("bad format=%q (png|raw)", format)
+	}
+	return req, format, nil
+}
+
+func (s *Service) handleRender(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	req, format, err := parseRenderRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f, via, err := s.Render(r.Context(), req)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, ErrInvalid):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	case errors.Is(err, r.Context().Err()) && r.Context().Err() != nil:
+		// Client went away; nothing useful to write.
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set(HeaderDigest, f.Digest)
+	h.Set(HeaderServed, string(via))
+	h.Set(HeaderRuntime, strconv.FormatFloat(f.Runtime.Seconds(), 'g', -1, 64))
+	h.Set(HeaderWidth, strconv.Itoa(f.Width))
+	h.Set(HeaderHeight, strconv.Itoa(f.Height))
+	switch format {
+	case "raw":
+		h.Set("Content-Type", "application/octet-stream")
+		h.Set("Content-Length", strconv.FormatInt(img.RawBytes(f.Width, f.Height), 10))
+		if r.Method == http.MethodHead {
+			return
+		}
+		_ = f.Image.EncodeRaw(w) // client hangup; nothing to recover
+	default:
+		h.Set("Content-Type", "image/png")
+		h.Set("Content-Length", strconv.Itoa(len(f.PNG)))
+		if r.Method == http.MethodHead {
+			return
+		}
+		_, _ = w.Write(f.PNG)
+	}
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.Stats())
+}

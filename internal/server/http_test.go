@@ -1,0 +1,199 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"image/png"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gvmr/internal/core"
+	"gvmr/internal/img"
+)
+
+func newTestServer(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	s := newTestService(t, Config{GPUs: 2, Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+const testQuery = "dataset=skull&edge=16&size=32&orbit=30&shading=1&gpus=2"
+
+// TestHTTPRenderPNGAndCache: /render serves a decodable PNG with the
+// digest header, and a repeat is a cache hit with identical bits.
+func TestHTTPRenderPNGAndCache(t *testing.T) {
+	_, ts := newTestServer(t)
+	get := func() (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/render?" + testQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+		}
+		return resp, body
+	}
+	r1, b1 := get()
+	if ct := r1.Header.Get("Content-Type"); ct != "image/png" {
+		t.Errorf("content type %q", ct)
+	}
+	if r1.Header.Get(HeaderServed) != string(ViaRender) {
+		t.Errorf("first request served via %q", r1.Header.Get(HeaderServed))
+	}
+	cfgImg, err := png.Decode(bytes.NewReader(b1))
+	if err != nil {
+		t.Fatalf("served PNG does not decode: %v", err)
+	}
+	if b := cfgImg.Bounds(); b.Dx() != 32 || b.Dy() != 32 {
+		t.Errorf("PNG is %dx%d, want 32x32", b.Dx(), b.Dy())
+	}
+	r2, b2 := get()
+	if r2.Header.Get(HeaderServed) != string(ViaCache) {
+		t.Errorf("repeat served via %q, want cache", r2.Header.Get(HeaderServed))
+	}
+	if string(b1) != string(b2) {
+		t.Error("cached PNG differs from rendered PNG")
+	}
+	if r1.Header.Get(HeaderDigest) == "" ||
+		r1.Header.Get(HeaderDigest) != r2.Header.Get(HeaderDigest) {
+		t.Error("digest headers missing or inconsistent")
+	}
+}
+
+// TestHTTPRawMatchesDirectRender is the CI smoke contract as a tier-1
+// test: the raw framebuffer served over HTTP is bit-identical to a
+// direct core render of the same request, and the digest header matches.
+func TestHTTPRawMatchesDirectRender(t *testing.T) {
+	s, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/render?" + testQuery + "&format=raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("content type %q", ct)
+	}
+	served, err := img.DecodeRaw(resp.Body, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := s.options(Request{Dataset: "skull", Edge: 16, Width: 32, Height: 32,
+		Orbit: 30, Shading: true, GPUs: 2, StepVoxels: 1, TerminationAlpha: 0.98})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := core.RenderOn(s.spec, opt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := res.Image.Digest()
+	if served.Digest() != direct {
+		t.Error("served raw bits differ from direct render")
+	}
+	if resp.Header.Get(HeaderDigest) != direct {
+		t.Error("digest header differs from direct render")
+	}
+}
+
+// TestHTTPStats: /stats returns a JSON snapshot whose counters reflect
+// the requests made.
+func TestHTTPStats(t *testing.T) {
+	_, ts := newTestServer(t)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/render?" + testQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 3 || st.Renders != 1 || st.Cache.Hits != 2 {
+		t.Errorf("stats = requests %d renders %d hits %d, want 3/1/2",
+			st.Requests, st.Renders, st.Cache.Hits)
+	}
+	if st.Latency.Count != 3 {
+		t.Errorf("latency count = %d, want 3", st.Latency.Count)
+	}
+	if st.Workers != 2 {
+		t.Errorf("workers = %d", st.Workers)
+	}
+}
+
+// TestHTTPErrors: bad requests are 400s, bad methods 405, health 200.
+func TestHTTPErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/render?dataset=nonesuch", http.StatusBadRequest},
+		{"/render?" + testQuery + "&format=gif", http.StatusBadRequest},
+		{"/render?edge=banana", http.StatusBadRequest},
+		{"/render?size=64&w=32", http.StatusBadRequest},
+		{"/render?shading=maybe", http.StatusBadRequest},
+		{"/healthz", http.StatusOK},
+		{"/stats", http.StatusOK},
+	}
+	for _, c := range cases {
+		resp, err := http.Get(ts.URL + c.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("GET %s = %d, want %d", c.path, resp.StatusCode, c.want)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/render", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /render = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestHTTPDrainStatus: a draining service 503s /render and /healthz.
+func TestHTTPDrainStatus(t *testing.T) {
+	s, ts := newTestServer(t)
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/render?" + testQuery, "/healthz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("GET %s while draining = %d, want 503", path, resp.StatusCode)
+		}
+	}
+}

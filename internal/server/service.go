@@ -1,0 +1,604 @@
+// Package server turns the gvmr library into a multi-tenant render
+// service: an embeddable RenderService (and, via Handler, an HTTP API —
+// cmd/gvmrd is the daemon around it) that serves rendered frames off the
+// simulated multi-GPU cluster under concurrent load.
+//
+// Three mechanisms compose per request, in order:
+//
+//  1. a rendered-frame LRU cache (FrameCache, byte-budgeted like the
+//     volume staging cache, GVMR_FRAME_BYTES) — repeated views are a
+//     map lookup;
+//  2. a request coalescer (singleflight keyed by dataset + dims + camera
+//     + transfer function + quality) — a storm of identical requests
+//     costs exactly one render;
+//  3. admission control — a bounded queue in front of a fixed-width
+//     render-worker pool; when the queue is full new renders are
+//     rejected immediately (HTTP 429) instead of piling up, and Close
+//     drains gracefully.
+//
+// Underneath, every admitted request is one core.RenderOn job: an
+// independent deterministic simulation on a fresh instance of the
+// service's cluster spec, so identical requests produce bit-identical
+// frames whether served from cache, coalesced, or re-rendered — the
+// property the loadtest and the CI smoke test assert end to end.
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"gvmr/internal/cluster"
+	"gvmr/internal/core"
+	"gvmr/internal/img"
+	"gvmr/internal/schedule"
+	"gvmr/internal/sim"
+	"gvmr/internal/transfer"
+	"gvmr/internal/volume"
+	"gvmr/internal/volume/dataset"
+)
+
+// Service errors, mapped to HTTP statuses by the handler.
+var (
+	// ErrOverloaded means the admission queue is full; retry later (429).
+	ErrOverloaded = errors.New("server: overloaded, admission queue full")
+	// ErrDraining means the service is shutting down (503).
+	ErrDraining = errors.New("server: draining")
+	// ErrInvalid marks request-validation failures (400).
+	ErrInvalid = errors.New("server: invalid request")
+)
+
+// invalidRequestError keeps the specific validation message while
+// matching errors.Is(err, ErrInvalid).
+type invalidRequestError struct{ err error }
+
+func (e invalidRequestError) Error() string { return e.err.Error() }
+func (e invalidRequestError) Unwrap() error { return ErrInvalid }
+
+// Config sizes a Service.
+type Config struct {
+	// GPUs is the simulated cluster size each render runs on (default 4).
+	// Ignored when Spec is non-nil.
+	GPUs int
+	// Spec overrides the default calibrated cluster.AC(GPUs) hardware.
+	Spec *cluster.Spec
+	// Workers is the number of renders executing concurrently (0 =
+	// GOMAXPROCS, resolved through the schedule pool policy; device-level
+	// host cores are split across workers the same way RenderFrames
+	// splits them).
+	Workers int
+	// MaxQueue bounds how many admitted renders may wait for a worker
+	// (default 64). Beyond Workers+MaxQueue, Render fails fast with
+	// ErrOverloaded.
+	MaxQueue int
+	// FrameCacheBytes budgets the rendered-frame cache (0 = honor
+	// GVMR_FRAME_BYTES, else 256 MiB; negative disables).
+	FrameCacheBytes int64
+	// MaxPixels caps Width*Height per request (default 4096²).
+	MaxPixels int
+	// MaxEdge caps the dataset cube edge per request (default 512).
+	MaxEdge int
+}
+
+// Request addresses one frame: a built-in dataset (which also selects its
+// transfer-function preset), the image size, a camera on the fitted
+// orbit, and the quality knobs. Its canonical key drives both the
+// coalescer and the frame cache.
+type Request struct {
+	Dataset string  // built-in dataset + TF preset name
+	Edge    int     // dataset cube edge (paper aspect for plume)
+	Width   int     // image width (pixels)
+	Height  int     // image height
+	Orbit   float64 // camera: degrees along the fitted orbit
+	GPUs    int     // devices used (0 = whole cluster)
+	Shading bool
+
+	StepVoxels       float32 // 0 = 1.0
+	TerminationAlpha float32 // 0 = 0.98
+}
+
+// normalize fills defaults and validates against the service limits, so
+// that two spellings of the same frame produce the same key.
+func (r *Request) normalize(s *Service) error {
+	if r.Dataset == "" {
+		r.Dataset = dataset.Skull
+	}
+	known := false
+	for _, n := range dataset.Names() {
+		if n == r.Dataset {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("server: unknown dataset %q (have %v)", r.Dataset, dataset.Names())
+	}
+	if r.Edge == 0 {
+		r.Edge = 64
+	}
+	if r.Edge < 8 || r.Edge > s.cfg.MaxEdge {
+		return fmt.Errorf("server: edge %d outside [8, %d]", r.Edge, s.cfg.MaxEdge)
+	}
+	if r.Width == 0 {
+		r.Width = 256
+	}
+	if r.Height == 0 {
+		r.Height = r.Width
+	}
+	// Each dimension is bounded before the product so a crafted w*h can
+	// overflow neither this check nor the slice allocation in the
+	// renderer.
+	maxPx := int64(s.cfg.MaxPixels)
+	if r.Width < 1 || r.Height < 1 ||
+		int64(r.Width) > maxPx || int64(r.Height) > maxPx ||
+		int64(r.Width)*int64(r.Height) > maxPx {
+		return fmt.Errorf("server: image %dx%d outside (0, %d] pixels", r.Width, r.Height, s.cfg.MaxPixels)
+	}
+	if r.GPUs == 0 {
+		r.GPUs = s.spec.Nodes * s.spec.GPUsPerNode
+	}
+	if r.GPUs < 1 || r.GPUs > s.spec.Nodes*s.spec.GPUsPerNode {
+		return fmt.Errorf("server: %d GPUs requested, cluster has %d", r.GPUs, s.spec.Nodes*s.spec.GPUsPerNode)
+	}
+	if math.IsNaN(r.Orbit) || math.IsInf(r.Orbit, 0) {
+		return fmt.Errorf("server: orbit %v is not a finite angle", r.Orbit)
+	}
+	if r.StepVoxels == 0 {
+		r.StepVoxels = 1
+	}
+	// Written as a positive-range check so NaN fails it too.
+	if !(r.StepVoxels >= 0.01 && r.StepVoxels <= 16) {
+		return fmt.Errorf("server: step %v outside [0.01, 16]", r.StepVoxels)
+	}
+	if r.TerminationAlpha == 0 {
+		r.TerminationAlpha = 0.98
+	}
+	if !(r.TerminationAlpha > 0 && r.TerminationAlpha <= 1) {
+		return fmt.Errorf("server: termination alpha %v outside (0, 1]", r.TerminationAlpha)
+	}
+	return nil
+}
+
+// key is the canonical identity of the frame this request addresses:
+// dataset preset (data + transfer function) + dims + camera + quality.
+// Requests with equal keys render bit-identical frames.
+func (r *Request) key() string {
+	return fmt.Sprintf("%s|e%d|%dx%d|o%g|g%d|sh%t|st%g|ta%g",
+		r.Dataset, r.Edge, r.Width, r.Height, r.Orbit, r.GPUs,
+		r.Shading, r.StepVoxels, r.TerminationAlpha)
+}
+
+// ServedVia says how a request was satisfied.
+type ServedVia string
+
+// ServedVia values.
+const (
+	ViaCache     ServedVia = "cache"     // frame cache hit
+	ViaCoalesced ServedVia = "coalesced" // shared an in-flight render
+	ViaRender    ServedVia = "render"    // rendered fresh
+)
+
+// Service is the embeddable render service. Create with New, serve with
+// Render (or the HTTP Handler), stop with Close.
+type Service struct {
+	cfg        Config
+	spec       cluster.Spec
+	workers    int
+	devWorkers int
+
+	sem   chan struct{} // render-worker slots
+	queue chan struct{} // admission: workers + MaxQueue tokens
+
+	cache  *FrameCache
+	flight flightGroup
+	lat    *latencyRing
+
+	// renderOn is core.RenderOn; tests stub it to control timing.
+	renderOn func(spec cluster.Spec, opt core.Options, devWorkers int) (*core.Result, sim.Time, error)
+
+	mu       sync.Mutex
+	draining bool
+	inflight int
+	drained  chan struct{} // closed when draining && inflight == 0
+	closed   chan struct{} // closed on Close, kicks queued waiters
+
+	start                                  time.Time
+	requests, renders, coalesced, rejected int64
+	errored, drainRejected                 int64
+	renderWall                             time.Duration
+}
+
+// New builds a Service from cfg.
+func New(cfg Config) (*Service, error) {
+	if cfg.GPUs == 0 {
+		cfg.GPUs = 4
+	}
+	spec := cluster.AC(cfg.GPUs)
+	if cfg.Spec != nil {
+		spec = *cfg.Spec
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.MaxPixels == 0 {
+		cfg.MaxPixels = 4096 * 4096
+	}
+	if cfg.MaxEdge == 0 {
+		cfg.MaxEdge = 512
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cacheBytes := cfg.FrameCacheBytes
+	if cacheBytes < 0 {
+		cacheBytes = 0
+	} else {
+		cacheBytes = frameCacheBytesFromEnv(cacheBytes)
+	}
+	s := &Service{
+		cfg:        cfg,
+		spec:       spec,
+		workers:    workers,
+		devWorkers: schedule.DeviceWorkers(workers),
+		sem:        make(chan struct{}, workers),
+		queue:      make(chan struct{}, workers+cfg.MaxQueue),
+		cache:      NewFrameCache(cacheBytes),
+		lat:        newLatencyRing(8192),
+		renderOn:   core.RenderOn,
+		drained:    make(chan struct{}),
+		closed:     make(chan struct{}),
+		start:      time.Now(),
+	}
+	return s, nil
+}
+
+// Render serves one frame: cache, then coalescer, then an admitted
+// render. It is safe for any number of concurrent callers. The returned
+// Frame is shared and immutable. via reports how the request was served.
+func (s *Service) Render(ctx context.Context, req Request) (f *Frame, via ServedVia, err error) {
+	if err := req.normalize(s); err != nil {
+		return nil, "", invalidRequestError{err}
+	}
+	key := req.key()
+	start := time.Now()
+	s.mu.Lock()
+	s.requests++
+	s.mu.Unlock()
+	defer func() {
+		if err == nil {
+			s.lat.add(time.Since(start))
+		} else if !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrDraining) &&
+			!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			s.mu.Lock()
+			s.errored++
+			s.mu.Unlock()
+		}
+	}()
+
+	if f, ok := s.cache.Get(key); ok {
+		return f, ViaCache, nil
+	}
+	initiatorVia := ViaRender
+	f, shared, err := s.flight.do(ctx, key, func() (*Frame, error) {
+		// Re-check under the flight: a previous leader may have committed
+		// between our miss and this call (peek: the outer Get already
+		// counted this request). The write to initiatorVia is published
+		// to the initiator by the flight's done-channel close.
+		if f, ok := s.cache.peek(key); ok {
+			initiatorVia = ViaCache
+			return f, nil
+		}
+		return s.renderLeader(req, key)
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	if shared {
+		s.mu.Lock()
+		s.coalesced++
+		s.mu.Unlock()
+		return f, ViaCoalesced, nil
+	}
+	return f, initiatorVia, nil
+}
+
+// renderLeader is the coalescer leader's path: admission, then one
+// core.RenderOn job, then PNG encoding and cache commit. It runs
+// detached from any request context (the flight goroutine), so an
+// abandoned request never wastes the render — the frame still commits
+// to the cache; only Close interrupts the wait for a worker slot.
+func (s *Service) renderLeader(req Request, key string) (*Frame, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.drainRejected++
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.inflight++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.inflight--
+		if s.draining && s.inflight == 0 {
+			close(s.drained)
+		}
+		s.mu.Unlock()
+	}()
+
+	// Admission: claim a queue token or reject immediately — the
+	// backpressure contract. The token covers waiting AND rendering.
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	defer func() { <-s.queue }()
+
+	// Wait for a render-worker slot.
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.closed:
+		return nil, ErrDraining
+	}
+	defer func() { <-s.sem }()
+
+	opt, err := s.options(req)
+	if err != nil {
+		return nil, err
+	}
+	// Reserve cache budget while the render is in flight; when the
+	// budget is held by other in-flight renders, render uncached.
+	est := img.RawBytes(req.Width, req.Height)
+	reserved := s.cache.Reserve(key, est)
+
+	wallStart := time.Now()
+	res, dur, err := s.renderOn(s.spec, opt, s.devWorkers)
+	wall := time.Since(wallStart)
+	if err != nil {
+		if reserved {
+			s.cache.Release(key)
+		}
+		return nil, err
+	}
+	var png bytes.Buffer
+	if err := res.Image.EncodePNG(&png); err != nil {
+		if reserved {
+			s.cache.Release(key)
+		}
+		return nil, err
+	}
+	f := &Frame{
+		Key:         key,
+		Width:       req.Width,
+		Height:      req.Height,
+		Image:       res.Image,
+		PNG:         png.Bytes(),
+		Digest:      res.Image.Digest(),
+		Runtime:     dur,
+		FPS:         res.FPS,
+		VPSMillions: res.VPSMillions,
+		RenderWall:  wall,
+	}
+	if reserved {
+		s.cache.Commit(key, f)
+	}
+	s.mu.Lock()
+	s.renders++
+	s.renderWall += wall
+	s.mu.Unlock()
+	return f, nil
+}
+
+// options translates a normalized request into render options. The
+// staging cache keys sources by tag+dims, so per-request source
+// construction still shares one materialisation per dataset identity.
+func (s *Service) options(req Request) (core.Options, error) {
+	src, err := dataset.New(req.Dataset, dataset.PaperDims(req.Dataset, req.Edge))
+	if err != nil {
+		return core.Options{}, err
+	}
+	tf, err := transfer.Preset(req.Dataset)
+	if err != nil {
+		return core.Options{}, err
+	}
+	cam, err := core.OrbitCamera(src, req.Width, req.Height, req.Orbit)
+	if err != nil {
+		return core.Options{}, err
+	}
+	return core.Options{
+		Source: src, TF: tf,
+		Width: req.Width, Height: req.Height,
+		Camera:           cam,
+		GPUs:             req.GPUs,
+		Shading:          req.Shading,
+		StepVoxels:       req.StepVoxels,
+		TerminationAlpha: req.TerminationAlpha,
+	}, nil
+}
+
+// Close drains the service: new renders fail with ErrDraining
+// (cache hits and coalesced joins of already-running renders still
+// succeed), requests already admitted finish, and Close returns when the
+// last one has. ctx bounds the wait.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	idle := s.inflight == 0
+	s.mu.Unlock()
+	if !already {
+		close(s.closed)
+		if idle {
+			close(s.drained)
+		}
+	}
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// LatencyStats summarise request latency in milliseconds. Count is the
+// lifetime number of successful requests (cache hits, coalesced, and
+// renders); Mean/P50/P99/Max all describe the recent window (the last
+// 8192 requests), so they track current service health rather than a
+// cold-start outlier forever.
+type LatencyStats struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// SummarizeLatency computes the nearest-rank quantiles, mean and max of
+// samples (which it sorts in place); count is reported verbatim. The
+// /stats endpoint and gvmrd loadtest share it so both records quantify
+// latency identically.
+func SummarizeLatency(samples []time.Duration, count int64) LatencyStats {
+	st := LatencyStats{Count: count}
+	if len(samples) == 0 {
+		return st
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var total time.Duration
+	for _, d := range samples {
+		total += d
+	}
+	st.MeanMs = float64(total) / float64(len(samples)) / 1e6
+	st.P50Ms = float64(quantile(samples, 0.50)) / 1e6
+	st.P99Ms = float64(quantile(samples, 0.99)) / 1e6
+	st.MaxMs = float64(samples[len(samples)-1]) / 1e6
+	return st
+}
+
+// Stats is the /stats snapshot.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	QueueCapacity int     `json:"queue_capacity"` // waiting slots beyond the workers
+	Draining      bool    `json:"draining"`
+
+	Requests  int64 `json:"requests"`
+	Renders   int64 `json:"renders"`
+	Coalesced int64 `json:"coalesced"`
+	Rejected  int64 `json:"rejected_overload"`
+	Errors    int64 `json:"errors"`
+
+	// InFlight renders hold worker slots; QueueDepth renders are admitted
+	// and waiting for one.
+	InFlight   int `json:"in_flight"`
+	QueueDepth int `json:"queue_depth"`
+
+	RenderWallSeconds float64 `json:"render_wall_seconds"`
+
+	Cache   FrameCacheStats   `json:"frame_cache"`
+	Staging volume.CacheStats `json:"staging_cache"`
+	Latency LatencyStats      `json:"latency"`
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		Workers:           s.workers,
+		QueueCapacity:     cap(s.queue) - s.workers,
+		Draining:          s.draining,
+		Requests:          s.requests,
+		Renders:           s.renders,
+		Coalesced:         s.coalesced,
+		Rejected:          s.rejected,
+		Errors:            s.errored,
+		RenderWallSeconds: s.renderWall.Seconds(),
+	}
+	s.mu.Unlock()
+	st.InFlight = len(s.sem)
+	if d := len(s.queue) - st.InFlight; d > 0 {
+		st.QueueDepth = d
+	}
+	st.Cache = s.cache.Stats()
+	st.Staging = volume.Cache.Stats()
+	st.Latency = s.lat.stats()
+	return st
+}
+
+// Cache exposes the frame cache (for tests and the daemon's flags).
+func (s *Service) Cache() *FrameCache { return s.cache }
+
+// Draining reports whether Close has begun — a cheap flag read for
+// health probes, without the full Stats snapshot.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// latencyRing keeps the last N request latencies and derives quantiles on
+// demand — small, lock-cheap, good enough for a /stats endpoint.
+type latencyRing struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	next    int
+	filled  bool
+	count   int64
+}
+
+func newLatencyRing(n int) *latencyRing {
+	return &latencyRing{samples: make([]time.Duration, n)}
+}
+
+func (l *latencyRing) add(d time.Duration) {
+	l.mu.Lock()
+	l.samples[l.next] = d
+	l.next++
+	if l.next == len(l.samples) {
+		l.next = 0
+		l.filled = true
+	}
+	l.count++
+	l.mu.Unlock()
+}
+
+func (l *latencyRing) stats() LatencyStats {
+	l.mu.Lock()
+	n := l.next
+	if l.filled {
+		n = len(l.samples)
+	}
+	window := make([]time.Duration, n)
+	copy(window, l.samples[:n])
+	count := l.count
+	l.mu.Unlock()
+	return SummarizeLatency(window, count)
+}
+
+// quantile picks the nearest-rank quantile from sorted samples.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)) + 0.5)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

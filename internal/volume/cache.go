@@ -51,12 +51,12 @@ type Stageable interface {
 
 // CacheStats is a snapshot of staging-cache activity.
 type CacheStats struct {
-	Hits             int64 // region fills served from an already-dense volume
-	Misses           int64 // lookups that had to materialise
-	Materialisations int64 // successful full-volume evaluations
-	Evictions        int64 // entries dropped to stay within capacity
-	BytesInUse       int64
-	Capacity         int64
+	Hits             int64 `json:"hits"`             // region fills served from an already-dense volume
+	Misses           int64 `json:"misses"`           // lookups that had to materialise
+	Materialisations int64 `json:"materialisations"` // successful full-volume evaluations
+	Evictions        int64 `json:"evictions"`        // entries dropped to stay within capacity
+	BytesInUse       int64 `json:"bytes_in_use"`
+	Capacity         int64 `json:"capacity"`
 }
 
 // StagingCache is a bounded, concurrency-safe cache of materialised
@@ -153,32 +153,56 @@ func cacheBytesFromEnv() int64 {
 	return n
 }
 
+// byteSuffixes maps size suffixes to their shift, longest form first so
+// "KIB" never half-matches as "K" + garbage. The table is an ordered
+// slice, not a map: suffix matching must be deterministic by
+// construction, not by the accident that the letters K/M/G/T are
+// disjoint under random map iteration.
+var byteSuffixes = []struct {
+	suf   string
+	shift int
+}{
+	{"KIB", 10}, {"KB", 10}, {"K", 10},
+	{"MIB", 20}, {"MB", 20}, {"M", 20},
+	{"GIB", 30}, {"GB", 30}, {"G", 30},
+	{"TIB", 40}, {"TB", 40}, {"T", 40},
+}
+
 // parseBytes reads a byte count with an optional K/M/G/T suffix
 // (optionally followed by "iB" or "B"), e.g. "2G", "512MiB", "0", "off".
+// Anything but digits before the suffix — "1GX", "1.5G", "+2M" — is
+// rejected.
 func parseBytes(s string) (int64, bool) {
 	t := strings.TrimSpace(strings.ToUpper(s))
 	if t == "OFF" {
 		return 0, true
 	}
 	shift := 0
-	for suf, sh := range map[string]int{"K": 10, "M": 20, "G": 30, "T": 40} {
-		for _, tail := range []string{suf + "IB", suf + "B", suf} {
-			if strings.HasSuffix(t, tail) {
-				t = strings.TrimSuffix(t, tail)
-				shift = sh
-				break
-			}
-		}
-		if shift != 0 {
+	for _, c := range byteSuffixes {
+		if strings.HasSuffix(t, c.suf) {
+			t = strings.TrimSpace(strings.TrimSuffix(t, c.suf))
+			shift = c.shift
 			break
 		}
 	}
-	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if t == "" {
+		return 0, false
+	}
+	for _, r := range t {
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
 	if err != nil || n < 0 || (shift > 0 && n > (1<<62)>>shift) {
 		return 0, false
 	}
 	return n << shift, true
 }
+
+// ParseBytes parses a human-readable byte count ("2G", "512MiB", "0",
+// "off") — the grammar GVMR_STAGING_BYTES and GVMR_FRAME_BYTES share.
+func ParseBytes(s string) (int64, bool) { return parseBytes(s) }
 
 // Cached wraps src with the process-wide staging cache; see
 // (*StagingCache).Wrap for the pass-through rules.

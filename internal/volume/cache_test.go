@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func testField(x, y, z float64) float32 {
@@ -257,12 +258,170 @@ func TestParseBytes(t *testing.T) {
 		{"garbage", 0, false},
 		{"2GG", 0, false},
 		{"", 0, false},
+		// Longest suffix must win deterministically: "1KiB" is 1 KiB, not
+		// "1KI" + B or garbage.
+		{"1KiB", 1 << 10, true},
+		{"7GiB", 7 << 30, true},
+		{"2TB", 2 << 40, true},
+		{"5MB", 5 << 20, true},
+		// Trailing or embedded garbage before the suffix is rejected.
+		{"1GX", 0, false},
+		{"1.5G", 0, false},
+		{"+1G", 0, false},
+		{"G", 0, false},
+		{"KiB", 0, false},
+		{"1 0K", 0, false},
+		{"0x10", 0, false},
 	}
 	for _, c := range cases {
 		got, ok := parseBytes(c.in)
 		if ok != c.ok || (ok && got != c.want) {
 			t.Errorf("parseBytes(%q) = %d, %v; want %d, %v", c.in, got, ok, c.want, c.ok)
 		}
+	}
+}
+
+// gateSource blocks inside Fill until released, so a test can hold a
+// staging-cache materialisation (and its byte reservation) in flight for
+// as long as it wants. With fails set, the materialisation errors after
+// release.
+type gateSource struct {
+	*FuncSource
+	startOnce sync.Once
+	started   chan struct{} // closed when Fill begins
+	release   chan struct{} // Fill blocks until this closes
+	fails     bool
+}
+
+func newGateSource(tag string, d Dims, fails bool) *gateSource {
+	return &gateSource{
+		FuncSource: NewFuncSource(tag, d, testField),
+		started:    make(chan struct{}),
+		release:    make(chan struct{}),
+		fails:      fails,
+	}
+}
+
+func (s *gateSource) Fill(r Region, dst []float32) error {
+	s.startOnce.Do(func() { close(s.started) })
+	<-s.release
+	if s.fails {
+		return fmt.Errorf("synthetic materialisation failure")
+	}
+	return s.FuncSource.Fill(r, dst)
+}
+
+// TestCacheFallbackWhenBudgetInFlight pins the budget with an in-flight
+// materialisation and checks the documented fallback: volumeFor reports
+// ok=false (nothing is evicted — the reservation cannot be) and
+// CachedSource.Fill serves the request through the underlying source's
+// lazy per-region evaluation instead of materialising anything.
+func TestCacheFallbackWhenBudgetInFlight(t *testing.T) {
+	d := Dims{X: 8, Y: 8, Z: 8}
+	cache := NewStagingCache(d.Bytes()) // room for exactly one volume
+	gate := newGateSource("inflight-holder", d, false)
+	leader := cache.Wrap(gate)
+	leaderErr := make(chan error, 1)
+	go func() {
+		dst := make([]float32, d.Voxels())
+		leaderErr <- leader.Fill(Region{Ext: d}, dst)
+	}()
+	<-gate.started // the reservation now holds the whole budget
+
+	under := &countingSource{FuncSource: NewFuncSource("inflight-victim", d, testField)}
+	victim := cache.Wrap(under)
+	if _, ok := victim.(*CachedSource); !ok {
+		t.Fatalf("Wrap returned %T, want *CachedSource", victim)
+	}
+	got := make([]float32, d.Voxels())
+	if err := victim.Fill(Region{Ext: d}, got); err != nil {
+		t.Fatal(err)
+	}
+	if n := under.fills.Load(); n != 1 {
+		t.Errorf("underlying Fill called %d times, want 1 (lazy fallback)", n)
+	}
+	want := make([]float32, d.Voxels())
+	if err := under.FuncSource.Fill(Region{Ext: d}, want); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("voxel %d: fallback %v != direct %v", i, got[i], want[i])
+		}
+	}
+	st := cache.Stats()
+	if st.Materialisations != 0 {
+		t.Errorf("materialisations = %d, want 0 while the budget is held", st.Materialisations)
+	}
+	if st.Misses != 2 {
+		t.Errorf("misses = %d, want 2", st.Misses)
+	}
+
+	close(gate.release)
+	if err := <-leaderErr; err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Materialisations != 1 {
+		t.Errorf("leader materialisations = %d, want 1", st.Materialisations)
+	}
+	// With the budget free again, the victim key materialises normally.
+	if err := victim.Fill(Region{Ext: d}, got); err != nil {
+		t.Fatal(err)
+	}
+	if n := under.fills.Load(); n != 2 {
+		t.Errorf("underlying Fill called %d times, want 2 (one lazy, one materialise)", n)
+	}
+}
+
+// TestCacheHitObservesFailedMaterialisation checks the concurrent-hitter
+// contract on the failure path: a caller that found an in-flight entry
+// waits on <-e.ready and then observes the materialisation error; the
+// failed entry is not cached and a later request re-attempts.
+func TestCacheHitObservesFailedMaterialisation(t *testing.T) {
+	d := Dims{X: 8, Y: 8, Z: 8}
+	cache := NewStagingCache(1 << 20)
+	gate := newGateSource("fail-mat", d, true)
+	src := cache.Wrap(gate)
+	fill := func() error {
+		dst := make([]float32, d.Voxels())
+		return src.Fill(Region{Ext: d}, dst)
+	}
+	leaderErr := make(chan error, 1)
+	go func() { leaderErr <- fill() }()
+	<-gate.started
+	hitterErr := make(chan error, 1)
+	go func() { hitterErr <- fill() }() // finds the in-flight entry, waits on ready
+	// Only release once the hitter has actually hit the in-flight entry
+	// (it blocks on <-e.ready after bumping the counter), so the test
+	// deterministically exercises the waiting-hitter path.
+	for deadline := time.Now().Add(10 * time.Second); cache.Stats().Hits < 1; {
+		if time.Now().After(deadline) {
+			t.Fatal("hitter never found the in-flight entry")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(gate.release)
+	if err := <-leaderErr; err == nil {
+		t.Fatal("leader saw no materialisation error")
+	}
+	if err := <-hitterErr; err == nil {
+		t.Fatal("concurrent hitter saw no materialisation error")
+	}
+	st := cache.Stats()
+	if st.Materialisations != 0 {
+		t.Errorf("materialisations = %d, want 0 (failures are not cached)", st.Materialisations)
+	}
+	if st.BytesInUse != 0 {
+		t.Errorf("bytes in use = %d after failed materialisation", st.BytesInUse)
+	}
+	// The failed entry is gone: a later request re-attempts (and fails
+	// again, immediately, since release stays closed).
+	if err := fill(); err == nil {
+		t.Error("re-attempt unexpectedly succeeded")
+	}
+	if st := cache.Stats(); st.Misses < 2 {
+		t.Errorf("misses = %d, want ≥ 2 (failed entry must not linger)", st.Misses)
 	}
 }
 
