@@ -200,19 +200,20 @@ func benchScene(b *testing.B, edge int) (*camera.Camera, volume.Space, *volume.B
 }
 
 // BenchmarkHostCastPixel measures the host's real ray-casting throughput
-// (the per-thread body of the map kernel). Params are prepared once, as
-// Kernel does per brick — the per-ray light normalisation and per-sample
-// opacity-correction pow are hoisted out by Params.Prepare.
+// (the per-thread body of the map kernel). Params are prepared once per
+// brick, as Kernel does — light normalisation, the opacity-corrected
+// table and the brick's empty-space structure are all hoisted out of the
+// per-ray path by Params.PrepareBrick.
 func BenchmarkHostCastPixel(b *testing.B) {
 	cam, sp, bd, prm := benchScene(b, 64)
-	prm = prm.Prepare()
+	prm = prm.PrepareBrick(bd)
 	var samples int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		px := 64 + i%128
 		py := 64 + (i/128)%128
 		_, s := render.CastPixel(cam, sp, bd, prm, px, py)
-		samples += s
+		samples += s.Samples
 	}
 	b.ReportMetric(float64(samples)/float64(b.N), "samples/ray")
 }
@@ -223,6 +224,24 @@ func BenchmarkHostCastPixel(b *testing.B) {
 func BenchmarkHostCastPixelFineStep(b *testing.B) {
 	cam, sp, bd, prm := benchScene(b, 64)
 	prm.StepVoxels = 0.5
+	prm = prm.PrepareBrick(bd)
+	var samples int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		px := 64 + i%128
+		py := 64 + (i/128)%128
+		_, s := render.CastPixel(cam, sp, bd, prm, px, py)
+		samples += s.Samples
+	}
+	b.ReportMetric(float64(samples)/float64(b.N), "samples/ray")
+}
+
+// BenchmarkHostCastPixelNoSkip is BenchmarkHostCastPixel with the
+// macrocell DDA disabled: the A/B for the empty-space-skipping win on
+// the host (virtual-time wins are measured by seqbench).
+func BenchmarkHostCastPixelNoSkip(b *testing.B) {
+	cam, sp, bd, prm := benchScene(b, 64)
+	prm.NoEmptySkip = true
 	prm = prm.Prepare()
 	var samples int64
 	b.ResetTimer()
@@ -230,12 +249,15 @@ func BenchmarkHostCastPixelFineStep(b *testing.B) {
 		px := 64 + i%128
 		py := 64 + (i/128)%128
 		_, s := render.CastPixel(cam, sp, bd, prm, px, py)
-		samples += s
+		samples += s.Samples
 	}
 	b.ReportMetric(float64(samples)/float64(b.N), "samples/ray")
 }
 
-// BenchmarkHostTrilinear measures raw trilinear sampling.
+// BenchmarkHostTrilinear measures raw trilinear sampling through a
+// copy-backed brick. The per-brick sampler hoist (precomputed backing
+// selection and origin floats) is what this path exercises: before the
+// hoist every call re-derived them.
 func BenchmarkHostTrilinear(b *testing.B) {
 	_, _, bd, _ := benchScene(b, 64)
 	r := rand.New(rand.NewSource(1))
@@ -250,6 +272,55 @@ func BenchmarkHostTrilinear(b *testing.B) {
 		sink += bd.Sample(p[0], p[1], p[2])
 	}
 	_ = sink
+}
+
+// BenchmarkHostTrilinearView is BenchmarkHostTrilinear through a
+// zero-copy view-backed brick (the staging-cache fast path); the hoisted
+// sampler makes the two backings cost the same.
+func BenchmarkHostTrilinearView(b *testing.B) {
+	src, err := dataset.New(dataset.Skull, volume.Cube(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := volume.Materialize(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := volume.MakeGrid(v.Dims, [3]int{1, 1, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bd := volume.ViewBrick(v, g.Bricks[0])
+	r := rand.New(rand.NewSource(1))
+	pts := make([][3]float32, 1024)
+	for i := range pts {
+		pts[i] = [3]float32{r.Float32() * 64, r.Float32() * 64, r.Float32() * 64}
+	}
+	b.ResetTimer()
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		p := pts[i%len(pts)]
+		sink += bd.Sample(p[0], p[1], p[2])
+	}
+	_ = sink
+}
+
+// BenchmarkHostShadeStencil measures a shaded contributing sample's
+// 7-fetch cost (1 classification + 6 stencil fetches), the heaviest
+// consumer of the hoisted sampler.
+func BenchmarkHostShadeStencil(b *testing.B) {
+	cam, sp, bd, prm := benchScene(b, 64)
+	prm.Shading = true
+	prm = prm.PrepareBrick(bd)
+	var samples int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		px := 64 + i%128
+		py := 64 + (i/128)%128
+		_, s := render.CastPixel(cam, sp, bd, prm, px, py)
+		samples += s.Samples
+	}
+	b.ReportMetric(float64(samples)/float64(b.N), "samples/ray")
 }
 
 // BenchmarkHostCountingSort measures the θ(n) counting sort on a

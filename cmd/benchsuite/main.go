@@ -7,6 +7,8 @@
 //	benchsuite -scale quick fig3 fig4
 //	benchsuite -out results fig2        # writes PNGs next to the tables
 //	benchsuite -scale quick -json BENCH_fig2.json seqbench
+//	benchsuite -noskip seqbench         # A/B the empty-space skipping
+//	benchsuite -cpuprofile suite.pprof fig2
 //
 // Subcommands: fig2 fig3 fig4 efficiency sec63 micro baseline claims
 // inoutcore ablation zerocopy seqbench all
@@ -15,8 +17,12 @@
 // the internal/schedule worker pool; -serial opts out (tables are
 // bit-identical either way). seqbench runs a multi-frame orbit of the
 // Figure 2 skull dataset serially and in parallel, verifies the outputs
-// match bit for bit, and emits the machine-readable wall-clock record
-// (-json path, default BENCH_fig2.json) that tracks the perf trajectory.
+// match bit for bit, renders the orbit with empty-space skipping on and
+// off (digests must match; skip-on must not be slower in virtual time),
+// and emits the machine-readable record (-json path, default
+// BENCH_fig2.json) that tracks the perf trajectory. -noskip disables the
+// macrocell DDA in every timed render; -cpuprofile writes a pprof CPU
+// profile of the run.
 package main
 
 import (
@@ -24,23 +30,60 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
+	"sync"
 
 	"gvmr/internal/experiments"
 	"gvmr/internal/volume"
 )
 
+// profileStop flushes the -cpuprofile output (no-op when profiling is
+// off). Exits must run it explicitly: log.Fatal skips defers, and a
+// profile is most valuable exactly when a regression guard trips.
+var profileStop = func() {}
+
+// fatal and fatalf flush the profile, then exit like log.Fatal(f).
+func fatal(v ...any) {
+	profileStop()
+	log.Fatal(v...)
+}
+
+func fatalf(format string, v ...any) {
+	profileStop()
+	log.Fatalf(format, v...)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchsuite: ")
 	var (
-		scaleName = flag.String("scale", "paper", "experiment scale: paper|quick")
-		outDir    = flag.String("out", "", "directory for rendered PNGs (fig2)")
-		serial    = flag.Bool("serial", false, "run sweep cells one at a time (scheduler opt-out)")
-		workers   = flag.Int("workers", 0, "scheduler pool width for sweeps (0 = GOMAXPROCS)")
-		jsonPath  = flag.String("json", "BENCH_fig2.json", "output path for the seqbench record")
-		frames    = flag.Int("frames", 8, "frames in the seqbench orbit")
+		scaleName  = flag.String("scale", "paper", "experiment scale: paper|quick")
+		outDir     = flag.String("out", "", "directory for rendered PNGs (fig2)")
+		serial     = flag.Bool("serial", false, "run sweep cells one at a time (scheduler opt-out)")
+		workers    = flag.Int("workers", 0, "scheduler pool width for sweeps (0 = GOMAXPROCS)")
+		jsonPath   = flag.String("json", "BENCH_fig2.json", "output path for the seqbench record")
+		frames     = flag.Int("frames", 8, "frames in the seqbench orbit")
+		noSkip     = flag.Bool("noskip", false, "disable macrocell empty-space skipping (A/B the acceleration structure)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path (perf work starts from profiles, not guesses)")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		var once sync.Once
+		profileStop = func() {
+			once.Do(func() {
+				pprof.StopCPUProfile()
+				f.Close()
+			})
+		}
+		defer profileStop()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
 	var sc experiments.Scale
 	switch *scaleName {
 	case "paper":
@@ -48,10 +91,11 @@ func main() {
 	case "quick":
 		sc = experiments.Quick()
 	default:
-		log.Fatalf("unknown scale %q", *scaleName)
+		fatalf("unknown scale %q", *scaleName)
 	}
 	sc.Serial = *serial
 	sc.Workers = *workers
+	sc.NoSkip = *noSkip
 
 	cmds := flag.Args()
 	if len(cmds) == 0 {
@@ -67,6 +111,7 @@ func main() {
 	for _, c := range cmds {
 		if !known[c] {
 			fmt.Fprintf(os.Stderr, "benchsuite: unknown subcommand %q\n", c)
+			profileStop()
 			os.Exit(2)
 		}
 		want[c] = true
@@ -83,7 +128,7 @@ func main() {
 			var err error
 			sweep, err = experiments.Sweep(sc)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}
 		return sweep
@@ -92,7 +137,7 @@ func main() {
 	if need("fig2") {
 		t, err := experiments.Fig2(sc, *outDir)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println(t)
 	}
@@ -110,21 +155,21 @@ func main() {
 	if need("sec63") {
 		_, t, err := experiments.Sec63(sc)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println(t)
 	}
 	if need("micro") {
 		t, err := experiments.Micro()
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println(t)
 	}
 	if need("baseline") {
 		t, err := experiments.BaselineCmp(sc)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println(t)
 	}
@@ -134,14 +179,14 @@ func main() {
 	if need("inoutcore") {
 		t, err := experiments.InOutOfCore(sc)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println(t)
 	}
 	if need("ablation") {
 		t, err := experiments.Ablations(sc)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println(t)
 	}
@@ -154,17 +199,28 @@ func main() {
 		log.Printf("seqbench: %d-frame orbit, %s scale, serial then parallel...", *frames, sc.Name)
 		b, err := experiments.RunSeqBench(sc, *frames)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("seqbench: serial %.2fs, parallel %.2fs (%d workers) → %.2fx wall speedup, bit-identical: %v\n",
 			b.Serial.WallSeconds, b.Parallel.WallSeconds, b.Parallel.Workers,
 			b.SpeedupWall, b.BitIdentical)
+		fmt.Printf("seqbench: empty-space skip: %.1f%% fewer samples (%d skipped), virtual %.2fs → %.2fs (%.2fx), bit-identical: %v\n",
+			100*b.Skip.SampleReduction, b.Skip.On.SamplesSkipped,
+			b.Skip.Off.VirtualSeconds, b.Skip.On.VirtualSeconds,
+			b.Skip.SpeedupVirtual, b.Skip.BitIdentical)
 		if !b.BitIdentical {
-			log.Fatal("seqbench: parallel output diverged from serial — determinism bug")
+			fatal("seqbench: parallel output diverged from serial — determinism bug")
+		}
+		if !b.Skip.BitIdentical {
+			fatal("seqbench: empty-space skipping changed the image — conservativeness bug")
+		}
+		if b.Skip.SpeedupVirtual < 1 {
+			fatalf("seqbench: skip-on virtual time is slower than skip-off (%.3fx) — acceleration regression",
+				b.Skip.SpeedupVirtual)
 		}
 		if *jsonPath != "" {
 			if err := b.WriteJSON(*jsonPath); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			fmt.Printf("seqbench: wrote %s\n", *jsonPath)
 		}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	gvmrd serve -addr :8421 -gpus 8 -workers 0 -queue 64
+//	gvmrd serve -pprof                  # expose /debug/pprof/ profiling
 //	gvmrd loadtest -duration 10s -concurrency 16 -json BENCH_serve.json
 //
 // Endpoints:
@@ -28,6 +29,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -82,6 +84,7 @@ func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8421", "listen address")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+	withPprof := fs.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 	mkService := serviceFlags(fs)
 	_ = fs.Parse(args)
 
@@ -93,7 +96,22 @@ func runServe(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hs := &http.Server{Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *withPprof {
+		// Profiling stays off the default mux and behind an explicit
+		// flag: the daemon may face untrusted clients, and profiles leak
+		// timing and memory internals. Perf investigations turn it on.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+	hs := &http.Server{Handler: handler}
 	st := svc.Stats()
 	log.Printf("listening on %s (%d workers, queue %d, frame cache %d MiB)",
 		ln.Addr(), st.Workers, st.QueueCapacity, st.Cache.Capacity>>20)

@@ -91,6 +91,13 @@ type Options struct {
 	// behavior, useful for benchmarking synthesis itself).
 	NoStagingCache bool
 
+	// NoEmptySkip disables macrocell empty-space skipping in the ray
+	// caster: every lattice sample is fetched and classified like the
+	// paper's original §3.2 kernel. Images are bit-identical either way
+	// (skipping is conservative — see DESIGN.md §8); the flag exists for
+	// A/B benchmarks of the acceleration structure.
+	NoEmptySkip bool
+
 	// InSitu models the §7 in-situ pipeline: bricks are already resident
 	// on the cluster's nodes (produced by a co-located simulation,
 	// distributed round-robin across nodes), workers are scheduled with
@@ -180,5 +187,8 @@ func (o *Options) renderParams() render.Params {
 		StepVoxels:       o.StepVoxels,
 		TerminationAlpha: o.TerminationAlpha,
 		Shading:          o.Shading,
+		// The slicing sampler ignores the skip structure; disabling it
+		// spares slicing kernels the macrocell build they'd never read.
+		NoEmptySkip: o.NoEmptySkip || o.Sampler == Slicing,
 	}
 }

@@ -23,7 +23,7 @@ func Ablations(sc Scale) (*report.Table, error) {
 	gpus := 8
 
 	run := func(name, notes string, mutate func(*core.Options)) error {
-		res, err := RenderConfig(dataset.Skull, dims, gpus, sc.ImageSize, mutate)
+		res, err := RenderConfig(dataset.Skull, dims, gpus, sc.ImageSize, sc.mutate(mutate))
 		if err != nil {
 			return fmt.Errorf("ablation %q: %w", name, err)
 		}

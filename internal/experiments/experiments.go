@@ -52,6 +52,10 @@ type Scale struct {
 	Serial bool
 	// Workers caps the fan-out pool width (0 means GOMAXPROCS).
 	Workers int
+	// NoSkip disables macrocell empty-space skipping in the timed legs
+	// (benchsuite -noskip): the skip-off A/B half of the seqbench record
+	// and a regression guard for CI. Images are identical either way.
+	NoSkip bool
 }
 
 // poolWidth resolves the scheduler pool for a fan-out of n jobs.
@@ -60,6 +64,18 @@ func (sc Scale) poolWidth(n int) int {
 		return 1
 	}
 	return schedule.Workers(sc.Workers, n)
+}
+
+// mutate wraps a caller's option mutation with the scale-level toggles
+// (currently NoSkip), so every figure subcommand honors benchsuite
+// -noskip through one place.
+func (sc Scale) mutate(f func(*core.Options)) func(*core.Options) {
+	return func(o *core.Options) {
+		o.NoEmptySkip = sc.NoSkip
+		if f != nil {
+			f(o)
+		}
+	}
 }
 
 // Paper returns the full evaluation scale: 512² images, 128³–1024³
@@ -195,7 +211,7 @@ func Sweep(sc Scale) ([]SweepRow, error) {
 	devWorkers := schedule.DeviceWorkers(workers)
 	return schedule.Map(workers, len(cells), func(i int) (SweepRow, error) {
 		c := cells[i]
-		res, err := RenderConfigWorkers(dataset.Skull, c.dims, c.gpus, sc.ImageSize, devWorkers, nil)
+		res, err := RenderConfigWorkers(dataset.Skull, c.dims, c.gpus, sc.ImageSize, devWorkers, sc.mutate(nil))
 		if err != nil {
 			return SweepRow{}, fmt.Errorf("sweep %v on %d GPUs: %w", c.dims, c.gpus, err)
 		}

@@ -244,7 +244,11 @@ func TestSweepParallelMatchesSerial(t *testing.T) {
 // at test scale: both legs must agree bit for bit and the record must
 // round-trip through JSON.
 func TestSeqBenchRecord(t *testing.T) {
-	b, err := RunSeqBench(tiny(), 3)
+	sc := tiny()
+	// 16³ macrocells span a quarter of the volume and nothing is provably
+	// empty; 32³ is the smallest edge where the skull orbit skips.
+	sc.Fig2Edge = 32
+	b, err := RunSeqBench(sc, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,6 +263,18 @@ func TestSeqBenchRecord(t *testing.T) {
 	}
 	if len(b.Virtual.PerFrameSeconds) != 3 || b.Virtual.MeanFPS <= 0 {
 		t.Errorf("virtual figures not populated: %+v", b.Virtual)
+	}
+	if !b.Skip.BitIdentical {
+		t.Error("skip-on orbit diverged from skip-off")
+	}
+	if b.Skip.On.Samples+b.Skip.On.SamplesSkipped != b.Skip.Off.Samples {
+		t.Errorf("skip sample conservation broken: %+v", b.Skip)
+	}
+	if b.Skip.On.SamplesSkipped <= 0 || b.Skip.SampleReduction <= 0 {
+		t.Errorf("skip leg did not skip: %+v", b.Skip)
+	}
+	if b.Skip.Off.MacrocellSteps != 0 || b.Skip.On.MacrocellSteps <= 0 {
+		t.Errorf("macrocell traversal accounting wrong: %+v", b.Skip)
 	}
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if err := b.WriteJSON(path); err != nil {

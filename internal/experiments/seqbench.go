@@ -26,6 +26,7 @@ type SeqBenchConfig struct {
 	Frames     int    `json:"frames"`
 	ImageSize  int    `json:"image_size"`
 	Shading    bool   `json:"shading"`
+	NoSkip     bool   `json:"noskip"` // timed legs rendered with skipping disabled
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
 	Workers    int    `json:"parallel_workers"`
@@ -47,10 +48,34 @@ type SeqBenchVirtual struct {
 	PerFrameSeconds []float64 `json:"per_frame_seconds"`
 }
 
+// SeqBenchSkipLeg is the virtual-time record of the orbit rendered with
+// empty-space skipping in one state.
+type SeqBenchSkipLeg struct {
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	Samples        int64   `json:"samples"`
+	SamplesSkipped int64   `json:"samples_skipped"`
+	MacrocellSteps int64   `json:"macrocell_steps"`
+}
+
+// SeqBenchSkip is the committed empty-space-skipping A/B: the same orbit
+// rendered with the macrocell DDA on and off. BitIdentical proves the
+// acceleration structure changed no pixel; SampleReduction is the
+// fraction of texture samples it eliminated; SpeedupVirtual is the
+// net modeled win (skipped samples minus the charged macrocell
+// traversal).
+type SeqBenchSkip struct {
+	On              SeqBenchSkipLeg `json:"on"`
+	Off             SeqBenchSkipLeg `json:"off"`
+	SampleReduction float64         `json:"sample_reduction"`
+	SpeedupVirtual  float64         `json:"speedup_virtual"`
+	BitIdentical    bool            `json:"bit_identical"`
+}
+
 // SeqBench is the machine-readable record cmd/benchsuite writes to
 // BENCH_fig2.json: one multi-frame orbit of the Figure 2 skull dataset,
 // rendered serially and through the parallel frame scheduler, with
-// wall-clock for both and proof the outputs matched bit for bit.
+// wall-clock for both, proof the outputs matched bit for bit, and the
+// empty-space-skipping on/off comparison.
 type SeqBench struct {
 	Config       SeqBenchConfig  `json:"config"`
 	Serial       SeqBenchLeg     `json:"serial"`
@@ -58,6 +83,7 @@ type SeqBench struct {
 	SpeedupWall  float64         `json:"speedup_wall"`
 	BitIdentical bool            `json:"bit_identical"`
 	Virtual      SeqBenchVirtual `json:"virtual"`
+	Skip         SeqBenchSkip    `json:"skip"`
 }
 
 // RunSeqBench renders a `frames`-frame orbit of the skull dataset at the
@@ -82,7 +108,8 @@ func RunSeqBench(sc Scale, frames int) (*SeqBench, error) {
 	opt := core.Options{
 		Source: src, TF: tf,
 		Width: sc.ImageSize, Height: sc.ImageSize,
-		Shading: true,
+		Shading:     true,
+		NoEmptySkip: sc.NoSkip,
 	}
 	spec := cluster.AC(4)
 	cams, err := core.OrbitCameras(src, sc.ImageSize, sc.ImageSize, frames, 360)
@@ -140,6 +167,52 @@ func RunSeqBench(sc Scale, frames int) (*SeqBench, error) {
 		perFrame = append(perFrame, serial[i].Runtime.Seconds())
 	}
 
+	// Empty-space-skipping A/B: the same orbit with the macrocell DDA in
+	// the opposite state to the timed legs; the state already rendered is
+	// reused. Virtual time, sample counts and digests prove the win and
+	// the bit-identity contract frame by frame.
+	other, err := func() ([]*core.Result, error) {
+		cl, err := spec.Instance()
+		if err != nil {
+			return nil, err
+		}
+		o := opt
+		o.NoEmptySkip = !sc.NoSkip
+		return core.RenderFrames(cl, o, cams)
+	}()
+	if err != nil {
+		return nil, err
+	}
+	onRes, offRes := serial, other
+	if sc.NoSkip {
+		onRes, offRes = other, serial
+	}
+	skipLeg := func(results []*core.Result) SeqBenchSkipLeg {
+		var leg SeqBenchSkipLeg
+		var tot sim.Time
+		for _, r := range results {
+			tot += r.Runtime
+			leg.Samples += r.Stats.TotalSamples
+			leg.SamplesSkipped += r.Stats.TotalSamplesSkipped
+			leg.MacrocellSteps += r.Stats.TotalCells
+		}
+		leg.VirtualSeconds = tot.Seconds()
+		return leg
+	}
+	skip := SeqBenchSkip{On: skipLeg(onRes), Off: skipLeg(offRes), BitIdentical: true}
+	for i := range onRes {
+		if onRes[i].Image.Digest() != offRes[i].Image.Digest() {
+			skip.BitIdentical = false
+			break
+		}
+	}
+	if skip.Off.Samples > 0 {
+		skip.SampleReduction = 1 - float64(skip.On.Samples)/float64(skip.Off.Samples)
+	}
+	if skip.On.VirtualSeconds > 0 {
+		skip.SpeedupVirtual = skip.Off.VirtualSeconds / skip.On.VirtualSeconds
+	}
+
 	voxels := float64(dims.Voxels()) * float64(frames)
 	out := &SeqBench{
 		Config: SeqBenchConfig{
@@ -150,6 +223,7 @@ func RunSeqBench(sc Scale, frames int) (*SeqBench, error) {
 			Frames:     frames,
 			ImageSize:  sc.ImageSize,
 			Shading:    true,
+			NoSkip:     sc.NoSkip,
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			NumCPU:     runtime.NumCPU(),
 			Workers:    schedule.Workers(0, frames),
@@ -157,6 +231,7 @@ func RunSeqBench(sc Scale, frames int) (*SeqBench, error) {
 		Serial:       SeqBenchLeg{WallSeconds: serialWall, Workers: 1},
 		Parallel:     SeqBenchLeg{WallSeconds: parWall, Workers: parWorkers},
 		BitIdentical: identical,
+		Skip:         skip,
 		Virtual: SeqBenchVirtual{
 			TotalSeconds:    total.Seconds(),
 			MeanFPS:         float64(frames) / total.Seconds(),

@@ -26,6 +26,13 @@ type Spec struct {
 	// EmitRate is the rate at which threads can write key-value pairs to
 	// global memory (pairs/s).
 	EmitRate float64
+	// CellRate is the macrocell traversal rate (cells/s): one step of the
+	// empty-space-skipping DDA — a coarse-grid occupancy fetch plus the
+	// exit-plane arithmetic. Far cheaper than a trilinear sample (one
+	// aligned read, no filtering, no TF lookup) but not free; the cost
+	// model charges it so skipping's win is net of its own overhead.
+	// Zero disables the charge (pre-skipping specs stay comparable).
+	CellRate float64
 	// LaunchOverhead is the fixed driver cost per kernel launch.
 	LaunchOverhead sim.Time
 	// ZeroCopyPenalty divides EmitRate when a kernel emits directly to
@@ -42,6 +49,7 @@ func TeslaC1060() Spec {
 		SampleRate:      45e6,
 		ThreadRate:      2.5e9,
 		EmitRate:        450e6,
+		CellRate:        1e9,
 		LaunchOverhead:  10 * sim.Microsecond,
 		ZeroCopyPenalty: 25,
 	}
@@ -60,6 +68,13 @@ func (d Dim2) Count() int { return d.X * d.Y }
 type Stats struct {
 	Threads int64 // threads executed
 	Samples int64 // trilinear texture samples taken
+	// SamplesSkipped counts lattice samples the empty-space-skipping DDA
+	// proved invisible and never fetched: the dense path would have taken
+	// Samples + SamplesSkipped texture samples. Reported, not charged.
+	SamplesSkipped int64
+	// Cells counts macrocell traversal steps (occupancy fetch + exit
+	// computation), charged at Spec.CellRate.
+	Cells   int64
 	Emitted int64 // key-value pairs written (including placeholders)
 	RaysHit int64 // rays that intersected the brick
 }
@@ -68,6 +83,8 @@ type Stats struct {
 func (s *Stats) Add(other Stats) {
 	s.Threads += other.Threads
 	s.Samples += other.Samples
+	s.SamplesSkipped += other.SamplesSkipped
+	s.Cells += other.Cells
 	s.Emitted += other.Emitted
 	s.RaysHit += other.RaysHit
 }
@@ -78,6 +95,8 @@ func (s *Stats) Add(other Stats) {
 func (s *Stats) Sub(other Stats) {
 	s.Threads -= other.Threads
 	s.Samples -= other.Samples
+	s.SamplesSkipped -= other.SamplesSkipped
+	s.Cells -= other.Cells
 	s.Emitted -= other.Emitted
 	s.RaysHit -= other.RaysHit
 }
@@ -100,9 +119,14 @@ type Kernel interface {
 // KernelCost converts kernel stats to modeled execution time under spec.
 // Texture sampling and raw thread issue overlap on real hardware, so the
 // cost takes their max; emission bandwidth is additive (it contends with
-// sampling for memory).
+// sampling for memory). Macrocell traversal is additive with sampling —
+// the skipping DDA runs in the same inner loop as the fetches, so its
+// steps serialise with them rather than hiding behind them.
 func KernelCost(spec *Spec, s Stats, zeroCopy bool) sim.Time {
 	sample := sim.WorkTime(float64(s.Samples), spec.SampleRate)
+	if s.Cells > 0 && spec.CellRate > 0 {
+		sample += sim.WorkTime(float64(s.Cells), spec.CellRate)
+	}
 	issue := sim.WorkTime(float64(s.Threads), spec.ThreadRate)
 	work := max(sample, issue)
 	emitRate := spec.EmitRate

@@ -362,6 +362,9 @@ func assembleStats[V, S any](cfg Config[V, S], makespan sim.Time,
 			Kernel:    work,
 		})
 		js.TotalEmitted += w.emitted
+		js.TotalSamples += work.Samples
+		js.TotalSamplesSkipped += work.SamplesSkipped
+		js.TotalCells += work.Cells
 		js.MapCompute += w.kernelTime
 		js.MapComm += w.partIOTime + w.commBusy
 	}

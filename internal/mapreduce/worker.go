@@ -176,4 +176,12 @@ type JobStats struct {
 	Messages      int64
 	TotalEmitted  int64
 	TotalReceived int64
+	// Texture-sampling totals across workers. TotalSamplesSkipped counts
+	// the samples empty-space skipping proved invisible and never took
+	// (the dense path would have taken TotalSamples + TotalSamplesSkipped);
+	// TotalCells is the macrocell traversal work the cost model charged
+	// for proving it.
+	TotalSamples        int64
+	TotalSamplesSkipped int64
+	TotalCells          int64
 }

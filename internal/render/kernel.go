@@ -31,7 +31,7 @@ type Kernel struct {
 }
 
 // SampleFn is a pluggable per-pixel volume sampler.
-type SampleFn func(cam *camera.Camera, sp volume.Space, bd *volume.BrickData, prm Params, px, py int) (composite.Fragment, int64)
+type SampleFn func(cam *camera.Camera, sp volume.Space, bd *volume.BrickData, prm Params, px, py int) (composite.Fragment, SampleStats)
 
 // NewKernel plans a kernel for one brick; it returns nil (no work) when
 // the brick is off screen.
@@ -48,7 +48,7 @@ func NewKernel(cam *camera.Camera, sp volume.Space, tex *gpu.Texture3D, prm Para
 		Cam:   cam,
 		Space: sp,
 		Tex:   tex,
-		Prm:   prm.Prepare(),
+		Prm:   prm.PrepareBrick(tex.Data),
 		FP:    fp,
 		Out:   make([]composite.Fragment, grid.Count()*BlockDim*BlockDim),
 		grid:  grid,
@@ -92,7 +92,9 @@ func (k *Kernel) RunBlock(bx, by int) gpu.Stats {
 				continue
 			}
 			frag, samples := sample(k.Cam, k.Space, k.Tex.Data, k.Prm, px, py)
-			st.Samples += samples
+			st.Samples += samples.Samples
+			st.SamplesSkipped += samples.Skipped
+			st.Cells += samples.Cells
 			if !frag.IsPlaceholder() {
 				st.RaysHit++
 			}

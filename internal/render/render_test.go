@@ -74,8 +74,8 @@ func TestMissingRayEmitsPlaceholder(t *testing.T) {
 	if !frag.IsPlaceholder() {
 		t.Error("corner ray should emit placeholder")
 	}
-	if samples != 0 {
-		t.Errorf("missing ray took %d samples", samples)
+	if samples != (SampleStats{}) {
+		t.Errorf("missing ray did work: %+v", samples)
 	}
 	if frag.Key != 0 {
 		t.Errorf("placeholder key = %d, want pixel index 0", frag.Key)
@@ -89,7 +89,7 @@ func TestCenterRayHits(t *testing.T) {
 	if frag.IsPlaceholder() {
 		t.Fatal("center ray should hit the skull")
 	}
-	if samples == 0 {
+	if samples.Samples == 0 {
 		t.Error("hit ray took no samples")
 	}
 	if frag.A <= 0 || frag.A > 1 {
@@ -116,8 +116,9 @@ func TestEarlyTerminationReducesSamples(t *testing.T) {
 		t.Fatal(err)
 	}
 	translucent := transfer.Gray()
-	_, sOpaque := CastPixel(cam, sp, bd, DefaultParams(opaque), 32, 32)
-	_, sTrans := CastPixel(cam, sp, bd, DefaultParams(translucent), 32, 32)
+	_, stOpaque := CastPixel(cam, sp, bd, DefaultParams(opaque), 32, 32)
+	_, stTrans := CastPixel(cam, sp, bd, DefaultParams(translucent), 32, 32)
+	sOpaque, sTrans := stOpaque.Samples, stTrans.Samples
 	if sOpaque >= sTrans {
 		t.Errorf("opaque TF took %d samples, translucent %d: early termination broken",
 			sOpaque, sTrans)
@@ -212,11 +213,15 @@ func TestGlobalLatticeSampleCountProperty(t *testing.T) {
 	r := rand.New(rand.NewSource(101))
 	f := func() bool {
 		px, py := r.Intn(40), r.Intn(40)
-		_, mono := CastPixel(cam, spw, whole, prm, px, py)
+		_, st := CastPixel(cam, spw, whole, prm, px, py)
+		// Samples + Skipped is the dense-lattice count, which is what the
+		// global-lattice property governs (per-brick macrocell grids may
+		// skip different spans than the monolithic grid does).
+		mono := st.Samples + st.Skipped
 		var split int64
 		for _, bd := range bricks {
 			_, s := CastPixel(cam, g.Space, bd, prm, px, py)
-			split += s
+			split += s.Samples + s.Skipped
 		}
 		// Identical lattices; boundary samples may fall on either side of
 		// a brick seam within float error.
@@ -350,8 +355,8 @@ func TestShadingChangesImageAndCost(t *testing.T) {
 	shaded := prm
 	shaded.Shading = true
 	fragS, sCount := CastPixel(cam, sp, bd, shaded, 24, 24)
-	if sCount <= plain {
-		t.Errorf("shading should cost extra fetches: %d vs %d", sCount, plain)
+	if sCount.Samples <= plain.Samples {
+		t.Errorf("shading should cost extra fetches: %+v vs %+v", sCount, plain)
 	}
 	fragP, _ := CastPixel(cam, sp, bd, prm, 24, 24)
 	if fragS.R == fragP.R && fragS.G == fragP.G && fragS.B == fragP.B {
@@ -398,15 +403,15 @@ func TestPrepareDetectsMutation(t *testing.T) {
 	fresh.StepVoxels = 0.25
 	fragFresh, sFresh := CastPixel(cam, sp, bd, fresh, 12, 12)
 	if sMutated != sFresh {
-		t.Fatalf("mutated-after-Prepare took %d samples, fresh params %d", sMutated, sFresh)
+		t.Fatalf("mutated-after-Prepare did %+v work, fresh params %+v", sMutated, sFresh)
 	}
 	if fragMutated != fragFresh {
 		t.Fatalf("mutated-after-Prepare fragment %+v != fresh %+v", fragMutated, fragFresh)
 	}
 	// And the finer step must actually differ from the coarse one.
 	fragCoarse, sCoarse := CastPixel(cam, sp, bd, coarse, 12, 12)
-	if sCoarse >= sFresh {
-		t.Fatalf("fine step took %d samples, coarse %d; mutation ignored?", sFresh, sCoarse)
+	if sCoarse.Samples >= sFresh.Samples {
+		t.Fatalf("fine step took %d samples, coarse %d; mutation ignored?", sFresh.Samples, sCoarse.Samples)
 	}
 	_ = fragCoarse
 }

@@ -1,0 +1,116 @@
+package render
+
+import (
+	"sync"
+
+	"gvmr/internal/transfer"
+	"gvmr/internal/volume"
+)
+
+// This file builds the per-(brick, transfer function, step) empty-space
+// structure the ray caster's two-level DDA traverses: a boolean mask over
+// a brick's macrocell grid marking cells that are provably invisible
+// under the active transfer function. See DESIGN.md §8 for the
+// conservativeness argument that makes skipping bit-identical.
+
+// skipGrid marks which macrocells of one grid are skippable under one
+// lookup table: those whose (one-voxel-dilated, see volume.Macrocells)
+// value range maps to zero opacity everywhere. The dilation is what makes
+// per-cell classification sufficient — every trilinear fetch of every
+// sample a ray can attribute to the cell reads values inside the cell's
+// recorded range, so a zero range-max is a proof of invisibility, not a
+// heuristic.
+type skipGrid struct {
+	mc    *volume.Macrocells
+	empty []bool // true = every possible sample here has TF alpha exactly 0
+	any   bool   // false when nothing is skippable (dense data or dense TF)
+}
+
+// buildSkipGrid evaluates TF emptiness per cell.
+func buildSkipGrid(mc *volume.Macrocells, tf *transfer.Func) *skipGrid {
+	n := mc.NumCells()
+	g := &skipGrid{mc: mc, empty: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		e := tf.MaxAlphaInRange(mc.Min[i], mc.Max[i]) == 0
+		g.empty[i] = e
+		g.any = g.any || e
+	}
+	return g
+}
+
+// occCache memoises skip grids per (macrocell grid, transfer function)
+// — the same identity discipline as tfStepCache: grids and tables are
+// immutable once in use, so pointer identity is value identity. Step
+// size is deliberately NOT in the key: opacity correction maps alpha a
+// to 1-(1-a)^step, whose zero set equals the original's for any step
+// (transfer.Func.OpacityCorrected documents this), so one mask serves
+// every step of the same (grid, TF) instead of duplicating per quality
+// setting. The memo is bounded two ways: by entry count, and by the bytes it keeps
+// reachable (each entry's mask plus the macrocell grid it pins — without
+// the byte bound, 64 entries over 1024³ volumes could pin gigabytes the
+// staging cache believes it already evicted). At either cap single
+// arbitrary entries are evicted, so steady-state workloads near the cap
+// don't rebuild every hot entry.
+var occCache = struct {
+	sync.Mutex
+	m     map[occKey]*skipGrid
+	bytes int64
+}{m: map[occKey]*skipGrid{}}
+
+const (
+	occCacheMax      = 64
+	occCacheMaxBytes = 256 << 20
+)
+
+// occEntryBytes is the retained cost of one memo entry: its own mask
+// plus the macrocell grid the entry keeps alive (counted per entry, so
+// shared grids are over- rather than under-charged).
+func occEntryBytes(k occKey, g *skipGrid) int64 {
+	return int64(len(g.empty)) + k.mc.Bytes()
+}
+
+type occKey struct {
+	mc *volume.Macrocells
+	tf *transfer.Func
+}
+
+// occupancyFor returns the memoised skip grid for a brick's macrocells
+// under tf. The mask is built from the raw table; the step-corrected
+// table the sampler actually reads has exactly the same zero set, which
+// is all "invisible" means.
+func occupancyFor(mc *volume.Macrocells, tf *transfer.Func) *skipGrid {
+	key := occKey{mc: mc, tf: tf}
+	occCache.Lock()
+	g, ok := occCache.m[key]
+	occCache.Unlock()
+	if ok {
+		return g
+	}
+	g = buildSkipGrid(mc, tf)
+	cost := occEntryBytes(key, g)
+	occCache.Lock()
+	if prior, ok := occCache.m[key]; ok {
+		g = prior // a concurrent builder won; share its grid
+	} else {
+		for len(occCache.m) > 0 &&
+			(len(occCache.m) >= occCacheMax || occCache.bytes+cost > occCacheMaxBytes) {
+			for k, e := range occCache.m {
+				occCache.bytes -= occEntryBytes(k, e)
+				delete(occCache.m, k)
+				break
+			}
+		}
+		occCache.m[key] = g
+		occCache.bytes += cost
+	}
+	occCache.Unlock()
+	return g
+}
+
+// evictOne drops a single arbitrary entry from a memo map at capacity.
+func evictOne[K comparable, V any](m map[K]V) {
+	for k := range m {
+		delete(m, k)
+		return
+	}
+}

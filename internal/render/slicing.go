@@ -16,12 +16,13 @@ import (
 // are taken where the ray crosses the volume's voxel slab planes along
 // the axis most aligned with the view direction — exactly what compositing
 // object-aligned textured slices computes.
-func CastPixelSlicing(cam *camera.Camera, sp volume.Space, bd *volume.BrickData, prm Params, px, py int) (composite.Fragment, int64) {
+func CastPixelSlicing(cam *camera.Camera, sp volume.Space, bd *volume.BrickData, prm Params, px, py int) (composite.Fragment, SampleStats) {
+	var st SampleStats
 	key := int32(py*cam.Width + px)
 	ray := cam.Ray(px, py)
 	t0, t1, ok := bd.Brick.Bounds.Intersect(ray)
 	if !ok || t1 <= 0 {
-		return composite.Placeholder(key), 0
+		return composite.Placeholder(key), st
 	}
 	if t0 < 0 {
 		t0 = 0
@@ -35,7 +36,7 @@ func CastPixelSlicing(cam *camera.Camera, sp volume.Space, bd *volume.BrickData,
 		}
 	}
 	if dir[axis] == 0 {
-		return composite.Placeholder(key), 0
+		return composite.Placeholder(key), st
 	}
 	org := [3]float32{ray.Origin.X, ray.Origin.Y, ray.Origin.Z}
 
@@ -66,7 +67,6 @@ func CastPixelSlicing(cam *camera.Camera, sp volume.Space, bd *volume.BrickData,
 	prm = prm.Prepare()
 	tf := prm.lookupTF()
 	acc := vec.V4{}
-	var samples int64
 	entry := float32(-1) // no contributing sample yet; t ≥ 0 on this path
 	maxPlanes := int64(4 * (sp.Dims.X + sp.Dims.Y + sp.Dims.Z))
 	for iter := int64(0); ; iter++ {
@@ -83,7 +83,7 @@ func CastPixelSlicing(cam *camera.Camera, sp volume.Space, bd *volume.BrickData,
 		}
 		pos := sp.WorldToVoxel(ray.At(t))
 		s := bd.Sample(pos.X, pos.Y, pos.Z)
-		samples++
+		st.Samples++
 		c := tf.Lookup(s)
 		if c.W > 0 {
 			if entry < 0 {
@@ -98,12 +98,12 @@ func CastPixelSlicing(cam *camera.Camera, sp volume.Space, bd *volume.BrickData,
 		k += dk
 	}
 	if acc.W == 0 {
-		return composite.Placeholder(key), samples
+		return composite.Placeholder(key), st
 	}
 	if entry < 0 {
 		entry = t0
 	}
-	return composite.Fragment{Key: key, R: acc.X, G: acc.Y, B: acc.Z, A: acc.W, Depth: entry}, samples
+	return composite.Fragment{Key: key, R: acc.X, G: acc.Y, B: acc.Z, A: acc.W, Depth: entry}, st
 }
 
 func abs32(v float32) float32 {

@@ -21,12 +21,12 @@ func TestSlicingHitsAndMisses(t *testing.T) {
 	if frag.IsPlaceholder() {
 		t.Fatal("center ray should hit through slicing")
 	}
-	if samples == 0 {
+	if samples.Samples == 0 {
 		t.Error("no slices sampled")
 	}
 	// Corner misses.
 	miss, s := CastPixelSlicing(cam, sp, bd, prm, 0, 0)
-	if !miss.IsPlaceholder() || s != 0 {
+	if !miss.IsPlaceholder() || s.Samples != 0 {
 		t.Error("corner ray should miss")
 	}
 }
@@ -37,8 +37,11 @@ func TestSlicingSampleCountNearRayCast(t *testing.T) {
 	src, cam, prm := testScene(t, 32, 64)
 	prm.TerminationAlpha = 1.0
 	bd, sp := wholeBrick(t, src)
-	_, rc := CastPixel(cam, sp, bd, prm, 32, 32)
-	_, sl := CastPixelSlicing(cam, sp, bd, prm, 32, 32)
+	_, rcSt := CastPixel(cam, sp, bd, prm, 32, 32)
+	_, slSt := CastPixelSlicing(cam, sp, bd, prm, 32, 32)
+	// The ray caster's dense-lattice count (taken + skipped) is the
+	// traversal density the slice stack should be near.
+	rc, sl := rcSt.Samples+rcSt.Skipped, slSt.Samples
 	if sl == 0 || rc == 0 {
 		t.Fatal("no samples")
 	}

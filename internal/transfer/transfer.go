@@ -18,6 +18,10 @@ import (
 // should build a new Func instead of mutating the slice in place.
 type Func struct {
 	Table []vec.V4
+
+	// rmax memoises the alpha range-max table behind MaxAlphaInRange
+	// (occupancy.go); built lazily from the immutable Table.
+	rmax atomicRangeMax
 }
 
 // Point is a control point for building a piecewise-linear transfer

@@ -2,6 +2,7 @@ package volume
 
 import (
 	"fmt"
+	"sync"
 
 	"gvmr/internal/vec"
 )
@@ -152,6 +153,47 @@ type BrickData struct {
 	// region. Sampling arithmetic is bit-identical to the copied layout.
 	full     []float32
 	fullDims Dims
+
+	// mc is the macrocell min/max summary used for empty-space skipping:
+	// the shared whole-volume grid for view-backed bricks, a private
+	// ghost-region grid for copy-backed ones. Constructors install a
+	// build function and Cells() runs it at most once, on first use —
+	// renders with skipping disabled never pay the build. Nil mcFn and
+	// nil mc (literal-built bricks) disable skipping.
+	mcOnce sync.Once
+	mcFn   func() *Macrocells
+	mc     *Macrocells
+
+	// Hoisted sampler state: the backing selection and the ghost origin
+	// as floats, precomputed once per brick so Sample (and the 6-fetch
+	// shading stencil) is a single trilinearAt call instead of re-deriving
+	// them per fetch.
+	smpData          []float32
+	smpDims          Dims
+	smpReg           Region
+	orgX, orgY, orgZ float32
+}
+
+// initSampler precomputes the backing selection and origin floats Sample
+// uses; constructors call it once per brick.
+func (bd *BrickData) initSampler() {
+	o := bd.Brick.Ghost.Org
+	bd.orgX, bd.orgY, bd.orgZ = float32(o[0]), float32(o[1]), float32(o[2])
+	if bd.full != nil {
+		bd.smpData, bd.smpDims, bd.smpReg = bd.full, bd.fullDims, bd.Brick.Ghost
+	} else {
+		bd.smpData, bd.smpDims, bd.smpReg = bd.Data, bd.Brick.Ghost.Ext, Region{Ext: bd.Brick.Ghost.Ext}
+	}
+}
+
+// Cells returns the brick's macrocell summary grid, building it on
+// first use (safe for concurrent callers), or nil for bricks
+// constructed as bare literals.
+func (bd *BrickData) Cells() *Macrocells {
+	if bd.mcFn != nil {
+		bd.mcOnce.Do(func() { bd.mc = bd.mcFn() })
+	}
+	return bd.mc
 }
 
 // Bytes returns the ghost-region payload size regardless of backing: the
@@ -163,19 +205,28 @@ func (bd *BrickData) Bytes() int64 {
 	return bd.Brick.Bytes()
 }
 
-// FillBrick materialises a brick's ghost region from a source.
+// FillBrick materialises a brick's ghost region from a source. The
+// brick-private macrocell summary (one extra pass over the ghost data,
+// far cheaper than producing it) is built lazily by Cells(), so renders
+// that never skip never pay for it.
 func FillBrick(src Source, b Brick) (*BrickData, error) {
 	bd := &BrickData{Brick: b, Data: make([]float32, b.Ghost.Ext.Voxels())}
 	if err := src.Fill(b.Ghost, bd.Data); err != nil {
 		return nil, err
 	}
+	bd.mcFn = func() *Macrocells { return BuildMacrocells(bd.Data, b.Ghost.Ext, b.Ghost.Org) }
+	bd.initSampler()
 	return bd, nil
 }
 
 // ViewBrick returns a BrickData that samples the brick's ghost region
-// directly out of a dense volume without copying it.
+// directly out of a dense volume without copying it. All views of one
+// volume share its memoised whole-volume macrocell grid, built on the
+// first Cells() call across all of them.
 func ViewBrick(v *Volume, b Brick) *BrickData {
-	return &BrickData{Brick: b, full: v.Data, fullDims: v.Dims}
+	bd := &BrickData{Brick: b, full: v.Data, fullDims: v.Dims, mcFn: v.Macrocells}
+	bd.initSampler()
+	return bd
 }
 
 // StageBrick materialises a brick's ghost region from a source like
@@ -215,14 +266,23 @@ func viewBrickChecked(v *Volume, b Brick) (*BrickData, error) {
 // Sample trilinearly interpolates at the continuous *volume* voxel-space
 // position (px,py,pz). For positions inside the brick core this returns
 // exactly the same value as Volume.Sample on the full volume — the ghost
-// layer guarantees it (see tests).
+// layer guarantees it (see tests). The backing selection and ghost-origin
+// floats are hoisted into initSampler by the constructors, so the hot
+// path (this is called up to 7× per contributing sample, counting the
+// shading stencil) is one trilinearAt call. Bricks built as bare
+// literals take the slow branch, which derives the same values per call
+// instead of caching them — Sample must stay write-free so concurrent
+// sampling is race-free on any brick.
 func (bd *BrickData) Sample(px, py, pz float32) float32 {
-	o := bd.Brick.Ghost.Org
-	lx := px - float32(o[0])
-	ly := py - float32(o[1])
-	lz := pz - float32(o[2])
-	if bd.full != nil {
-		return trilinearAt(bd.full, bd.fullDims, bd.Brick.Ghost, lx, ly, lz)
+	if bd.smpData == nil {
+		o := bd.Brick.Ghost.Org
+		lx := px - float32(o[0])
+		ly := py - float32(o[1])
+		lz := pz - float32(o[2])
+		if bd.full != nil {
+			return trilinearAt(bd.full, bd.fullDims, bd.Brick.Ghost, lx, ly, lz)
+		}
+		return trilinearAt(bd.Data, bd.Brick.Ghost.Ext, Region{Ext: bd.Brick.Ghost.Ext}, lx, ly, lz)
 	}
-	return trilinear(bd.Data, bd.Brick.Ghost.Ext, lx, ly, lz)
+	return trilinearAt(bd.smpData, bd.smpDims, bd.smpReg, px-bd.orgX, py-bd.orgY, pz-bd.orgZ)
 }

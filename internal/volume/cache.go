@@ -76,6 +76,12 @@ type cacheKey struct {
 	dims Dims
 }
 
+// bytes is the full budget charge of one cached entry: the dense volume
+// plus its macrocell summary grid (built alongside it for empty-space
+// skipping). Both are pure functions of the dims, so reservations can be
+// taken before either exists.
+func (k cacheKey) bytes() int64 { return k.dims.Bytes() + MacrocellBytes(k.dims) }
+
 type cacheEntry struct {
 	key   cacheKey
 	elem  *list.Element
@@ -225,7 +231,7 @@ func (c *StagingCache) Wrap(src Source) Source {
 	if !ok || !s.StageCacheable() {
 		return src
 	}
-	if src.Dims().Bytes() > c.capacity {
+	if (cacheKey{dims: src.Dims()}).bytes() > c.capacity {
 		return src
 	}
 	return &CachedSource{cache: c, src: src}
@@ -286,11 +292,11 @@ func (c *StagingCache) volumeFor(src Source) (vol *Volume, ok bool, err error) {
 	// the reservation (the budget is held by in-flight materialisations),
 	// evict nothing — dropping volumes other renders are using would gain
 	// nothing — and let the caller fall back to lazy evaluation.
-	bytes := key.dims.Bytes()
+	bytes := key.bytes()
 	evictable := int64(0)
 	for el := c.lru.Front(); el != nil; el = el.Next() {
 		if e := el.Value.(*cacheEntry); e.vol != nil {
-			evictable += e.key.dims.Bytes()
+			evictable += e.key.bytes()
 		}
 	}
 	if c.inUse+bytes-evictable > c.capacity {
@@ -305,7 +311,11 @@ func (c *StagingCache) volumeFor(src Source) (vol *Volume, ok bool, err error) {
 	c.mu.Unlock()
 
 	// Materialise outside the lock: evaluation is the expensive, already-
-	// parallel part, and other keys must not serialise behind it.
+	// parallel part, and other keys must not serialise behind it. The
+	// entry's reservation already covers the macrocell summary
+	// (MacrocellBytes is a pure function of the dims); the grid itself is
+	// built lazily, once, by the first staged brick whose render needs
+	// empty-space skipping, and shared by every later view.
 	vol, err = Materialize(src)
 
 	c.mu.Lock()
@@ -342,7 +352,7 @@ func (c *StagingCache) evictLocked() {
 // happens-before edge), and the volume's memory is released by GC once
 // the last of them drops it.
 func (c *StagingCache) removeLocked(e *cacheEntry) {
-	c.inUse -= e.key.dims.Bytes()
+	c.inUse -= e.key.bytes()
 	c.lru.Remove(e.elem)
 	delete(c.entries, e.key)
 }

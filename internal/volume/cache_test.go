@@ -79,8 +79,8 @@ func TestCachedBrickFillEquivalence(t *testing.T) {
 	if st.Materialisations != 1 {
 		t.Errorf("materialisations = %d, want 1", st.Materialisations)
 	}
-	if st.BytesInUse != d.Bytes() {
-		t.Errorf("bytes in use = %d, want %d", st.BytesInUse, d.Bytes())
+	if want := (cacheKey{dims: d}).bytes(); st.BytesInUse != want {
+		t.Errorf("bytes in use = %d, want %d (volume + macrocells)", st.BytesInUse, want)
 	}
 }
 
@@ -135,7 +135,7 @@ func TestCacheMaterialisesOnceUnderConcurrency(t *testing.T) {
 // the cache entirely, and opted-out or already-dense sources pass through.
 func TestCacheEvictionAndBypass(t *testing.T) {
 	small := Dims{X: 16, Y: 16, Z: 16} // 16 KiB
-	cache := NewStagingCache(3 * small.Bytes())
+	cache := NewStagingCache(3 * (cacheKey{dims: small}).bytes())
 	fill := func(tag string) {
 		src := cache.Wrap(NewFuncSource(tag, small, testField))
 		dst := make([]float32, small.Voxels())
@@ -202,7 +202,7 @@ func TestCacheEvictionAndBypass(t *testing.T) {
 // that concurrent hitters hold.
 func TestCacheHitSurvivesConcurrentEviction(t *testing.T) {
 	d := Dims{X: 8, Y: 8, Z: 8}
-	cache := NewStagingCache(d.Bytes()) // room for exactly one volume
+	cache := NewStagingCache((cacheKey{dims: d}).bytes()) // room for exactly one volume+macrocells entry
 	g, err := MakeGrid(d, [3]int{2, 1, 1})
 	if err != nil {
 		t.Fatal(err)
@@ -318,7 +318,7 @@ func (s *gateSource) Fill(r Region, dst []float32) error {
 // lazy per-region evaluation instead of materialising anything.
 func TestCacheFallbackWhenBudgetInFlight(t *testing.T) {
 	d := Dims{X: 8, Y: 8, Z: 8}
-	cache := NewStagingCache(d.Bytes()) // room for exactly one volume
+	cache := NewStagingCache((cacheKey{dims: d}).bytes()) // room for exactly one volume+macrocells entry
 	gate := newGateSource("inflight-holder", d, false)
 	leader := cache.Wrap(gate)
 	leaderErr := make(chan error, 1)

@@ -1,0 +1,200 @@
+package volume
+
+import "sync"
+
+// This file implements macrocell grids: coarse per-cell min/max summaries
+// of a scalar field, the acceleration structure behind the ray caster's
+// empty-space skipping (DESIGN.md §8). A macrocell covers MacrocellEdge³
+// voxels and records the exact [min, max] of the samples inside it; the
+// renderer combines that with a transfer-function range query ("is any
+// scalar in [min, max] mapped to nonzero opacity?") to leap rays over
+// provably invisible space without taking a single texture sample there.
+//
+// Grids are anchored at a voxel-space origin so the same cell arithmetic
+// serves both backings of BrickData: view-backed bricks share one grid
+// built over the whole dense volume (memoised on the Volume, accounted by
+// the staging cache), while copy-backed bricks build a private grid over
+// their ghost region at stage time.
+
+// MacrocellShift is log2 of the macrocell edge length in voxels.
+const MacrocellShift = 2
+
+// MacrocellEdge is the macrocell edge length in voxels (4, so one cell
+// summarises 64 voxels — ~3% of the volume's bytes, fine enough to trace
+// empty space close to surfaces, where a coarser grid loses several
+// points of skip rate to boundary cells that straddle the silhouette).
+const MacrocellEdge = 1 << MacrocellShift
+
+// Macrocells is a min/max summary grid over a voxel region. Cell (i,j,k)
+// covers voxels [Org + i·Edge, Org + (i+1)·Edge) per axis; Min/Max hold
+// the value range of those voxels *dilated by one voxel per face*
+// (clamped to the region, x-fastest layout). The dilation makes the range
+// a bound on every trilinear fetch of every sample position inside the
+// cell — a sample at continuous position p reads voxels floor(p−½) and
+// floor(p−½)+1 per axis, which for p anywhere in the cell (plus slack
+// well under half a voxel) stay within the dilated window. That is the
+// conservativeness that lets a renderer skip a whole cell on the strength
+// of one range query; see DESIGN.md §8.
+type Macrocells struct {
+	Org   [3]int // voxel-space origin of cell (0,0,0)
+	Vox   Dims   // voxel extent covered by the grid
+	Cells Dims   // cell-grid extent: ceil(Vox / Edge) per axis
+	Min   []float32
+	Max   []float32
+}
+
+// macrocellCounts returns the cell-grid extent covering d voxels.
+func macrocellCounts(d Dims) Dims {
+	return Dims{
+		X: (d.X + MacrocellEdge - 1) >> MacrocellShift,
+		Y: (d.Y + MacrocellEdge - 1) >> MacrocellShift,
+		Z: (d.Z + MacrocellEdge - 1) >> MacrocellShift,
+	}
+}
+
+// MacrocellBytes returns the storage footprint of a macrocell grid over d
+// voxels (two float32 per cell). It is a pure function of the dims, so
+// the staging cache can reserve the bytes before the grid exists.
+func MacrocellBytes(d Dims) int64 {
+	return macrocellCounts(d).Voxels() * 8
+}
+
+// NumCells returns the total cell count.
+func (m *Macrocells) NumCells() int { return int(m.Cells.Voxels()) }
+
+// Bytes returns the grid's storage footprint.
+func (m *Macrocells) Bytes() int64 { return int64(len(m.Min)+len(m.Max)) * 4 }
+
+// CellIndex returns the linear index of cell (cx,cy,cz); no bounds check.
+func (m *Macrocells) CellIndex(cx, cy, cz int) int {
+	return (cz*m.Cells.Y+cy)*m.Cells.X + cx
+}
+
+// BuildMacrocells summarises data (a dense region of vox voxels,
+// x-fastest, anchored at voxel-space origin org) into a macrocell grid.
+// Each cell's window is its own voxels dilated by one per face and
+// clamped to the region. Min/max over a box window is separable, so the
+// build reduces x, then y, then z: every voxel is read exactly once, in
+// layout order, and only the already-256×-smaller intermediate layers
+// pay the window overlap — the whole build costs about one linear pass
+// over the volume (it shares the staging cache's materialisation, so a
+// render's first frame absorbs it and every later frame skips for free).
+func BuildMacrocells(data []float32, vox Dims, org [3]int) *Macrocells {
+	m := &Macrocells{Org: org, Vox: vox, Cells: macrocellCounts(vox)}
+	n := m.NumCells()
+	m.Min = make([]float32, n)
+	m.Max = make([]float32, n)
+	cx, cy := m.Cells.X, m.Cells.Y
+	layer := cx * cy
+	slab := vox.X * vox.Y
+
+	// tmp holds one voxel layer reduced along x (per voxel row, per cell
+	// column); ring holds the last ringLayers fully xy-reduced layers —
+	// enough for one cell band's z-window (Edge+2) plus the two layers
+	// the next band reuses.
+	const ringLayers = MacrocellEdge + 4
+	tmpMin := make([]float32, vox.Y*cx)
+	tmpMax := make([]float32, vox.Y*cx)
+	ringMin := make([]float32, ringLayers*layer)
+	ringMax := make([]float32, ringLayers*layer)
+
+	// reduceLayer folds voxel layer z into ring[z%ringLayers].
+	reduceLayer := func(z int) {
+		base := z * slab
+		for y := 0; y < vox.Y; y++ {
+			row := data[base+y*vox.X : base+(y+1)*vox.X]
+			out := y * cx
+			for k := 0; k < cx; k++ {
+				x0, x1 := windowClamp(k, vox.X)
+				lo, hi := row[x0], row[x0]
+				for _, v := range row[x0+1 : x1] {
+					if v < lo {
+						lo = v
+					} else if v > hi {
+						hi = v
+					}
+				}
+				tmpMin[out+k], tmpMax[out+k] = lo, hi
+			}
+		}
+		dst := (z % ringLayers) * layer
+		for ky := 0; ky < cy; ky++ {
+			y0, y1 := windowClamp(ky, vox.Y)
+			for k := 0; k < cx; k++ {
+				lo, hi := tmpMin[y0*cx+k], tmpMax[y0*cx+k]
+				for y := y0 + 1; y < y1; y++ {
+					if v := tmpMin[y*cx+k]; v < lo {
+						lo = v
+					}
+					if v := tmpMax[y*cx+k]; v > hi {
+						hi = v
+					}
+				}
+				ringMin[dst+ky*cx+k] = lo
+				ringMax[dst+ky*cx+k] = hi
+			}
+		}
+	}
+
+	next := 0 // first voxel layer not yet reduced
+	for kz := 0; kz < m.Cells.Z; kz++ {
+		z0, z1 := windowClamp(kz, vox.Z)
+		for ; next < z1; next++ {
+			reduceLayer(next)
+		}
+		out := kz * layer
+		src := (z0 % ringLayers) * layer
+		copy(m.Min[out:out+layer], ringMin[src:src+layer])
+		copy(m.Max[out:out+layer], ringMax[src:src+layer])
+		for z := z0 + 1; z < z1; z++ {
+			src := (z % ringLayers) * layer
+			for i := 0; i < layer; i++ {
+				if v := ringMin[src+i]; v < m.Min[out+i] {
+					m.Min[out+i] = v
+				}
+				if v := ringMax[src+i]; v > m.Max[out+i] {
+					m.Max[out+i] = v
+				}
+			}
+		}
+	}
+	return m
+}
+
+// windowClamp returns the [lo, hi) voxel window of cell c along an axis
+// of extent n: the cell's voxels dilated by one per side, clamped.
+func windowClamp(c, n int) (int, int) {
+	lo := c<<MacrocellShift - 1
+	if lo < 0 {
+		lo = 0
+	}
+	hi := (c+1)<<MacrocellShift + 1
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// macrocellMemo is the lazily-built, build-once macrocell grid attached
+// to a dense Volume; concurrent brick stages of the same volume share it.
+type macrocellMemo struct {
+	once sync.Once
+	mc   *Macrocells
+}
+
+// Macrocells returns the volume's macrocell grid, building it on first
+// use (one pass over the data) and memoising it for the volume's
+// lifetime. Safe for concurrent use; callers must not mutate the volume
+// data after the first call.
+func (v *Volume) Macrocells() *Macrocells {
+	if v.mc == nil {
+		// New() allocates the memo; volumes built as bare literals (tests)
+		// get one on first use. This path is not safe for concurrent first
+		// calls, but literal-built volumes are test-local by construction.
+		v.mc = &macrocellMemo{}
+	}
+	v.mc.once.Do(func() {
+		v.mc.mc = BuildMacrocells(v.Data, v.Dims, [3]int{})
+	})
+	return v.mc.mc
+}

@@ -1,0 +1,175 @@
+package volume
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteCellRange recomputes one cell's dilated min/max directly from the
+// data — the specification BuildMacrocells must match.
+func bruteCellRange(data []float32, vox Dims, cx, cy, cz int) (lo, hi float32) {
+	x0, x1 := windowClamp(cx, vox.X)
+	y0, y1 := windowClamp(cy, vox.Y)
+	z0, z1 := windowClamp(cz, vox.Z)
+	first := true
+	for z := z0; z < z1; z++ {
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				v := data[(z*vox.Y+y)*vox.X+x]
+				if first {
+					lo, hi, first = v, v, false
+					continue
+				}
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+	}
+	return lo, hi
+}
+
+func TestMacrocellMinMaxBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	// Odd dims exercise partial cells at the high edges.
+	for _, d := range []Dims{{X: 4, Y: 4, Z: 4}, {X: 13, Y: 9, Z: 11}, {X: 17, Y: 5, Z: 23}} {
+		data := make([]float32, d.Voxels())
+		for i := range data {
+			data[i] = r.Float32()
+		}
+		mc := BuildMacrocells(data, d, [3]int{})
+		want := macrocellCounts(d)
+		if mc.Cells != want {
+			t.Fatalf("%v: cell grid %v, want %v", d, mc.Cells, want)
+		}
+		for cz := 0; cz < mc.Cells.Z; cz++ {
+			for cy := 0; cy < mc.Cells.Y; cy++ {
+				for cx := 0; cx < mc.Cells.X; cx++ {
+					lo, hi := bruteCellRange(data, d, cx, cy, cz)
+					i := mc.CellIndex(cx, cy, cz)
+					if mc.Min[i] != lo || mc.Max[i] != hi {
+						t.Fatalf("%v cell (%d,%d,%d): [%v,%v], want [%v,%v]",
+							d, cx, cy, cz, mc.Min[i], mc.Max[i], lo, hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMacrocellCoversTrilinearFootprint is the conservativeness contract:
+// any trilinear sample taken at a position inside a cell (and up to a
+// quarter voxel outside it, the DDA's attribution slack bound) reads a
+// value within the cell's recorded range.
+func TestMacrocellCoversTrilinearFootprint(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	d := Dims{X: 19, Y: 14, Z: 10}
+	v := New(d)
+	for i := range v.Data {
+		v.Data[i] = r.Float32()
+	}
+	mc := v.Macrocells()
+	for trial := 0; trial < 20000; trial++ {
+		cx := r.Intn(mc.Cells.X)
+		cy := r.Intn(mc.Cells.Y)
+		cz := r.Intn(mc.Cells.Z)
+		// Position inside the cell ± slack.
+		const slack = 0.25
+		px := float32(cx<<MacrocellShift) + r.Float32()*MacrocellEdge + (r.Float32()*2-1)*slack
+		py := float32(cy<<MacrocellShift) + r.Float32()*MacrocellEdge + (r.Float32()*2-1)*slack
+		pz := float32(cz<<MacrocellShift) + r.Float32()*MacrocellEdge + (r.Float32()*2-1)*slack
+		s := v.Sample(px, py, pz)
+		i := mc.CellIndex(cx, cy, cz)
+		if s < mc.Min[i] || s > mc.Max[i] {
+			t.Fatalf("sample %v at (%v,%v,%v) outside cell (%d,%d,%d) range [%v,%v]",
+				s, px, py, pz, cx, cy, cz, mc.Min[i], mc.Max[i])
+		}
+	}
+}
+
+// TestBrickMacrocellsAtGhostBoundaries checks the per-brick grids built
+// by FillBrick: anchored at the ghost origin, covering the ghost extent,
+// with ranges that match a brute force over the ghost data — for interior
+// bricks (full one-voxel ghost) and corner bricks (ghost clamped at the
+// volume edge) alike.
+func TestBrickMacrocellsAtGhostBoundaries(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	d := Dims{X: 21, Y: 18, Z: 15}
+	v := New(d)
+	for i := range v.Data {
+		v.Data[i] = r.Float32()
+	}
+	src := NewVolumeSource(v, "ghost-mc")
+	g, err := MakeGrid(d, [3]int{3, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range g.Bricks {
+		bd, err := FillBrick(src, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := bd.Cells()
+		if mc == nil {
+			t.Fatalf("brick %d: no macrocells", b.ID)
+		}
+		if mc.Org != b.Ghost.Org || mc.Vox != b.Ghost.Ext {
+			t.Fatalf("brick %d: grid over %v at %v, want %v at %v",
+				b.ID, mc.Vox, mc.Org, b.Ghost.Ext, b.Ghost.Org)
+		}
+		for cz := 0; cz < mc.Cells.Z; cz++ {
+			for cy := 0; cy < mc.Cells.Y; cy++ {
+				for cx := 0; cx < mc.Cells.X; cx++ {
+					lo, hi := bruteCellRange(bd.Data, b.Ghost.Ext, cx, cy, cz)
+					i := mc.CellIndex(cx, cy, cz)
+					if mc.Min[i] != lo || mc.Max[i] != hi {
+						t.Fatalf("brick %d cell (%d,%d,%d): [%v,%v], want [%v,%v]",
+							b.ID, cx, cy, cz, mc.Min[i], mc.Max[i], lo, hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMacrocellsMemoised: a volume builds its grid once; every view of it
+// shares that build, while copy-backed bricks get private grids.
+func TestMacrocellsMemoised(t *testing.T) {
+	d := Dims{X: 9, Y: 9, Z: 9}
+	v := New(d)
+	if v.Macrocells() != v.Macrocells() {
+		t.Error("Volume.Macrocells rebuilt on second call")
+	}
+	g, err := MakeGrid(d, [3]int{2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ViewBrick(v, g.Bricks[0])
+	b := ViewBrick(v, g.Bricks[1])
+	if a.Cells() != v.Macrocells() || b.Cells() != v.Macrocells() {
+		t.Error("view-backed bricks should share the volume's grid")
+	}
+	src := NewVolumeSource(v, "memo")
+	c0, err := FillBrick(src, g.Bricks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0.Cells() == v.Macrocells() {
+		t.Error("copy-backed brick should carry a private ghost-region grid")
+	}
+	if c0.Cells() == nil || c0.Cells().Org != g.Bricks[0].Ghost.Org {
+		t.Error("copy-backed grid missing or mis-anchored")
+	}
+}
+
+func TestMacrocellBytesMatchesBuild(t *testing.T) {
+	for _, d := range []Dims{{X: 1, Y: 1, Z: 1}, {X: 8, Y: 8, Z: 8}, {X: 13, Y: 7, Z: 29}} {
+		mc := BuildMacrocells(make([]float32, d.Voxels()), d, [3]int{})
+		if got, want := mc.Bytes(), MacrocellBytes(d); got != want {
+			t.Errorf("%v: built %d bytes, predicted %d", d, got, want)
+		}
+	}
+}

@@ -64,11 +64,15 @@ func (r Region) Contains(x, y, z int) bool {
 type Volume struct {
 	Dims Dims
 	Data []float32 // x-fastest, length Dims.Voxels()
+
+	// mc memoises the macrocell summary grid (see macrocell.go); it is
+	// built at most once, on first use, after Data stops changing.
+	mc *macrocellMemo
 }
 
 // New allocates a zero-filled volume.
 func New(d Dims) *Volume {
-	return &Volume{Dims: d, Data: make([]float32, d.Voxels())}
+	return &Volume{Dims: d, Data: make([]float32, d.Voxels()), mc: &macrocellMemo{}}
 }
 
 // index returns the linear index of voxel (x,y,z); no bounds check.
