@@ -105,7 +105,7 @@ func main() {
 		"all": true, "fig2": true, "fig3": true, "fig4": true,
 		"efficiency": true, "sec63": true, "micro": true, "baseline": true,
 		"claims": true, "inoutcore": true, "ablation": true, "zerocopy": true,
-		"seqbench": true,
+		"seqbench": true, "distbench": true,
 	}
 	want := map[string]bool{}
 	for _, c := range cmds {
@@ -223,6 +223,39 @@ func main() {
 				fatal(err)
 			}
 			fmt.Printf("seqbench: wrote %s\n", *jsonPath)
+		}
+	}
+	if want["distbench"] {
+		// Not part of "all": it measures the distributed render cluster
+		// (in-process HTTP workers), not a paper table.
+		log.Printf("distbench: %d-frame orbit over 1/2/4 worker nodes, %s scale...", *frames, sc.Name)
+		b, err := experiments.RunDistBench(sc, *frames)
+		if err != nil {
+			fatal(err)
+		}
+		for _, leg := range b.Legs {
+			fmt.Printf("distbench: %d worker(s): virtual %.3fs (map %.3fs, wire %.3fs, reduce %.3fs), wall %.2fs\n",
+				leg.Workers, leg.VirtualSeconds, leg.MapSeconds, leg.WireSeconds, leg.ReduceSeconds, leg.WallSeconds)
+		}
+		fmt.Printf("distbench: map-phase virtual speedup 1→2 workers %.2fx, 2→4 workers %.2fx; coordinator overhead %.2fx wall, %.1f%% virtual; bit-identical: %v\n",
+			b.SpeedupVirtual1to2, b.SpeedupVirtual2to4,
+			b.CoordinatorOverheadWall, 100*b.CoordinatorOverheadVirtual, b.BitIdentical)
+		if !b.BitIdentical {
+			fatal("distbench: distributed output diverged from the direct render — determinism bug")
+		}
+		if v1, v2 := b.Legs[0].VirtualSeconds, b.Legs[1].VirtualSeconds; v2 > v1 {
+			fatalf("distbench: 2-worker virtual time %.3fs regressed past 1-worker %.3fs — distribution must not slow the job down",
+				v2, v1)
+		}
+		path := *jsonPath
+		if path == "BENCH_fig2.json" {
+			path = "BENCH_cluster.json" // distbench's own record, unless -json overrides
+		}
+		if path != "" {
+			if err := b.WriteJSON(path); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("distbench: wrote %s\n", path)
 		}
 	}
 

@@ -5,15 +5,24 @@
 //
 // Usage:
 //
-//	gvmrd serve -addr :8421 -gpus 8 -workers 0 -queue 64
+//	gvmrd serve -addr :8421 -gpus 8 -render-workers 0 -queue 64
 //	gvmrd serve -pprof                  # expose /debug/pprof/ profiling
+//	gvmrd serve -workers h1:8421,h2:8421,h3:8421   # distributed coordinator
 //	gvmrd loadtest -duration 10s -concurrency 16 -json BENCH_serve.json
 //
 // Endpoints:
 //
-//	GET /render?dataset=skull&edge=64&size=256&orbit=30&shading=1&format=png
-//	GET /stats
-//	GET /healthz
+//	GET  /render?dataset=skull&edge=64&size=256&orbit=30&shading=1&format=png
+//	POST /map       (distributed map batches; every daemon is worker-capable)
+//	GET  /stats
+//	GET  /healthz
+//
+// With -workers host:port,… the daemon becomes a cluster coordinator:
+// every admitted /render fans its brick map-tasks out to the listed
+// gvmrd workers over POST /map (consistent-hash placement, bounded
+// retry with re-placement on node death, optional -hedge-after straggler
+// hedging) and composites the returned fragment stripes locally. Served
+// bits are identical to a single-process render — see DESIGN.md §9.
 //
 // The loadtest subcommand hammers a service (its own in-process one by
 // default, or -addr for a running daemon) with a zipf mix of repeated
@@ -32,6 +41,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,21 +72,41 @@ func main() {
 // self-hosted mode, returning a constructor.
 func serviceFlags(fs *flag.FlagSet) func() (*server.Service, error) {
 	var (
-		gpus       = fs.Int("gpus", 4, "simulated cluster GPU count per render")
-		workers    = fs.Int("workers", 0, "concurrent renders (0 = GOMAXPROCS)")
-		queue      = fs.Int("queue", 64, "admitted renders that may wait beyond the workers (admission bound)")
-		frameBytes = fs.Int64("frame-bytes", 0, "frame cache budget in bytes (0 = GVMR_FRAME_BYTES or 256 MiB, -1 disables)")
-		maxEdge    = fs.Int("max-edge", 512, "largest dataset cube edge a request may ask for")
-		maxPixels  = fs.Int("max-pixels", 4096*4096, "largest image (width*height) a request may ask for")
+		gpus          = fs.Int("gpus", 4, "simulated cluster GPU count per render")
+		renderWorkers = fs.Int("render-workers", 0, "concurrent renders (0 = GOMAXPROCS)")
+		queue         = fs.Int("queue", 64, "admitted renders that may wait beyond the render workers (admission bound)")
+		frameBytes    = fs.Int64("frame-bytes", 0, "frame cache budget in bytes (0 = GVMR_FRAME_BYTES or 256 MiB, -1 disables)")
+		maxEdge       = fs.Int("max-edge", 512, "largest dataset cube edge a request may ask for")
+		maxPixels     = fs.Int("max-pixels", 4096*4096, "largest image (width*height) a request may ask for")
+		workerList    = fs.String("workers", "", "comma-separated gvmrd worker addresses (host:port,...); non-empty fans renders out as a distributed coordinator")
+		hedgeAfter    = fs.Duration("hedge-after", 0, "duplicate a straggling map batch onto another worker after this delay (coordinator mode; 0 = off)")
 	)
 	return func() (*server.Service, error) {
+		var addrs []string
+		if *workerList != "" {
+			for _, a := range strings.Split(*workerList, ",") {
+				if a = strings.TrimSpace(a); a == "" {
+					continue
+				} else if _, err := strconv.Atoi(a); err == nil {
+					// -workers used to be the render-concurrency count; a
+					// bare integer here is almost certainly an old script,
+					// not a worker named "8". Fail loudly at startup.
+					return nil, fmt.Errorf(
+						"-workers takes worker addresses (host:port,...); for concurrent renders use -render-workers %s", a)
+				} else {
+					addrs = append(addrs, a)
+				}
+			}
+		}
 		return server.New(server.Config{
 			GPUs:            *gpus,
-			Workers:         *workers,
+			Workers:         *renderWorkers,
 			MaxQueue:        *queue,
 			FrameCacheBytes: *frameBytes,
 			MaxPixels:       *maxPixels,
 			MaxEdge:         *maxEdge,
+			WorkerAddrs:     addrs,
+			HedgeAfter:      *hedgeAfter,
 		})
 	}
 }

@@ -1,0 +1,194 @@
+// Distributed golden tests: the cluster coordinator sharding brick
+// map-tasks over in-process HTTP worker nodes must reproduce the
+// committed single-node golden digests bit for bit — in the healthy
+// case, with a worker killed mid-job, and with a corrupted response
+// retried. This is the end-to-end acceptance for internal/dist: the
+// same file of digests guards the in-process renderer and the cluster.
+package gvmr_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"gvmr/internal/camera"
+	"gvmr/internal/cluster"
+	"gvmr/internal/core"
+	"gvmr/internal/dist"
+	"gvmr/internal/volume"
+	"gvmr/internal/volume/dataset"
+)
+
+func committedGoldens(t *testing.T) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read %s: %v", goldenPath, err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// goldenJob rebuilds goldenConfigs[i] as a distributed JobSpec with the
+// exact fitted camera the single-node golden renders used.
+func goldenJob(t *testing.T, i int) dist.JobSpec {
+	t.Helper()
+	c := goldenConfigs[i]
+	sp := volume.NewSpace(dataset.PaperDims(c.dataset, c.edge))
+	cam, err := camera.Fit(sp.Bounds(), c.size, c.size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dist.JobSpec{
+		Dataset: c.dataset, Edge: c.edge,
+		Width: c.size, Height: c.size,
+		GPUs: c.gpus, Shading: c.shading,
+		StepVoxels: 1, TerminationAlpha: 0.98,
+		Camera: dist.CameraFrom(cam),
+	}
+}
+
+func startGoldenWorkers(t *testing.T, n int, wrap func(i int, h http.Handler) http.Handler) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		wk, err := dist.NewWorker(dist.WorkerConfig{Spec: cluster.AC(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h http.Handler = wk
+		if wrap != nil {
+			h = wrap(i, h)
+		}
+		mux := http.NewServeMux()
+		mux.Handle(dist.MapPath, h)
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		addrs[i] = srv.URL
+	}
+	return addrs
+}
+
+// TestDistributedGoldenImages: every committed golden configuration,
+// rendered over 2 and 3 worker nodes, digests equal to testdata/golden.json.
+func TestDistributedGoldenImages(t *testing.T) {
+	want := committedGoldens(t)
+	for i, c := range goldenConfigs {
+		job := goldenJob(t, i)
+		for _, workers := range []int{2, 3} {
+			addrs := startGoldenWorkers(t, workers, nil)
+			coord, err := dist.NewCoordinator(dist.CoordinatorConfig{Nodes: addrs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, _, err := coord.Render(context.Background(), job)
+			if err != nil {
+				t.Fatalf("%s over %d workers: %v", c.name, workers, err)
+			}
+			if got := res.Image.Digest(); got != want[c.name] {
+				t.Errorf("%s over %d workers: digest %s != committed %s",
+					c.name, workers, got, want[c.name])
+			}
+		}
+	}
+}
+
+// TestDistributedGoldenOrbit renders the committed orbit views through
+// the cluster — the same frames the CI smoke requests from a live
+// 3-worker gvmrd deployment.
+func TestDistributedGoldenOrbit(t *testing.T) {
+	want := committedGoldens(t)
+	addrs := startGoldenWorkers(t, 3, nil)
+	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{Nodes: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := dataset.New("skull", dataset.PaperDims("skull", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, angle := range goldenOrbitAngles {
+		cam, err := core.OrbitCamera(src, 64, 64, angle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := dist.JobSpec{
+			Dataset: "skull", Edge: 32, Width: 64, Height: 64,
+			GPUs: 2, Shading: true,
+			StepVoxels: 1, TerminationAlpha: 0.98,
+			Camera: dist.CameraFrom(cam),
+		}
+		res, _, err := coord.Render(context.Background(), job)
+		if err != nil {
+			t.Fatalf("orbit %v: %v", angle, err)
+		}
+		name := goldenOrbitName(angle)
+		if got := res.Image.Digest(); got != want[name] {
+			t.Errorf("%s distributed: digest %s != committed %s", name, got, want[name])
+		}
+	}
+}
+
+// TestDistributedGoldenUnderFaults: mid-job, one worker dies and another
+// worker's response is silently corrupted — the cluster must still
+// reproduce the committed digests exactly. The faults attach to whichever
+// nodes the (port-dependent) placement actually uses: the first node
+// contacted dies, and the first intact payload from a surviving node gets
+// a bit flipped, so both fault paths are exercised on every run. (The
+// straggler/hedging fault is covered deterministically by the
+// internal/dist suite, where placement is pinned.)
+func TestDistributedGoldenUnderFaults(t *testing.T) {
+	want := committedGoldens(t)
+	var deadNode atomic.Int64 // 1-based index of the node that died; 0 = nobody yet
+	var corrupted atomic.Bool
+	addrs := startGoldenWorkers(t, 3, func(i int, h http.Handler) http.Handler {
+		node := int64(i + 1)
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if deadNode.CompareAndSwap(0, node) || deadNode.Load() == node {
+				// First node ever contacted: it crashes now and stays dead.
+				panic(http.ErrAbortHandler)
+			}
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, r)
+			body := rec.Body.Bytes()
+			if rec.Code == http.StatusOK && len(body) > 10 && corrupted.CompareAndSwap(false, true) {
+				body[10] ^= 0x40 // bit flip; digest header left advertising the original
+			}
+			for k, v := range rec.Header() {
+				w.Header()[k] = v
+			}
+			w.WriteHeader(rec.Code)
+			_, _ = w.Write(body)
+		})
+	})
+	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{Nodes: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range goldenConfigs {
+		res, _, err := coord.Render(context.Background(), goldenJob(t, i))
+		if err != nil {
+			t.Fatalf("%s under faults: %v", c.name, err)
+		}
+		if got := res.Image.Digest(); got != want[c.name] {
+			t.Errorf("%s under faults: digest %s != committed %s", c.name, got, want[c.name])
+		}
+	}
+	if deadNode.Load() == 0 {
+		t.Error("no worker was ever contacted — fault not exercised")
+	}
+	if !corrupted.Load() {
+		t.Error("no response was corrupted — fault not exercised")
+	}
+	st := coord.Stats()
+	if st.Retries < 2 || st.NodeDowns < 2 || st.Corrupt < 1 {
+		t.Errorf("faults not recorded (want ≥2 retries, ≥2 node-downs, ≥1 corrupt): %+v", st)
+	}
+}

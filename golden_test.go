@@ -16,12 +16,14 @@ package gvmr_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 
 	"gvmr"
+	"gvmr/internal/mapreduce"
 )
 
 // goldenConfigs are the committed render configurations: the paper's two
@@ -40,7 +42,17 @@ var goldenConfigs = []struct {
 	{"plume_32_procedural", "plume", 32, 2, 64, false},
 }
 
-func renderGolden(t *testing.T, i int) *gvmr.Result {
+// goldenOrbitAngles are the committed orbit-camera goldens: the same
+// skull configuration viewed at fixed angles along the fitted orbit —
+// the views the render service addresses with ?orbit=A, so the CI
+// cluster smoke can diff served digests straight against this file.
+var goldenOrbitAngles = []float64{0, 60, 120, 180, 240, 300}
+
+func goldenOrbitName(angle float64) string {
+	return fmt.Sprintf("skull_32_shaded_orbit%03.0f", angle)
+}
+
+func renderGoldenWith(t *testing.T, i int, part mapreduce.Partitioner, orbit *float64) *gvmr.Result {
 	t.Helper()
 	c := goldenConfigs[i]
 	cl, err := gvmr.NewCluster(c.gpus)
@@ -55,14 +67,26 @@ func renderGolden(t *testing.T, i int) *gvmr.Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := gvmr.Render(cl, gvmr.Options{
+	opt := gvmr.Options{
 		Source: src, TF: tf, Width: c.size, Height: c.size,
 		GPUs: c.gpus, Shading: c.shading,
-	})
+		Partitioner: part,
+	}
+	if orbit != nil {
+		opt.Camera, err = gvmr.OrbitCamera(src, c.size, c.size, *orbit)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := gvmr.Render(cl, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return res
+}
+
+func renderGolden(t *testing.T, i int) *gvmr.Result {
+	return renderGoldenWith(t, i, nil, nil)
 }
 
 const goldenPath = "testdata/golden.json"
@@ -80,6 +104,14 @@ func TestGoldenImages(t *testing.T) {
 		if again := renderGolden(t, i); again.Image.Digest() != got[c.name] {
 			t.Errorf("%s: digest changed between two renders in one process", c.name)
 		}
+	}
+	for _, angle := range goldenOrbitAngles {
+		angle := angle
+		res := renderGoldenWith(t, 0, nil, &angle) // config 0 is the shaded skull
+		if res.Image.MeanLuminance() <= 0 {
+			t.Fatalf("%s: black image", goldenOrbitName(angle))
+		}
+		got[goldenOrbitName(angle)] = res.Image.Digest()
 	}
 
 	if os.Getenv("GVMR_UPDATE_GOLDEN") != "" {
@@ -117,6 +149,38 @@ func TestGoldenImages(t *testing.T) {
 	for name := range want {
 		if _, ok := got[name]; !ok {
 			t.Errorf("committed digest %q has no matching config", name)
+		}
+	}
+}
+
+// TestGoldenPartitionerInvariance locks the compositing-invariance claim
+// from partition.go into the golden suite: the partitioner only routes
+// pixels to reducers, so round-robin (the committed default), striped and
+// checkerboard partitionings must reproduce the committed digest exactly,
+// for every testdata dataset. Per-pixel compositing sorts fragments by
+// depth before folding, so which reducer owns a pixel — and in what order
+// batches arrive there — cannot move a bit.
+func TestGoldenPartitionerInvariance(t *testing.T) {
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read %s: %v", goldenPath, err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range goldenConfigs {
+		partitioners := map[string]mapreduce.Partitioner{
+			"roundrobin":   mapreduce.RoundRobin{},
+			"striped":      mapreduce.Striped{Width: c.size, StripeHeight: 8},
+			"checkerboard": mapreduce.Checkerboard{Width: c.size, Tile: 16},
+		}
+		for pname, part := range partitioners {
+			res := renderGoldenWith(t, i, part, nil)
+			if got := res.Image.Digest(); got != want[c.name] {
+				t.Errorf("%s with %s partitioning: digest %s != committed %s",
+					c.name, pname, got, want[c.name])
+			}
 		}
 	}
 }

@@ -28,14 +28,22 @@ type Fragment struct {
 // FragmentBytes is the modeled wire size of one fragment.
 const FragmentBytes = 24
 
+// placeholderDepth is the placeholder sentinel: a quiet NaN no real
+// fragment can carry (entry depths come from finite ray/box arithmetic).
+var placeholderDepth = float32(math.NaN())
+
 // Placeholder returns the discarded-later fragment a GPU thread emits when
-// its ray contributes nothing (§3.1.1: every thread must emit).
+// its ray contributes nothing (§3.1.1: every thread must emit). The NaN
+// depth is an explicit sentinel: being a placeholder is a statement about
+// how the fragment was produced, not about its color, so a real fragment
+// that happens to be fully transparent black is NOT a placeholder and
+// survives partitioning and compositing like any other.
 func Placeholder(key int32) Fragment {
-	return Fragment{Key: key, Depth: float32(math.Inf(1))}
+	return Fragment{Key: key, Depth: placeholderDepth}
 }
 
-// IsPlaceholder reports whether f carries no contribution.
-func (f Fragment) IsPlaceholder() bool { return f.A == 0 && f.R == 0 && f.G == 0 && f.B == 0 }
+// IsPlaceholder reports whether f carries the placeholder sentinel.
+func (f Fragment) IsPlaceholder() bool { return f.Depth != f.Depth }
 
 // Color returns the fragment's premultiplied color as a V4.
 func (f Fragment) Color() vec.V4 { return vec.V4{X: f.R, Y: f.G, Z: f.B, W: f.A} }
@@ -54,9 +62,22 @@ func Under(front, back vec.V4) vec.V4 {
 }
 
 // SortByDepth orders fragments by ascending depth (stable, so equal-depth
-// fragments keep emission order — determinism across runs).
+// fragments keep emission order — determinism across runs). Placeholders
+// (NaN depth) sort after every real fragment: NaN would otherwise defeat
+// the comparator's ordering and could leave real fragments unsorted
+// across a placeholder, breaking CompositePixel's promise that
+// placeholders contribute nothing wherever they land.
 func SortByDepth(frags []Fragment) {
-	sort.SliceStable(frags, func(i, j int) bool { return frags[i].Depth < frags[j].Depth })
+	sort.SliceStable(frags, func(i, j int) bool {
+		a, b := frags[i].Depth, frags[j].Depth
+		if a != a { // i is a placeholder: never ahead of anything
+			return false
+		}
+		if b != b { // j is a placeholder: every real depth precedes it
+			return true
+		}
+		return a < b
+	})
 }
 
 // CompositePixel sorts the pixel's fragments by ascending depth, folds

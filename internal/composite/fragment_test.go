@@ -40,12 +40,34 @@ func TestPlaceholder(t *testing.T) {
 	if !p.IsPlaceholder() {
 		t.Error("placeholder not recognised")
 	}
-	if !math.IsInf(float64(p.Depth), 1) {
-		t.Errorf("placeholder depth = %v, want +Inf", p.Depth)
+	if !math.IsNaN(float64(p.Depth)) {
+		t.Errorf("placeholder depth = %v, want the NaN sentinel", p.Depth)
 	}
 	f := Fragment{A: 0.5}
 	if f.IsPlaceholder() {
 		t.Error("real fragment recognised as placeholder")
+	}
+}
+
+// Regression: a genuine fully-transparent black fragment is NOT a
+// placeholder — the sentinel is the NaN depth, not the color. Before the
+// sentinel existed, IsPlaceholder classified any zero-color fragment as a
+// placeholder, so such a fragment would have been dropped at partition
+// time instead of surviving to the reducer.
+func TestTransparentBlackFragmentIsNotPlaceholder(t *testing.T) {
+	f := Fragment{Key: 9, Depth: 1.5} // zero color, real depth
+	if f.IsPlaceholder() {
+		t.Fatal("transparent-black fragment classified as placeholder")
+	}
+	// It must also survive compositing untouched: inserting it anywhere
+	// leaves the pixel exactly as it was (the zero color is the identity
+	// of Under), rather than being filtered out.
+	bg := vec.V4{X: 0.2, Y: 0.4, Z: 0.6, W: 1}
+	real := Fragment{Key: 9, R: 0.3, G: 0.2, B: 0.1, A: 0.4, Depth: 2}
+	want := CompositePixel([]Fragment{real}, bg)
+	got := CompositePixel([]Fragment{{Key: 9, Depth: 1.5}, real, {Key: 9, Depth: 3}}, bg)
+	if got != want {
+		t.Errorf("transparent-black fragment changed the composite: %v != %v", got, want)
 	}
 }
 
@@ -153,8 +175,10 @@ func TestCompositeOrderInvarianceProperty(t *testing.T) {
 	}
 }
 
-// Property: inserting placeholders anywhere never changes the composited
-// result — the "later-discarded place holder" restriction is sound.
+// Property: inserting placeholders anywhere — including ahead of
+// unsorted real fragments, where a naive comparator would let the NaN
+// sentinel block the depth sort — never changes the composited result.
+// The "later-discarded place holder" restriction is sound.
 func TestPlaceholderNeutralProperty(t *testing.T) {
 	r := rand.New(rand.NewSource(89))
 	bg := vec.V4{X: 0.2, Y: 0, Z: 0, W: 1}
@@ -167,9 +191,10 @@ func TestPlaceholderNeutralProperty(t *testing.T) {
 			frags = append(frags, fr)
 		}
 		want := CompositePixel(append([]Fragment(nil), frags...), bg)
-		withPH := append([]Fragment(nil), frags...)
 		ph := Placeholder(3)
-		withPH = append(withPH, ph, ph)
+		withPH := append([]Fragment{ph}, frags...)
+		withPH = append(withPH, ph)
+		r.Shuffle(len(withPH), func(i, j int) { withPH[i], withPH[j] = withPH[j], withPH[i] })
 		got := CompositePixel(withPH, bg)
 		return approx4(got, want, 1e-6)
 	}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gvmr/internal/camera"
+	"gvmr/internal/cluster"
+	"gvmr/internal/composite"
+	"gvmr/internal/mapreduce"
+	"gvmr/internal/render"
+	"gvmr/internal/sim"
+	"gvmr/internal/volume"
+)
+
+// PlanGrid runs the bricking policy for a render job without rendering:
+// the brick grid a job with these options would use on a cluster of this
+// spec. It is deterministic in (spec.GPU, options), which is what lets a
+// distributed coordinator and its remote workers agree on the grid
+// without shipping it — both plan locally and verify the factorisation
+// matches (internal/dist does exactly that).
+func PlanGrid(spec cluster.Spec, opt Options) (*volume.Grid, error) {
+	if err := opt.fillDefaults(); err != nil {
+		return nil, err
+	}
+	gpus := opt.GPUs
+	if gpus == 0 {
+		gpus = spec.Nodes * spec.GPUsPerNode
+	}
+	if gpus < 1 {
+		return nil, fmt.Errorf("core: %d GPUs", gpus)
+	}
+	return planBricks(opt.Source.Dims(), gpus, opt.BricksPerGPU,
+		spec.GPU.VRAMBytes, opt.VRAMFraction)
+}
+
+// BrickStripe is one brick's surviving (non-placeholder) fragments in
+// kernel emission order — the depth-tagged stripe a distributed map
+// worker returns for one of its bricks. The order within a stripe is a
+// pure function of (brick, camera, params, source): thread order over the
+// brick's screen footprint. It does not depend on which worker or node
+// produced it, which is what makes distributed compositing deterministic
+// under re-placement, retries and hedging.
+type BrickStripe struct {
+	Brick int
+	Frags []composite.Fragment
+}
+
+// MapResult is the outcome of a map-phase-only job over a subset of a
+// render's bricks.
+type MapResult struct {
+	// Stripes holds one entry per requested brick, ascending by brick ID.
+	// Bricks whose footprint misses the screen (or whose rays all emit
+	// placeholders) appear with an empty fragment slice.
+	Stripes []BrickStripe
+	// Runtime is the virtual makespan of the local job: staging, texture
+	// uploads, kernels, fragment read-back, partition and the local
+	// stripe preparation, on a fresh instance of the spec.
+	Runtime sim.Time
+	// Stats are the underlying engine statistics.
+	Stats *mapreduce.JobStats
+	Grid  *volume.Grid
+}
+
+// FragmentCount sums the surviving fragments across stripes.
+func (m *MapResult) FragmentCount() int {
+	n := 0
+	for _, s := range m.Stripes {
+		n += len(s.Frags)
+	}
+	return n
+}
+
+// stripeRecorder captures each chunk's surviving fragments as the mapper
+// emits them. The mutex serialises recording across worker processes; the
+// per-chunk order is emission order, so the recorded stripes are
+// deterministic regardless of how the engine schedules workers.
+type stripeRecorder struct {
+	mu      sync.Mutex
+	stripes map[int]*BrickStripe
+}
+
+// recordingMapper forwards to the real ray-cast mapper while teeing every
+// surviving fragment into the recorder. Placeholders still flow to the
+// engine so worker statistics (emitted/discarded) stay comparable to a
+// single-process render of the same bricks.
+type recordingMapper struct {
+	inner *rayCastMapper
+	rec   *stripeRecorder
+}
+
+func (m *recordingMapper) Init(p mapreduce.Ctx, w *mapreduce.Worker) error {
+	return m.inner.Init(p, w)
+}
+
+func (m *recordingMapper) Stage(p mapreduce.Ctx, w *mapreduce.Worker, c mapreduce.Chunk) (*volume.BrickData, error) {
+	return m.inner.Stage(p, w, c)
+}
+
+func (m *recordingMapper) Map(p mapreduce.Ctx, w *mapreduce.Worker, c mapreduce.Chunk,
+	bd *volume.BrickData, emit func(mapreduce.KV[composite.Fragment])) error {
+	m.rec.mu.Lock()
+	stripe := m.rec.stripes[c.ID()]
+	m.rec.mu.Unlock()
+	tee := func(kv mapreduce.KV[composite.Fragment]) {
+		if kv.Key >= 0 {
+			stripe.Frags = append(stripe.Frags, kv.Val)
+		}
+		emit(kv)
+	}
+	return m.inner.Map(p, w, c, bd, tee)
+}
+
+// discardReducer sinks the engine-side pairs: MapBricks callers composite
+// elsewhere (the distributed coordinator), so the local reduce is only a
+// cost-model charge for preparing the stripe batch.
+type discardReducer struct{}
+
+func (discardReducer) Reduce(int32, []composite.Fragment) {}
+
+// MapBricks runs the map phase of a render job for the given brick IDs on
+// a fresh instance of spec and returns the per-brick fragment stripes plus
+// the job's virtual makespan. It is the remote half of the distributed
+// direct-send pipeline: a coordinator plans the full grid, shards the
+// brick IDs across nodes, and each node calls MapBricks for its share.
+//
+// The grid is planned from opt exactly as Render plans it, so the
+// fragments of brick i here are bit-identical to the fragments brick i
+// produces inside a single-process Render of the same options — the
+// invariant the distributed golden tests pin down. spec may be a smaller
+// machine than the one the grid was planned for (opt.GPUs bricks spread
+// over a node with fewer local GPUs run in series); only the planning
+// inputs (GPU VRAM) must match, which PlanGrid documents.
+//
+// devWorkers caps the host cores the instance's simulated devices use, as
+// in RenderOn.
+func MapBricks(spec cluster.Spec, opt Options, brickIDs []int, devWorkers int) (*MapResult, error) {
+	if err := opt.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if len(brickIDs) == 0 {
+		return nil, fmt.Errorf("core: no bricks to map")
+	}
+	grid, err := PlanGrid(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	cam := opt.Camera
+	if cam == nil {
+		cam, err = camera.Fit(grid.Space.Bounds(), opt.Width, opt.Height)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cam.Width != opt.Width || cam.Height != opt.Height {
+		return nil, fmt.Errorf("core: camera image %dx%d != options %dx%d",
+			cam.Width, cam.Height, opt.Width, opt.Height)
+	}
+
+	rec := &stripeRecorder{stripes: map[int]*BrickStripe{}}
+	chunks := make([]mapreduce.Chunk, 0, len(brickIDs))
+	for _, id := range brickIDs {
+		if id < 0 || id >= grid.NumBricks() {
+			return nil, fmt.Errorf("core: brick %d outside grid of %d bricks", id, grid.NumBricks())
+		}
+		if _, dup := rec.stripes[id]; dup {
+			return nil, fmt.Errorf("core: brick %d requested twice", id)
+		}
+		rec.stripes[id] = &BrickStripe{Brick: id}
+		chunks = append(chunks, brickChunk{brick: grid.Bricks[id]})
+	}
+
+	inst, err := spec.Instance()
+	if err != nil {
+		return nil, err
+	}
+	if devWorkers > 0 {
+		inst.SetDeviceWorkers(devWorkers)
+	}
+	src := opt.Source
+	if !opt.NoStagingCache {
+		src = volume.Cached(src)
+	}
+	var sampler render.SampleFn
+	if opt.Sampler == Slicing {
+		sampler = render.CastPixelSlicing
+	}
+	mapper := &recordingMapper{
+		inner: &rayCastMapper{
+			src:     src,
+			grid:    grid,
+			cam:     cam,
+			prm:     opt.renderParams(),
+			sampler: sampler,
+		},
+		rec: rec,
+	}
+	if err := mapper.inner.prm.Validate(); err != nil {
+		return nil, err
+	}
+	workers := inst.TotalGPUs()
+	if len(chunks) < workers {
+		workers = len(chunks)
+	}
+	cfg := mapreduce.Config[composite.Fragment, *volume.BrickData]{
+		Cluster:             inst,
+		Workers:             workers,
+		Mapper:              mapper,
+		MakeReducer:         func(int) mapreduce.Reducer[composite.Fragment] { return discardReducer{} },
+		Partitioner:         opt.Partitioner,
+		KeyRange:            int32(opt.Width * opt.Height),
+		ValueBytes:          composite.FragmentBytes - 4,
+		Chunks:              chunks,
+		Assign:              opt.Assign,
+		FlushBytes:          opt.FlushBytes,
+		FromDisk:            opt.FromDisk,
+		ReduceOn:            opt.ReduceOn,
+		SortOn:              opt.SortOn,
+		ChargeFixedOverhead: opt.chargeOverhead(),
+		Trace:               opt.Trace,
+	}
+	t0 := inst.Env.Now()
+	stats, err := mapreduce.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &MapResult{
+		Runtime: inst.Env.Now() - t0,
+		Stats:   stats,
+		Grid:    grid,
+	}
+	for _, s := range rec.stripes {
+		res.Stripes = append(res.Stripes, *s)
+	}
+	sort.Slice(res.Stripes, func(i, j int) bool { return res.Stripes[i].Brick < res.Stripes[j].Brick })
+	return res, nil
+}

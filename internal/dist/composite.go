@@ -1,0 +1,189 @@
+package dist
+
+import (
+	"runtime"
+
+	"gvmr/internal/cluster"
+	"gvmr/internal/composite"
+	"gvmr/internal/core"
+	"gvmr/internal/img"
+	"gvmr/internal/mapreduce"
+	"gvmr/internal/schedule"
+	"gvmr/internal/sim"
+	"gvmr/internal/vec"
+)
+
+// compositeStripes folds the returned stripes into the final image — the
+// coordinator-local reduce phase. Two strategies produce byte-identical
+// images:
+//
+//   - direct-send: all fragments, in ascending-brick canonical order, are
+//     partitioned into `reducers` shards with the configured partitioner
+//     (per-pixel round robin by default, exactly like the in-process
+//     engine), each shard counting-sorted by pixel key and composited;
+//   - pairwise merge: per-brick partial images are merged two at a time
+//     in log₂(bricks) rounds, binary-swap style, then folded once.
+//
+// Identity of the two: each brick emits at most one fragment per pixel,
+// in deterministic emission order; a stable merge that prefers the
+// lower-brick side on depth ties yields, per pixel, exactly the stable
+// sort by depth of the brick-ordered concatenation — which is what
+// CompositePixel computes on the direct path. The pairwise path is used
+// when the fragment volume crosses the fallback threshold: it touches
+// fragments in brick-sized runs instead of one giant per-shard buffer.
+//
+// The returned virtual time is the modeled coordinator reduce charge —
+// partition scan, counting sort and per-fragment blend at the spec's
+// calibrated rates, with sort+reduce parallel across the shards. It is
+// computed from fragment counts alone, so it is identical for both
+// strategies and independent of placement, faults, and the host machine.
+func compositeStripes(stripes []core.BrickStripe, width, height int, bg vec.V4,
+	part mapreduce.Partitioner, reducers int, spec cluster.Spec, mergeFallbackBytes int64) (*img.Image, sim.Time) {
+	if part == nil {
+		part = mapreduce.RoundRobin{}
+	}
+	if reducers < 1 {
+		reducers = 1
+	}
+	// Pixels no fragment reaches keep the same background the in-process
+	// reducers never touch.
+	out := img.New(width, height, composite.Finalize(composite.Fragment{}.Color(), bg))
+
+	var total int64
+	for _, s := range stripes {
+		total += int64(len(s.Frags))
+	}
+	merge := total*composite.FragmentBytes > mergeFallbackBytes && mergeFallbackBytes > 0 && len(stripes) > 1
+	var shardCount []int64
+	if total > 0 {
+		if merge {
+			// The merge path exists to avoid one giant per-shard buffer,
+			// so only count shard widths (for the charge), never store.
+			shardCount = make([]int64, reducers)
+			for _, s := range stripes {
+				for _, f := range s.Frags {
+					shardCount[part.Partition(f.Key, reducers)]++
+				}
+			}
+			mergeComposite(stripes, bg, out)
+		} else {
+			shards := make([][]mapreduce.KV[composite.Fragment], reducers)
+			for _, s := range stripes {
+				for _, f := range s.Frags {
+					r := part.Partition(f.Key, reducers)
+					shards[r] = append(shards[r], mapreduce.KV[composite.Fragment]{Key: f.Key, Val: f})
+				}
+			}
+			shardCount = make([]int64, reducers)
+			for r, shard := range shards {
+				shardCount[r] = int64(len(shard))
+			}
+			directComposite(shards, width, height, bg, out)
+		}
+	}
+
+	// Reduce charge: one partition scan over everything, then the widest
+	// shard's sort and blend (shards run in parallel on the display
+	// node, like the engine's co-located reducers). Identical for both
+	// strategies — the fallback is a memory/locality choice, not a
+	// different cost model.
+	var widest int64
+	for _, n := range shardCount {
+		if n > widest {
+			widest = n
+		}
+	}
+	charge := sim.WorkTime(float64(total), spec.PartitionRate) +
+		sim.WorkTime(float64(widest), spec.SortRate) +
+		sim.WorkTime(float64(widest), spec.CompositeRate)
+	return out, charge
+}
+
+// directComposite is the direct-send strategy: counting-sort each shard
+// and composite. Shards hold disjoint pixel keys, so they fold
+// concurrently.
+func directComposite(shards [][]mapreduce.KV[composite.Fragment], width, height int, bg vec.V4,
+	out *img.Image) {
+	reducers := len(shards)
+	keyRange := int32(width * height)
+	workers := reducers
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
+	// Shard errors are impossible (pure computation); ignore the error
+	// slot of the pool API.
+	_, _ = schedule.Map(workers, reducers, func(r int) (struct{}, error) {
+		if len(shards[r]) == 0 {
+			return struct{}{}, nil
+		}
+		keys, groups := mapreduce.CountingSort(shards[r], keyRange)
+		for i, k := range keys {
+			out.SetKey(k, composite.CompositePixel(groups[i], bg))
+		}
+		return struct{}{}, nil
+	})
+}
+
+// partialImage is one per-pixel fragment-list partial during pairwise
+// merging; lists are depth-sorted with ties in ascending-brick order.
+type partialImage map[int32][]composite.Fragment
+
+// mergeComposite is the binary-swap-style strategy: leaves are per-brick
+// partials (at most one fragment per pixel, trivially sorted), adjacent
+// partials merge pairwise until one remains, then every pixel folds once.
+func mergeComposite(stripes []core.BrickStripe, bg vec.V4, out *img.Image) {
+	partials := make([]partialImage, 0, len(stripes))
+	for _, s := range stripes {
+		if len(s.Frags) == 0 {
+			continue
+		}
+		p := make(partialImage, len(s.Frags))
+		for _, f := range s.Frags {
+			p[f.Key] = append(p[f.Key], f)
+		}
+		partials = append(partials, p)
+	}
+	for len(partials) > 1 {
+		next := make([]partialImage, 0, (len(partials)+1)/2)
+		for i := 0; i+1 < len(partials); i += 2 {
+			next = append(next, mergePartials(partials[i], partials[i+1]))
+		}
+		if len(partials)%2 == 1 {
+			next = append(next, partials[len(partials)-1])
+		}
+		partials = next
+	}
+	if len(partials) == 1 {
+		for k, frags := range partials[0] {
+			out.SetKey(k, composite.CompositeSorted(frags, bg))
+		}
+	}
+}
+
+// mergePartials merges b into a pixel by pixel. Both sides are sorted by
+// depth; the merge is stable with ties taken from a (the lower-brick
+// side), preserving the canonical order.
+func mergePartials(a, b partialImage) partialImage {
+	for k, fb := range b {
+		fa, ok := a[k]
+		if !ok {
+			a[k] = fb
+			continue
+		}
+		merged := make([]composite.Fragment, 0, len(fa)+len(fb))
+		i, j := 0, 0
+		for i < len(fa) && j < len(fb) {
+			if fb[j].Depth < fa[i].Depth {
+				merged = append(merged, fb[j])
+				j++
+			} else {
+				merged = append(merged, fa[i])
+				i++
+			}
+		}
+		merged = append(merged, fa[i:]...)
+		merged = append(merged, fb[j:]...)
+		a[k] = merged
+	}
+	return a
+}

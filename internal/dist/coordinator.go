@@ -1,0 +1,650 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gvmr/internal/cluster"
+	"gvmr/internal/core"
+	"gvmr/internal/mapreduce"
+	"gvmr/internal/sim"
+)
+
+// CoordinatorConfig sizes a Coordinator.
+type CoordinatorConfig struct {
+	// Nodes are the worker base addresses ("host:port" or full
+	// "http://host:port" URLs).
+	Nodes []string
+	// Client is the HTTP client for map requests (default: a client with
+	// a 2-minute overall timeout).
+	Client *http.Client
+	// MaxAttempts bounds how many nodes one brick batch may be tried on
+	// before the job fails (default 3, always capped at the node count —
+	// a batch never retries the node that failed it).
+	MaxAttempts int
+	// HedgeAfter launches a duplicate request to another healthy node
+	// when a batch has produced no response for this long; the first
+	// response wins and the loser is cancelled (default 0 = off).
+	// Responses are bit-identical by construction, so hedging can never
+	// change the image.
+	HedgeAfter time.Duration
+	// Backoff is the base per-node health backoff after a failure,
+	// doubling per consecutive failure up to MaxBackoff (defaults 500ms
+	// and 15s). A node in backoff is skipped at placement and retry time
+	// unless no other node remains.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Reducers is the number of local composite shards (default: node
+	// count); Partitioner routes pixels to shards (default: the paper's
+	// per-pixel round robin). Neither changes the image.
+	Reducers    int
+	Partitioner mapreduce.Partitioner
+	// MergeFallbackBytes switches local compositing to the pairwise
+	// (binary-swap-style) merge when the returned fragment volume
+	// exceeds it (default 8 MiB; <0 disables the fallback).
+	MergeFallbackBytes int64
+	// Replicas is the virtual-node count per worker on the placement
+	// ring (default 64).
+	Replicas int
+	// MaxResponseBytes bounds one batch response (default 1 GiB).
+	MaxResponseBytes int64
+	// Spec, when non-nil, is the hardware description used for grid
+	// planning and the coordinator-side reduce/wire rates — set it when
+	// the workers run a non-AC spec (the grid-counts cross-check turns
+	// any remaining disagreement into a loud error). Nil uses the
+	// calibrated AC cluster sized to each job's GPU count.
+	Spec *cluster.Spec
+}
+
+// CoordinatorStats counts distributed-layer events; the /stats endpoint
+// and the fault-injection tests read them.
+type CoordinatorStats struct {
+	Jobs      int64 `json:"jobs"`
+	Batches   int64 `json:"batches"` // map batches sent (includes retries and hedges)
+	Retries   int64 `json:"retries"` // batches re-placed after a failure
+	Hedges    int64 `json:"hedges"`  // duplicate requests launched on stragglers
+	HedgeWins int64 `json:"hedge_wins"`
+	Corrupt   int64 `json:"corrupt"`    // responses failing the digest/shape check
+	NodeDowns int64 `json:"node_downs"` // health transitions into backoff
+}
+
+// Coordinator shards render jobs across remote gvmrd workers and
+// composites the results locally. Safe for concurrent use.
+type Coordinator struct {
+	cfg   CoordinatorConfig
+	ring  *ring
+	nodes []*nodeState
+
+	jobs, batches, retries, hedges, hedgeWins, corrupt, nodeDowns atomic.Int64
+}
+
+type nodeState struct {
+	index int
+	base  string // http://host:port
+
+	mu        sync.Mutex
+	fails     int
+	downUntil time.Time
+}
+
+func (n *nodeState) healthy(now time.Time) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !now.Before(n.downUntil)
+}
+
+// NewCoordinator builds a coordinator over the given worker nodes.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("dist: no worker nodes")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Backoff == 0 {
+		cfg.Backoff = 500 * time.Millisecond
+	}
+	if cfg.MaxBackoff == 0 {
+		cfg.MaxBackoff = 15 * time.Second
+	}
+	if cfg.Reducers == 0 {
+		cfg.Reducers = len(cfg.Nodes)
+	}
+	if cfg.Partitioner == nil {
+		cfg.Partitioner = mapreduce.RoundRobin{}
+	}
+	if cfg.MergeFallbackBytes == 0 {
+		cfg.MergeFallbackBytes = 8 << 20
+	}
+	if cfg.MaxResponseBytes == 0 {
+		cfg.MaxResponseBytes = 1 << 30
+	}
+	c := &Coordinator{cfg: cfg, ring: newRing(cfg.Nodes, cfg.Replicas)}
+	for i, a := range cfg.Nodes {
+		base := a
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		c.nodes = append(c.nodes, &nodeState{index: i, base: strings.TrimRight(base, "/")})
+	}
+	return c, nil
+}
+
+// Stats snapshots the event counters.
+func (c *Coordinator) Stats() CoordinatorStats {
+	return CoordinatorStats{
+		Jobs:      c.jobs.Load(),
+		Batches:   c.batches.Load(),
+		Retries:   c.retries.Load(),
+		Hedges:    c.hedges.Load(),
+		HedgeWins: c.hedgeWins.Load(),
+		Corrupt:   c.corrupt.Load(),
+		NodeDowns: c.nodeDowns.Load(),
+	}
+}
+
+// Nodes returns the configured worker count.
+func (c *Coordinator) Nodes() int { return len(c.nodes) }
+
+func (c *Coordinator) markFailure(n *nodeState) {
+	n.mu.Lock()
+	n.fails++
+	backoff := c.cfg.Backoff << uint(n.fails-1)
+	if backoff > c.cfg.MaxBackoff || backoff <= 0 {
+		backoff = c.cfg.MaxBackoff
+	}
+	n.downUntil = time.Now().Add(backoff)
+	n.mu.Unlock()
+	c.nodeDowns.Add(1)
+}
+
+func (c *Coordinator) markSuccess(n *nodeState) {
+	n.mu.Lock()
+	n.fails = 0
+	n.downUntil = time.Time{}
+	n.mu.Unlock()
+}
+
+// place picks the node for one brick: the first healthy, non-excluded
+// node on the brick's ring walk; failing that, the first non-excluded
+// node (better a likely-dead try than none); -1 when every node is
+// excluded.
+func (c *Coordinator) place(job JobSpec, brick int, excluded map[int]bool) int {
+	seq := c.ring.sequence(brickKey(job, brick))
+	now := time.Now()
+	firstAlive := -1
+	for _, n := range seq {
+		if excluded[n] {
+			continue
+		}
+		if firstAlive < 0 {
+			firstAlive = n
+		}
+		if c.nodes[n].healthy(now) {
+			return n
+		}
+	}
+	return firstAlive
+}
+
+// placeBounded is the bounded-load variant of place used for initial
+// placement: first healthy node on the brick's ring walk with fewer than
+// cap bricks assigned; failing that, the first healthy node; failing
+// that, the first node at all.
+func (c *Coordinator) placeBounded(job JobSpec, brick int, loads map[int][]int, cap int) int {
+	seq := c.ring.sequence(brickKey(job, brick))
+	now := time.Now()
+	firstAlive, firstHealthy := -1, -1
+	for _, n := range seq {
+		if firstAlive < 0 {
+			firstAlive = n
+		}
+		if !c.nodes[n].healthy(now) {
+			continue
+		}
+		if firstHealthy < 0 {
+			firstHealthy = n
+		}
+		if len(loads[n]) < cap {
+			return n
+		}
+	}
+	if firstHealthy >= 0 {
+		return firstHealthy
+	}
+	return firstAlive
+}
+
+// batchOutcome is one successfully mapped batch.
+type batchOutcome struct {
+	node       int
+	stripes    []core.BrickStripe
+	mapSeconds float64
+	bytes      int64
+}
+
+// Breakdown decomposes a distributed frame's virtual makespan into its
+// phases: the slowest node's map time (nodes run in parallel), the
+// stripe transfers into the coordinator's NIC, and the local reduce.
+// Wire+Reduce relative to the total is the coordinator overhead the
+// cluster bench records.
+type Breakdown struct {
+	Map    sim.Time `json:"map_seconds"`
+	Wire   sim.Time `json:"wire_seconds"`
+	Reduce sim.Time `json:"reduce_seconds"`
+
+	Batches   int64 `json:"batches"`
+	WireBytes int64 `json:"wire_bytes"`
+	Fragments int64 `json:"fragments"`
+}
+
+// Render runs one distributed frame: plan, place, fan out, verify,
+// composite. The image is byte-identical to a single-process
+// core.Render of the same options regardless of node count, placement,
+// retries or hedging (DESIGN.md §9).
+func (c *Coordinator) Render(ctx context.Context, job JobSpec) (*core.Result, sim.Time, error) {
+	res, _, err := c.RenderDetailed(ctx, job)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, res.Runtime, nil
+}
+
+// RenderDetailed is Render plus the virtual-time breakdown.
+func (c *Coordinator) RenderDetailed(ctx context.Context, job JobSpec) (*core.Result, Breakdown, error) {
+	c.jobs.Add(1)
+	opt, err := job.Options()
+	if err != nil {
+		return nil, Breakdown{}, err
+	}
+	planSpec := job.PlanSpec()
+	if c.cfg.Spec != nil {
+		planSpec = *c.cfg.Spec
+	}
+	grid, err := core.PlanGrid(planSpec, opt)
+	if err != nil {
+		return nil, Breakdown{}, err
+	}
+
+	// Cancelling the job context tears down every in-flight exchange; the
+	// buffered event channel lets stragglers deposit their terminal event
+	// and exit without a reader.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Initial placement: consistent hash with bounded loads. Each brick
+	// walks its ring sequence and takes the first healthy node still
+	// under the per-node cap — affinity when the cluster is balanced,
+	// guaranteed balance always (no node maps more than ⌈bricks/healthy⌉
+	// while others idle, so adding nodes always shrinks the map phase).
+	perNode := make(map[int][]int)
+	healthyNow := 0
+	now := time.Now()
+	for _, n := range c.nodes {
+		if n.healthy(now) {
+			healthyNow++
+		}
+	}
+	if healthyNow == 0 {
+		healthyNow = len(c.nodes) // everyone in backoff: place anyway
+	}
+	cap := (grid.NumBricks() + healthyNow - 1) / healthyNow
+	for id := 0; id < grid.NumBricks(); id++ {
+		n := c.placeBounded(job, id, perNode, cap)
+		if n < 0 {
+			return nil, Breakdown{}, fmt.Errorf("dist: no live worker for brick %d", id)
+		}
+		perNode[n] = append(perNode[n], id)
+	}
+
+	type pendingBatch struct {
+		bricks   []int
+		target   int // node chosen at placement/re-placement time
+		excluded map[int]bool
+		attempts int
+	}
+	type event struct {
+		out batchOutcome
+		err error
+	}
+	// Every batch emits exactly one terminal event (a success, a hard
+	// failure) or re-places itself into child batches, each of which does
+	// the same; total events are bounded by bricks × attempts, so the
+	// buffer guarantees no sender ever blocks.
+	events := make(chan event, grid.NumBricks()*(c.cfg.MaxAttempts+1)+4)
+	var launch func(b pendingBatch)
+	launch = func(b pendingBatch) {
+		go func() {
+			target := b.target
+			if target < 0 || b.attempts >= c.cfg.MaxAttempts {
+				events <- event{err: fmt.Errorf("dist: bricks %v undeliverable after %d attempts", b.bricks, b.attempts)}
+				return
+			}
+			out, tried, err := c.sendBatch(ctx, job, grid.Counts, b.bricks, target, b.excluded)
+			if err == nil {
+				events <- event{out: out}
+				return
+			}
+			if ctx.Err() != nil {
+				events <- event{err: ctx.Err()}
+				return
+			}
+			c.retries.Add(1)
+			excluded := map[int]bool{}
+			for n := range b.excluded {
+				excluded[n] = true
+			}
+			for n := range tried {
+				excluded[n] = true
+			}
+			// Re-place the failed bricks over the remaining nodes; the
+			// batch may split if the ring walks diverge.
+			regroup := make(map[int][]int)
+			for _, id := range b.bricks {
+				n := c.place(job, id, excluded)
+				if n < 0 {
+					events <- event{err: fmt.Errorf("dist: bricks %v exhausted every worker: %w", b.bricks, err)}
+					return
+				}
+				regroup[n] = append(regroup[n], id)
+			}
+			for n, bricks := range regroup {
+				launch(pendingBatch{bricks: bricks, target: n, excluded: excluded, attempts: b.attempts + 1})
+			}
+		}()
+	}
+	for n, bricks := range perNode {
+		sort.Ints(bricks)
+		launch(pendingBatch{bricks: bricks, target: n})
+	}
+
+	stripes := make(map[int]core.BrickStripe, grid.NumBricks())
+	nodeVirtual := make([]sim.Time, len(c.nodes))
+	var wireBytes int64
+	var batches int64
+	for len(stripes) < grid.NumBricks() {
+		select {
+		case ev := <-events:
+			if ev.err != nil {
+				return nil, Breakdown{}, ev.err
+			}
+			for _, s := range ev.out.stripes {
+				stripes[s.Brick] = s
+			}
+			nodeVirtual[ev.out.node] += sim.Seconds(ev.out.mapSeconds)
+			wireBytes += ev.out.bytes
+			batches++
+		case <-ctx.Done():
+			return nil, Breakdown{}, ctx.Err()
+		}
+	}
+
+	ordered := make([]core.BrickStripe, 0, len(stripes))
+	for id := 0; id < grid.NumBricks(); id++ {
+		ordered = append(ordered, stripes[id])
+	}
+
+	out, reduceCharge := compositeStripes(ordered, opt.Width, opt.Height, opt.Background,
+		c.cfg.Partitioner, c.cfg.Reducers, planSpec, c.cfg.MergeFallbackBytes)
+
+	// Virtual makespan: map phases run node-parallel (max), the stripe
+	// transfers serialise into the coordinator's NIC, the local reduce
+	// follows. Additive across phases — conservative, no modeled overlap.
+	var mapVirtual sim.Time
+	for _, v := range nodeVirtual {
+		if v > mapVirtual {
+			mapVirtual = v
+		}
+	}
+	wireVirtual := sim.Time(batches)*(planSpec.NICLatency+planSpec.MsgOverhead) +
+		sim.BytesTime(wireBytes, planSpec.NICBandwidth)
+	runtime := mapVirtual + wireVirtual + reduceCharge
+
+	var frags int64
+	for _, s := range ordered {
+		frags += int64(len(s.Frags))
+	}
+	res := &core.Result{
+		Image: out,
+		Stats: &mapreduce.JobStats{
+			Makespan:      runtime,
+			BytesOnWire:   wireBytes,
+			Messages:      batches,
+			TotalEmitted:  frags,
+			TotalReceived: frags,
+		},
+		Grid:    grid,
+		GPUs:    job.GPUs,
+		Runtime: runtime,
+		Voxels:  opt.Source.Dims().Voxels(),
+	}
+	if runtime > 0 {
+		res.FPS = 1 / runtime.Seconds()
+		res.VPSMillions = float64(res.Voxels) / runtime.Seconds() / 1e6
+	}
+	bd := Breakdown{
+		Map:       mapVirtual,
+		Wire:      wireVirtual,
+		Reduce:    reduceCharge,
+		Batches:   batches,
+		WireBytes: wireBytes,
+		Fragments: frags,
+	}
+	return res, bd, nil
+}
+
+// sendBatch posts one map batch to target, hedging a straggler onto an
+// alternate node when configured. It validates shape and digest of the
+// winning response. On failure, tried names every node the batch was
+// attempted on (primary and hedges) so re-placement can exclude them
+// all — a batch never retries a node that already failed it.
+func (c *Coordinator) sendBatch(ctx context.Context, job JobSpec, counts [3]int,
+	bricks []int, target int, excluded map[int]bool) (batchOutcome, map[int]bool, error) {
+	type attempt struct {
+		out batchOutcome
+		err error
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	resCh := make(chan attempt, len(c.nodes)+1)
+	post := func(node int) {
+		out, err := c.postMap(ctx, job, counts, bricks, node)
+		resCh <- attempt{out: out, err: err}
+	}
+	c.batches.Add(1)
+	tried := map[int]bool{target: true}
+	go post(target)
+	launched := 1
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	if c.cfg.HedgeAfter > 0 {
+		timer = time.NewTimer(c.cfg.HedgeAfter)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	hedge := func() {
+		timerC = nil
+		if alt := c.alternate(job, bricks[0], tried, excluded); alt >= 0 {
+			tried[alt] = true
+			c.hedges.Add(1)
+			c.batches.Add(1)
+			launched++
+			go post(alt)
+		}
+	}
+	var firstErr error
+	for {
+		select {
+		case a := <-resCh:
+			if a.err == nil {
+				if a.out.node != target {
+					c.hedgeWins.Add(1)
+				}
+				return a.out, tried, nil
+			}
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			launched--
+			if launched == 0 {
+				return batchOutcome{}, tried, firstErr
+			}
+			// Attempts remain in flight (e.g. a straggling primary whose
+			// hedge just died): don't sit behind the straggler — re-arm
+			// the hedge toward the next untried node.
+			if timer != nil && timerC == nil {
+				timer.Reset(c.cfg.HedgeAfter)
+				timerC = timer.C
+			}
+		case <-timerC:
+			hedge()
+		case <-ctx.Done():
+			return batchOutcome{}, tried, ctx.Err()
+		}
+	}
+}
+
+// alternate picks a healthy hedge target not yet tried for this batch.
+func (c *Coordinator) alternate(job JobSpec, brick int, tried, excluded map[int]bool) int {
+	seq := c.ring.sequence(brickKey(job, brick))
+	now := time.Now()
+	for _, n := range seq {
+		if tried[n] || excluded[n] {
+			continue
+		}
+		if c.nodes[n].healthy(now) {
+			return n
+		}
+	}
+	return -1
+}
+
+// postMap performs one HTTP map exchange with full response verification.
+func (c *Coordinator) postMap(ctx context.Context, job JobSpec, counts [3]int,
+	bricks []int, node int) (batchOutcome, error) {
+	body, err := encodeMapRequest(MapRequest{Job: job, Bricks: bricks, GridCounts: counts})
+	if err != nil {
+		return batchOutcome{}, err
+	}
+	n := c.nodes[node]
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+MapPath, bytes.NewReader(body))
+	if err != nil {
+		return batchOutcome{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		// A cancelled exchange says nothing about the node's health: the
+		// hedge winner (or job teardown) aborted us. Marking the node down
+		// here would put a healthy straggler into backoff on every hedge
+		// win and poison its placement affinity.
+		if ctx.Err() == nil {
+			c.markFailure(n)
+		}
+		return batchOutcome{}, fmt.Errorf("dist: node %s: %w", n.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		// Only 5xx marks the node down. 429 is transient backpressure
+		// (the node is alive and telling us so) and 400 is a
+		// deterministic request problem — neither says the node is
+		// unhealthy, and backing off healthy nodes would degrade
+		// placement for every following job. The batch still fails here
+		// and re-places onto another node, bounded by MaxAttempts.
+		if resp.StatusCode >= 500 {
+			c.markFailure(n)
+		}
+		return batchOutcome{}, fmt.Errorf("dist: node %s: %s: %s", n.base, resp.Status, bytes.TrimSpace(msg))
+	}
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxResponseBytes+1))
+	if err != nil {
+		c.markFailure(n)
+		return batchOutcome{}, fmt.Errorf("dist: node %s: reading stripes: %w", n.base, err)
+	}
+	if int64(len(payload)) > c.cfg.MaxResponseBytes {
+		return batchOutcome{}, fmt.Errorf("dist: node %s: response exceeds %d bytes", n.base, c.cfg.MaxResponseBytes)
+	}
+	out, err := c.verifyResponse(resp, payload, job, bricks, node)
+	if err != nil {
+		c.corrupt.Add(1)
+		c.markFailure(n)
+		return batchOutcome{}, fmt.Errorf("dist: node %s: %w", n.base, err)
+	}
+	c.markSuccess(n)
+	return out, nil
+}
+
+// verifyResponse checks digest, brick coverage, fragment counts and
+// per-fragment key bounds, then decodes the stripes.
+func (c *Coordinator) verifyResponse(resp *http.Response, payload []byte,
+	job JobSpec, bricks []int, node int) (batchOutcome, error) {
+	wantDigest := resp.Header.Get(HeaderStripeDigest)
+	if wantDigest == "" {
+		return batchOutcome{}, fmt.Errorf("missing %s header", HeaderStripeDigest)
+	}
+	if got := PayloadDigest(payload); got != wantDigest {
+		return batchOutcome{}, fmt.Errorf("stripe digest mismatch: body %s != header %s (corrupt response)", got, wantDigest)
+	}
+	stripes, err := DecodeStripes(payload)
+	if err != nil {
+		return batchOutcome{}, err
+	}
+	want := make(map[int]bool, len(bricks))
+	for _, id := range bricks {
+		want[id] = true
+	}
+	keyRange := int32(job.Width) * int32(job.Height)
+	frags := 0
+	for _, s := range stripes {
+		if !want[s.Brick] {
+			return batchOutcome{}, fmt.Errorf("stripe for unrequested brick %d", s.Brick)
+		}
+		delete(want, s.Brick)
+		frags += len(s.Frags)
+		// Bound every pixel key now: compositing indexes shards, the
+		// counting sort and the framebuffer by it, and a buggy or
+		// version-skewed worker must surface as a retried corrupt
+		// response, not a panic (the digest only covers transport).
+		for _, f := range s.Frags {
+			if f.Key < 0 || f.Key >= keyRange {
+				return batchOutcome{}, fmt.Errorf(
+					"brick %d fragment key %d outside image of %d pixels", s.Brick, f.Key, keyRange)
+			}
+		}
+	}
+	if len(want) > 0 {
+		missing := make([]int, 0, len(want))
+		for id := range want {
+			missing = append(missing, id)
+		}
+		sort.Ints(missing)
+		return batchOutcome{}, fmt.Errorf("response missing bricks %v", missing)
+	}
+	if h := resp.Header.Get(HeaderFragCount); h != "" {
+		if n, err := strconv.Atoi(h); err != nil || n != frags {
+			return batchOutcome{}, fmt.Errorf("fragment count mismatch: body %d != header %q", frags, h)
+		}
+	}
+	mapSeconds := 0.0
+	if h := resp.Header.Get(HeaderMapSeconds); h != "" {
+		v, err := strconv.ParseFloat(h, 64)
+		if err != nil || v < 0 {
+			return batchOutcome{}, fmt.Errorf("bad %s header %q", HeaderMapSeconds, h)
+		}
+		mapSeconds = v
+	}
+	return batchOutcome{node: node, stripes: stripes, mapSeconds: mapSeconds, bytes: int64(len(payload))}, nil
+}

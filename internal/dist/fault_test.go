@@ -1,0 +1,209 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gvmr/internal/volume/dataset"
+)
+
+// Fault-injection suite: a worker killed mid-job, a straggler, and a
+// corrupted response must each leave the rendered bytes untouched — the
+// coordinator retries, re-places or hedges, and the final digest equals
+// the single-process render's. Runs under -race in CI.
+
+// TestWorkerDeathMidJobRetried kills node 0 at its first map request —
+// the connection aborts mid-exchange, exactly like a process crash — and
+// keeps it dead. The job must complete on the survivors with identical
+// bits.
+func TestWorkerDeathMidJobRetried(t *testing.T) {
+	job := testJob(t, dataset.Skull, 32, 64, 6, 20, true)
+	want := directDigest(t, job)
+
+	var died atomic.Bool
+	addrs := startWorkers(t, 3, func(i int, h http.Handler) http.Handler {
+		if i != 0 {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			died.Store(true)
+			panic(http.ErrAbortHandler) // connection reset, no response
+		})
+	})
+	coord := newTestCoordinator(t, addrs, nil)
+	res, _, err := coord.Render(context.Background(), job)
+	if err != nil {
+		t.Fatalf("render with dead node: %v", err)
+	}
+	if got := res.Image.Digest(); got != want {
+		t.Errorf("digest after node death %s != direct %s", got, want)
+	}
+	if !died.Load() {
+		// 6 bricks over 3 nodes with bounded loads: every node gets 2.
+		t.Fatal("placement sent node 0 nothing; nothing was killed")
+	}
+	st := coord.Stats()
+	if st.Retries < 1 || st.NodeDowns < 1 {
+		t.Errorf("death not recorded: %+v", st)
+	}
+}
+
+// TestWorkerDeathMidResponse is the nastier variant: node 0 advertises a
+// full response but the body truncates partway (the process died while
+// streaming). The digest check catches it; the batch re-places.
+func TestWorkerDeathMidResponse(t *testing.T) {
+	job := testJob(t, dataset.Skull, 32, 64, 6, 45, false)
+	want := directDigest(t, job)
+
+	addrs := startWorkers(t, 3, func(i int, h http.Handler) http.Handler {
+		if i != 1 {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, r)
+			for k, v := range rec.Header() {
+				w.Header()[k] = v
+			}
+			body := rec.Body.Bytes()
+			w.WriteHeader(rec.Code)
+			if len(body) > 8 {
+				_, _ = w.Write(body[:len(body)/2])
+				panic(http.ErrAbortHandler)
+			}
+			_, _ = w.Write(body)
+		})
+	})
+	coord := newTestCoordinator(t, addrs, nil)
+	res, _, err := coord.Render(context.Background(), job)
+	if err != nil {
+		t.Fatalf("render with truncating node: %v", err)
+	}
+	if got := res.Image.Digest(); got != want {
+		t.Errorf("digest after truncated response %s != direct %s", got, want)
+	}
+	if st := coord.Stats(); st.Retries < 1 {
+		t.Errorf("truncation not retried: %+v", st)
+	}
+}
+
+// TestDelayedWorkerHedged wires a straggler: node 0 sits on every request
+// for far longer than the hedge delay. The coordinator must duplicate the
+// batch onto a healthy node, win the race there, and produce identical
+// bits.
+func TestDelayedWorkerHedged(t *testing.T) {
+	job := testJob(t, dataset.Skull, 32, 64, 6, 70, true)
+	want := directDigest(t, job)
+
+	addrs := startWorkers(t, 3, func(i int, h http.Handler) http.Handler {
+		if i != 0 {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			// Read the request first (a real worker decodes the JSON
+			// before rendering); only then does the server's background
+			// read deliver the hedge winner's cancellation.
+			body, _ := io.ReadAll(r.Body)
+			select {
+			case <-time.After(10 * time.Second):
+			case <-r.Context().Done():
+				return // hedge winner cancelled us
+			}
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			h.ServeHTTP(w, r)
+		})
+	})
+	coord := newTestCoordinator(t, addrs, func(c *CoordinatorConfig) {
+		c.HedgeAfter = 25 * time.Millisecond
+	})
+	start := time.Now()
+	res, _, err := coord.Render(context.Background(), job)
+	if err != nil {
+		t.Fatalf("render with straggler: %v", err)
+	}
+	if got := res.Image.Digest(); got != want {
+		t.Errorf("digest with hedging %s != direct %s", got, want)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("hedge did not rescue the straggler: render took %v", elapsed)
+	}
+	st := coord.Stats()
+	if st.Hedges < 1 || st.HedgeWins < 1 {
+		t.Errorf("no hedge recorded: %+v", st)
+	}
+}
+
+// TestCorruptResponseRetried flips one payload byte on node 2's first
+// response while keeping the advertised digest. The coordinator must
+// detect the corruption, count it, and re-place the batch — bits
+// identical.
+func TestCorruptResponseRetried(t *testing.T) {
+	job := testJob(t, dataset.Skull, 32, 64, 6, 110, false)
+	want := directDigest(t, job)
+
+	var corrupted atomic.Int64
+	addrs := startWorkers(t, 3, func(i int, h http.Handler) http.Handler {
+		if i != 2 {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, r)
+			body := rec.Body.Bytes()
+			if corrupted.Add(1) == 1 && len(body) > 10 {
+				body[10] ^= 0x40 // silent bit flip, digest header untouched
+			}
+			for k, v := range rec.Header() {
+				w.Header()[k] = v
+			}
+			w.WriteHeader(rec.Code)
+			_, _ = w.Write(body)
+		})
+	})
+	coord := newTestCoordinator(t, addrs, nil)
+	res, _, err := coord.Render(context.Background(), job)
+	if err != nil {
+		t.Fatalf("render with corrupting node: %v", err)
+	}
+	if got := res.Image.Digest(); got != want {
+		t.Errorf("digest after corruption %s != direct %s", got, want)
+	}
+	if corrupted.Load() >= 1 {
+		if st := coord.Stats(); st.Corrupt < 1 || st.Retries < 1 {
+			t.Errorf("corruption not detected/retried: %+v", st)
+		}
+	}
+}
+
+// TestAllWorkersDeadFailsFast: when every node is gone the job must fail
+// with an error, not hang — the bounded-retry contract.
+func TestAllWorkersDeadFailsFast(t *testing.T) {
+	addrs := startWorkers(t, 2, func(i int, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			panic(http.ErrAbortHandler)
+		})
+	})
+	coord := newTestCoordinator(t, addrs, func(c *CoordinatorConfig) {
+		c.MaxAttempts = 2
+	})
+	job := testJob(t, dataset.Skull, 24, 48, 2, 0, false)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := coord.Render(context.Background(), job)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("render with every node dead succeeded")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("render with every node dead hung")
+	}
+}

@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"gvmr/internal/composite"
+	"gvmr/internal/core"
+)
+
+// HTTP surface of the distributed map endpoint.
+const (
+	// MapPath is the worker endpoint: POST a JSON MapRequest, receive the
+	// binary stripe payload.
+	MapPath = "/map"
+	// HeaderFragCount is the total fragment count across all stripes in
+	// the response body.
+	HeaderFragCount = "X-Gvmr-Frag-Count"
+	// HeaderMapSeconds is the virtual duration of the worker's map job
+	// (its simulated makespan, not wall time), in seconds.
+	HeaderMapSeconds = "X-Gvmr-Map-Seconds"
+	// HeaderStripeDigest is the SHA-256 of the exact response body. The
+	// coordinator recomputes it; any corruption in flight (or a buggy
+	// worker) turns into a retry on another node instead of wrong bits.
+	HeaderStripeDigest = "X-Gvmr-Stripe-Digest"
+)
+
+// MapRequest asks a worker to run the map phase for a batch of bricks.
+type MapRequest struct {
+	Job    JobSpec `json:"job"`
+	Bricks []int   `json:"bricks"`
+	// GridCounts is the coordinator's planned brick-grid factorisation.
+	// The worker plans its own grid from Job and refuses the batch when
+	// the factorisations differ — a configuration mismatch (different
+	// GPU model, different bricking policy version) must fail loudly,
+	// never render different bricks.
+	GridCounts [3]int `json:"grid_counts"`
+}
+
+// Stripe payload format (all little-endian):
+//
+//	repeat per stripe, ascending brick ID:
+//	  int32  brick ID
+//	  int32  fragment count
+//	  count × 24-byte fragments: int32 key, float32 R,G,B,A, float32 depth
+//
+// Fragment floats are raw IEEE-754 bit patterns — the renderer's exact
+// bits, like /render?format=raw.
+const stripeHeaderBytes = 8
+
+// EncodeStripes serialises stripes into the wire payload.
+func EncodeStripes(stripes []core.BrickStripe) []byte {
+	n := 0
+	for _, s := range stripes {
+		n += stripeHeaderBytes + len(s.Frags)*composite.FragmentBytes
+	}
+	buf := make([]byte, n)
+	off := 0
+	for _, s := range stripes {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(int32(s.Brick)))
+		binary.LittleEndian.PutUint32(buf[off+4:], uint32(int32(len(s.Frags))))
+		off += stripeHeaderBytes
+		for _, f := range s.Frags {
+			binary.LittleEndian.PutUint32(buf[off:], uint32(f.Key))
+			binary.LittleEndian.PutUint32(buf[off+4:], math.Float32bits(f.R))
+			binary.LittleEndian.PutUint32(buf[off+8:], math.Float32bits(f.G))
+			binary.LittleEndian.PutUint32(buf[off+12:], math.Float32bits(f.B))
+			binary.LittleEndian.PutUint32(buf[off+16:], math.Float32bits(f.A))
+			binary.LittleEndian.PutUint32(buf[off+20:], math.Float32bits(f.Depth))
+			off += composite.FragmentBytes
+		}
+	}
+	return buf
+}
+
+// DecodeStripes parses a wire payload back into stripes. It validates
+// structure only (framing, counts); semantic checks — do the brick IDs
+// match the request — are the coordinator's job.
+func DecodeStripes(data []byte) ([]core.BrickStripe, error) {
+	var stripes []core.BrickStripe
+	off := 0
+	for off < len(data) {
+		if len(data)-off < stripeHeaderBytes {
+			return nil, fmt.Errorf("dist: truncated stripe header at byte %d", off)
+		}
+		brick := int32(binary.LittleEndian.Uint32(data[off:]))
+		count := int32(binary.LittleEndian.Uint32(data[off+4:]))
+		off += stripeHeaderBytes
+		if brick < 0 {
+			return nil, fmt.Errorf("dist: negative brick ID %d", brick)
+		}
+		if count < 0 || int64(count)*composite.FragmentBytes > int64(len(data)-off) {
+			return nil, fmt.Errorf("dist: stripe for brick %d claims %d fragments beyond payload", brick, count)
+		}
+		s := core.BrickStripe{Brick: int(brick)}
+		if count > 0 {
+			s.Frags = make([]composite.Fragment, count)
+			for i := range s.Frags {
+				s.Frags[i] = composite.Fragment{
+					Key:   int32(binary.LittleEndian.Uint32(data[off:])),
+					R:     math.Float32frombits(binary.LittleEndian.Uint32(data[off+4:])),
+					G:     math.Float32frombits(binary.LittleEndian.Uint32(data[off+8:])),
+					B:     math.Float32frombits(binary.LittleEndian.Uint32(data[off+12:])),
+					A:     math.Float32frombits(binary.LittleEndian.Uint32(data[off+16:])),
+					Depth: math.Float32frombits(binary.LittleEndian.Uint32(data[off+20:])),
+				}
+				off += composite.FragmentBytes
+			}
+		}
+		stripes = append(stripes, s)
+	}
+	return stripes, nil
+}
+
+// PayloadDigest is the hex SHA-256 of a stripe payload — the value of
+// HeaderStripeDigest.
+func PayloadDigest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// encodeMapRequest marshals the request body.
+func encodeMapRequest(req MapRequest) ([]byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding map request: %w", err)
+	}
+	return body, nil
+}

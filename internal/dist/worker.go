@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"gvmr/internal/cluster"
+	"gvmr/internal/core"
+)
+
+// WorkerConfig sizes the worker side of the distributed map endpoint.
+type WorkerConfig struct {
+	// Spec is the node's local hardware: its bricks run on an instance of
+	// this spec. It may be smaller than the job's virtual cluster (a
+	// 1-GPU node maps its share of an 8-GPU job's bricks serially); only
+	// the GPU model must match the job's planning spec.
+	Spec cluster.Spec
+	// DevWorkers caps host cores per map job (0 = all of GOMAXPROCS), as
+	// in core.RenderOn.
+	DevWorkers int
+	// MaxEdge and MaxPixels bound requests exactly like the render
+	// service's limits (defaults 512 and 4096²).
+	MaxEdge   int
+	MaxPixels int
+	// MaxBody bounds the request body (default 1 MiB — a map request is
+	// a small JSON document).
+	MaxBody int64
+}
+
+func (c *WorkerConfig) fillDefaults() error {
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	if c.MaxEdge == 0 {
+		c.MaxEdge = 512
+	}
+	if c.MaxPixels == 0 {
+		c.MaxPixels = 4096 * 4096
+	}
+	if c.MaxBody == 0 {
+		c.MaxBody = 1 << 20
+	}
+	return nil
+}
+
+// Worker serves MapPath: it decodes a MapRequest, cross-checks the grid
+// plan, runs core.MapBricks on the local spec and writes the stripe
+// payload. Mount it on any mux (cmd/gvmrd mounts it on every service, so
+// every daemon is worker-capable out of the box).
+type Worker struct {
+	cfg WorkerConfig
+}
+
+// NewWorker validates the config and builds the handler.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	return &Worker{cfg: cfg}, nil
+}
+
+// ServeHTTP implements http.Handler for MapPath.
+func (wk *Worker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req MapRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, wk.cfg.MaxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad map request: %v", err), http.StatusBadRequest)
+		return
+	}
+	payload, frags, mapSeconds, err := wk.run(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Content-Length", strconv.Itoa(len(payload)))
+	h.Set(HeaderFragCount, strconv.Itoa(frags))
+	h.Set(HeaderMapSeconds, strconv.FormatFloat(mapSeconds, 'g', -1, 64))
+	h.Set(HeaderStripeDigest, PayloadDigest(payload))
+	_, _ = w.Write(payload) // client hangup; the coordinator will retry
+}
+
+// Map is the in-process form of the endpoint: run a map batch and return
+// the encoded payload, its fragment count and the job's virtual seconds.
+// The HTTP handler and tests share it.
+func (wk *Worker) Map(req MapRequest) ([]byte, int, float64, error) { return wk.run(req) }
+
+func (wk *Worker) run(req MapRequest) ([]byte, int, float64, error) {
+	if err := req.Job.Validate(wk.cfg.MaxEdge, wk.cfg.MaxPixels); err != nil {
+		return nil, 0, 0, err
+	}
+	if len(req.Bricks) == 0 {
+		return nil, 0, 0, fmt.Errorf("dist: empty brick batch")
+	}
+	opt, err := req.Job.Options()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	grid, err := core.PlanGrid(wk.cfg.Spec, opt)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if grid.Counts != req.GridCounts {
+		return nil, 0, 0, fmt.Errorf(
+			"dist: grid plan mismatch: worker %v != coordinator %v (GPU model or bricking policy differs)",
+			grid.Counts, req.GridCounts)
+	}
+	res, err := core.MapBricks(wk.cfg.Spec, opt, req.Bricks, wk.cfg.DevWorkers)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return EncodeStripes(res.Stripes), res.FragmentCount(), res.Runtime.Seconds(), nil
+}

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+)
+
+// startWorkerService spins a full gvmrd-style service (its Handler mounts
+// /map) as an HTTP worker node and returns its base URL plus the service
+// for stats inspection.
+func startWorkerService(t *testing.T, gpus int) (string, *Service) {
+	t.Helper()
+	svc, err := New(Config{GPUs: gpus, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { _ = svc.Close(context.Background()) })
+	return srv.URL, svc
+}
+
+// TestCoordinatorServiceMatchesLocal: a service configured with remote
+// workers serves byte-identical frames to a purely local service, and the
+// work demonstrably crossed the process boundary (worker map counters).
+func TestCoordinatorServiceMatchesLocal(t *testing.T) {
+	w1, ws1 := startWorkerService(t, 1)
+	w2, ws2 := startWorkerService(t, 1)
+
+	local, err := New(Config{GPUs: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close(context.Background())
+	coord, err := New(Config{GPUs: 2, Workers: 2, WorkerAddrs: []string{w1, w2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close(context.Background())
+
+	req := Request{Dataset: "skull", Edge: 24, Width: 48, Height: 48, Orbit: 33, GPUs: 2, Shading: true}
+	fLocal, _, err := local.Render(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fDist, via, err := coord.Render(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if via != ViaRender {
+		t.Errorf("first distributed render served via %q", via)
+	}
+	if fDist.Digest != fLocal.Digest {
+		t.Errorf("distributed digest %s != local %s", fDist.Digest, fLocal.Digest)
+	}
+
+	mapJobs := ws1.Stats().MapJobs + ws2.Stats().MapJobs
+	if mapJobs < 1 {
+		t.Errorf("no map batches reached the workers (w1 %d, w2 %d)",
+			ws1.Stats().MapJobs, ws2.Stats().MapJobs)
+	}
+	st := coord.Stats()
+	if st.WorkerNodes != 2 || st.Dist == nil || st.Dist.Jobs < 1 {
+		t.Errorf("coordinator stats missing dist section: %+v", st)
+	}
+
+	// Second request: served from the coordinator's frame cache, no new
+	// worker traffic needed.
+	if _, via, err := coord.Render(context.Background(), req); err != nil || via != ViaCache {
+		t.Errorf("repeat request served via %q, err %v", via, err)
+	}
+}

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzRequestKey drives the canonical request-key codec: any accepted
+// string must be the exact encoding of its parse (idempotence), so two
+// distinct normalized requests can never collide on a key, and the cache
+// and coalescer identities stay sound. Seeds cover every field's
+// canonical spelling plus near-miss corruptions.
+func FuzzRequestKey(f *testing.F) {
+	f.Add("skull|e64|256x256|o0|g4|shfalse|st1|ta0.98")
+	f.Add("supernova|e432|512x512|o123.456|g8|shtrue|st0.25|ta1")
+	f.Add("plume|e64|1024x768|o-90|g1|shfalse|st16|ta0.5")
+	f.Add("skull|e8|1x1|o1e-09|g1|shtrue|st0.01|ta0.0001")
+	f.Add("skull|e64|256x256|o0|g4|shfalse|st1|ta0.98|extra")
+	f.Add("skull|e064|256x256|o0|g4|shfalse|st1|ta0.98") // non-canonical int
+	f.Add("skull|e64|256x256|o+0|g4|shfalse|st1|ta0.98") // non-canonical float
+	f.Add("|e0|0x0|o0|g0|shfalse|st0|ta0")
+	f.Add("")
+	f.Add("||||||||")
+	f.Fuzz(func(t *testing.T, k string) {
+		r, ok := parseKey(k)
+		if !ok {
+			return
+		}
+		if got := r.key(); got != k {
+			t.Fatalf("accepted key %q re-encodes to %q", k, got)
+		}
+		again, ok := parseKey(r.key())
+		if !ok || again != r {
+			t.Fatalf("round trip unstable for %q: %+v vs %+v (ok=%v)", k, r, again, ok)
+		}
+	})
+}
+
+// TestKeyCodecRoundTripsNormalizedRequests drives the other direction
+// with randomized normalized requests: every request the service would
+// actually serve survives the codec.
+func TestKeyCodecRoundTripsNormalizedRequests(t *testing.T) {
+	s := newTestService(t, Config{GPUs: 8})
+	rng := rand.New(rand.NewSource(42))
+	datasets := []string{"skull", "supernova", "plume"}
+	for i := 0; i < 2000; i++ {
+		r := Request{
+			Dataset: datasets[rng.Intn(len(datasets))],
+			Edge:    8 + rng.Intn(64),
+			Width:   1 + rng.Intn(512),
+			Height:  1 + rng.Intn(512),
+			Orbit:   (rng.Float64() - 0.5) * 1e4,
+			GPUs:    1 + rng.Intn(8),
+			Shading: rng.Intn(2) == 0,
+			// Random float32 bit patterns inside the valid ranges.
+			StepVoxels:       0.01 + float32(rng.Float64())*15.9,
+			TerminationAlpha: float32(math.Nextafter(0, 1)) + float32(rng.Float64())*0.9999,
+		}
+		if err := r.normalize(s); err != nil {
+			t.Fatalf("case %d: normalize: %v", i, err)
+		}
+		if err := mustKeyRoundTrip(r); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"gvmr/internal/dist"
 	"gvmr/internal/img"
 )
 
@@ -39,6 +40,7 @@ const (
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/render", s.handleRender)
+	mux.HandleFunc(dist.MapPath, s.handleMap)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.Draining() {
@@ -48,6 +50,38 @@ func (s *Service) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// handleMap serves the distributed map endpoint (POST /map): this node
+// acting as a cluster worker for a remote coordinator. Map batches pass
+// through the same admission gate as renders — a queue token and a
+// render-worker slot — so a coordinator storm cannot starve local
+// requests past the configured bounds, and Close drains map work too.
+func (s *Service) handleMap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := s.beginJob(); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer s.endJob()
+	release, err := s.admit()
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer release()
+	s.mu.Lock()
+	s.mapJobs++
+	s.mu.Unlock()
+	s.worker.ServeHTTP(w, r)
 }
 
 // parseRenderRequest decodes /render query parameters into a Request

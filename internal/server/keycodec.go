@@ -1,0 +1,126 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The canonical request key is the identity the frame cache and the
+// request coalescer share: requests with equal keys MUST address
+// bit-identical frames, and distinct normalized requests MUST produce
+// distinct keys (a collision would serve one client another client's
+// frame). parseKey is the decoder that makes the second property
+// checkable: it inverts Request.key and accepts exactly the canonical
+// spellings, so `parseKey(k).key() == k` for every key it accepts and
+// `parseKey(r.key()) == r` for every normalized request — the round-trip
+// the fuzz target (FuzzRequestKey) drives.
+
+// parseKey decodes a canonical request key produced by Request.key. It
+// is strict: any string that is not the canonical encoding of its parse
+// is rejected, so accepted keys re-encode to themselves byte for byte.
+func parseKey(k string) (Request, bool) {
+	parts := strings.Split(k, "|")
+	if len(parts) != 8 {
+		return Request{}, false
+	}
+	var r Request
+	r.Dataset = parts[0]
+
+	cut := func(s, prefix string) (string, bool) { return strings.CutPrefix(s, prefix) }
+
+	if v, ok := cut(parts[1], "e"); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return Request{}, false
+		}
+		r.Edge = n
+	} else {
+		return Request{}, false
+	}
+
+	dims := strings.SplitN(parts[2], "x", 2)
+	if len(dims) != 2 {
+		return Request{}, false
+	}
+	w, errW := strconv.Atoi(dims[0])
+	h, errH := strconv.Atoi(dims[1])
+	if errW != nil || errH != nil {
+		return Request{}, false
+	}
+	r.Width, r.Height = w, h
+
+	if v, ok := cut(parts[3], "o"); ok {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return Request{}, false
+		}
+		r.Orbit = f
+	} else {
+		return Request{}, false
+	}
+
+	if v, ok := cut(parts[4], "g"); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return Request{}, false
+		}
+		r.GPUs = n
+	} else {
+		return Request{}, false
+	}
+
+	if v, ok := cut(parts[5], "sh"); ok {
+		switch v {
+		case "true":
+			r.Shading = true
+		case "false":
+			r.Shading = false
+		default:
+			return Request{}, false
+		}
+	} else {
+		return Request{}, false
+	}
+
+	if v, ok := cut(parts[6], "st"); ok {
+		f, err := strconv.ParseFloat(v, 32)
+		if err != nil {
+			return Request{}, false
+		}
+		r.StepVoxels = float32(f)
+	} else {
+		return Request{}, false
+	}
+
+	if v, ok := cut(parts[7], "ta"); ok {
+		f, err := strconv.ParseFloat(v, 32)
+		if err != nil {
+			return Request{}, false
+		}
+		r.TerminationAlpha = float32(f)
+	} else {
+		return Request{}, false
+	}
+
+	// Canonical-form check: reject non-canonical spellings ("e007",
+	// "o+3", "st1.50") so accepted keys are exactly the image of key().
+	if r.key() != k {
+		return Request{}, false
+	}
+	return r, true
+}
+
+// mustKeyRoundTrip panics when a normalized request does not survive the
+// key codec — used by tests as the single statement of the contract.
+func mustKeyRoundTrip(r Request) error {
+	k := r.key()
+	back, ok := parseKey(k)
+	if !ok {
+		return fmt.Errorf("key %q not parseable", k)
+	}
+	if back != r {
+		return fmt.Errorf("key %q decoded to %+v, want %+v", k, back, r)
+	}
+	return nil
+}

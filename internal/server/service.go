@@ -36,6 +36,7 @@ import (
 
 	"gvmr/internal/cluster"
 	"gvmr/internal/core"
+	"gvmr/internal/dist"
 	"gvmr/internal/img"
 	"gvmr/internal/schedule"
 	"gvmr/internal/sim"
@@ -84,6 +85,17 @@ type Config struct {
 	MaxPixels int
 	// MaxEdge caps the dataset cube edge per request (default 512).
 	MaxEdge int
+
+	// WorkerAddrs turns the service into a distributed coordinator:
+	// every admitted render fans its brick map-tasks out to these remote
+	// gvmrd workers (their /map endpoint) and composites the returned
+	// fragment stripes locally, instead of rendering in-process. Served
+	// bits are identical either way — the distributed golden suite pins
+	// that down. Empty means render locally.
+	WorkerAddrs []string
+	// HedgeAfter duplicates a straggling map batch onto another healthy
+	// worker after this delay (0 = no hedging). Coordinator mode only.
+	HedgeAfter time.Duration
 }
 
 // Request addresses one frame: a built-in dataset (which also selects its
@@ -202,6 +214,11 @@ type Service struct {
 	// renderOn is core.RenderOn; tests stub it to control timing.
 	renderOn func(spec cluster.Spec, opt core.Options, devWorkers int) (*core.Result, sim.Time, error)
 
+	// worker serves the /map endpoint (every gvmrd is worker-capable);
+	// coord, when non-nil, fans admitted renders out to remote workers.
+	worker *dist.Worker
+	coord  *dist.Coordinator
+
 	mu       sync.Mutex
 	draining bool
 	inflight int
@@ -210,7 +227,7 @@ type Service struct {
 
 	start                                  time.Time
 	requests, renders, coalesced, rejected int64
-	errored, drainRejected                 int64
+	errored, drainRejected, mapJobs        int64
 	renderWall                             time.Duration
 }
 
@@ -261,6 +278,30 @@ func New(cfg Config) (*Service, error) {
 		drained:    make(chan struct{}),
 		closed:     make(chan struct{}),
 		start:      time.Now(),
+	}
+	wk, err := dist.NewWorker(dist.WorkerConfig{
+		Spec:       spec,
+		DevWorkers: s.devWorkers,
+		MaxEdge:    cfg.MaxEdge,
+		MaxPixels:  cfg.MaxPixels,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.worker = wk
+	if len(cfg.WorkerAddrs) > 0 {
+		coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
+			Nodes:      cfg.WorkerAddrs,
+			HedgeAfter: cfg.HedgeAfter,
+			// Plan grids with this service's spec, so a custom Spec works
+			// as long as the workers run the same hardware description
+			// (the grid-counts cross-check catches anything else).
+			Spec: &spec,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.coord = coord
 	}
 	return s, nil
 }
@@ -321,42 +362,16 @@ func (s *Service) Render(ctx context.Context, req Request) (f *Frame, via Served
 // abandoned request never wastes the render — the frame still commits
 // to the cache; only Close interrupts the wait for a worker slot.
 func (s *Service) renderLeader(req Request, key string) (*Frame, error) {
-	s.mu.Lock()
-	if s.draining {
-		s.drainRejected++
-		s.mu.Unlock()
-		return nil, ErrDraining
+	if err := s.beginJob(); err != nil {
+		return nil, err
 	}
-	s.inflight++
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		s.inflight--
-		if s.draining && s.inflight == 0 {
-			close(s.drained)
-		}
-		s.mu.Unlock()
-	}()
+	defer s.endJob()
 
-	// Admission: claim a queue token or reject immediately — the
-	// backpressure contract. The token covers waiting AND rendering.
-	select {
-	case s.queue <- struct{}{}:
-	default:
-		s.mu.Lock()
-		s.rejected++
-		s.mu.Unlock()
-		return nil, ErrOverloaded
+	release, err := s.admit()
+	if err != nil {
+		return nil, err
 	}
-	defer func() { <-s.queue }()
-
-	// Wait for a render-worker slot.
-	select {
-	case s.sem <- struct{}{}:
-	case <-s.closed:
-		return nil, ErrDraining
-	}
-	defer func() { <-s.sem }()
+	defer release()
 
 	opt, err := s.options(req)
 	if err != nil {
@@ -368,7 +383,19 @@ func (s *Service) renderLeader(req Request, key string) (*Frame, error) {
 	reserved := s.cache.Reserve(key, est)
 
 	wallStart := time.Now()
-	res, dur, err := s.renderOn(s.spec, opt, s.devWorkers)
+	var res *core.Result
+	var dur sim.Time
+	if s.coord != nil {
+		res, dur, err = s.coord.Render(context.Background(), dist.JobSpec{
+			Dataset: req.Dataset, Edge: req.Edge,
+			Width: req.Width, Height: req.Height,
+			GPUs: req.GPUs, Shading: req.Shading,
+			StepVoxels: req.StepVoxels, TerminationAlpha: req.TerminationAlpha,
+			Camera: dist.CameraFrom(opt.Camera),
+		})
+	} else {
+		res, dur, err = s.renderOn(s.spec, opt, s.devWorkers)
+	}
 	wall := time.Since(wallStart)
 	if err != nil {
 		if reserved {
@@ -403,6 +430,54 @@ func (s *Service) renderLeader(req Request, key string) (*Frame, error) {
 	s.renderWall += wall
 	s.mu.Unlock()
 	return f, nil
+}
+
+// beginJob admits one unit of work against the drain state; every
+// successful beginJob must be paired with endJob.
+func (s *Service) beginJob() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.drainRejected++
+		return ErrDraining
+	}
+	s.inflight++
+	return nil
+}
+
+func (s *Service) endJob() {
+	s.mu.Lock()
+	s.inflight--
+	if s.draining && s.inflight == 0 {
+		close(s.drained)
+	}
+	s.mu.Unlock()
+}
+
+// admit enforces the backpressure contract for one unit of work (a local
+// render or a /map batch): claim a queue token immediately or fail with
+// ErrOverloaded, then wait for a render-worker slot (Close interrupts the
+// wait with ErrDraining). The token covers waiting AND working; the
+// returned release frees slot then token.
+func (s *Service) admit() (release func(), err error) {
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.closed:
+		<-s.queue
+		return nil, ErrDraining
+	}
+	return func() {
+		<-s.sem
+		<-s.queue
+	}, nil
 }
 
 // options translates a normalized request into render options. The
@@ -502,6 +577,14 @@ type Stats struct {
 	Coalesced int64 `json:"coalesced"`
 	Rejected  int64 `json:"rejected_overload"`
 	Errors    int64 `json:"errors"`
+	// MapJobs counts /map batches served for remote coordinators (this
+	// node acting as a cluster worker).
+	MapJobs int64 `json:"map_jobs"`
+
+	// WorkerNodes and Dist describe coordinator mode: the configured
+	// remote worker count and the distributed-layer event counters.
+	WorkerNodes int                    `json:"worker_nodes,omitempty"`
+	Dist        *dist.CoordinatorStats `json:"dist,omitempty"`
 
 	// InFlight renders hold worker slots; QueueDepth renders are admitted
 	// and waiting for one.
@@ -528,9 +611,15 @@ func (s *Service) Stats() Stats {
 		Coalesced:         s.coalesced,
 		Rejected:          s.rejected,
 		Errors:            s.errored,
+		MapJobs:           s.mapJobs,
 		RenderWallSeconds: s.renderWall.Seconds(),
 	}
 	s.mu.Unlock()
+	if s.coord != nil {
+		st.WorkerNodes = s.coord.Nodes()
+		ds := s.coord.Stats()
+		st.Dist = &ds
+	}
 	st.InFlight = len(s.sem)
 	if d := len(s.queue) - st.InFlight; d > 0 {
 		st.QueueDepth = d

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"gvmr/internal/cluster"
+	"gvmr/internal/core"
+	"gvmr/internal/img"
+	"gvmr/internal/sim"
+	"gvmr/internal/vec"
+)
+
+// Stress suite: the frame cache and the coalescer under concurrent
+// Get/Reserve/Commit/Release/Flush and concurrent Render/Flush/Close with
+// randomized interleavings. Run under -race in CI (the server race leg);
+// the per-run seed is logged so a failing schedule can be chased.
+
+func stressSeed(t *testing.T) int64 {
+	seed := time.Now().UnixNano()
+	t.Logf("stress seed %d", seed)
+	return seed
+}
+
+// TestFrameCacheStress hammers one small cache from many goroutines with
+// every operation the service performs, against a deliberately tiny
+// budget so reservations, bypasses and evictions all trigger constantly.
+// Invariants: accounting never goes negative, never exceeds capacity
+// after settling, and every reservation is eventually paired.
+func TestFrameCacheStress(t *testing.T) {
+	seed := stressSeed(t)
+	frame := func(key string, w, h int) *Frame {
+		return &Frame{Key: key, Width: w, Height: h, PNG: []byte("png")}
+	}
+	const workers = 8
+	cache := NewFrameCache(20 * frame("x", 8, 8).Bytes() / 10) // ~2 frames' worth
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(g)))
+			for i := 0; i < 3000; i++ {
+				key := fmt.Sprintf("k%d", rng.Intn(6))
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3: // lookups dominate in production
+					cache.Get(key)
+				case 4, 5, 6:
+					f := frame(key, 8, 8)
+					if cache.Reserve(key, f.Bytes()) {
+						if rng.Intn(4) == 0 {
+							cache.Release(key)
+						} else {
+							cache.Commit(key, f)
+						}
+					}
+				case 7:
+					cache.Flush()
+				case 8:
+					cache.Stats()
+				case 9:
+					// Oversized reservation: must decline, never wedge.
+					if cache.Reserve(key, cache.Capacity()+1) {
+						t.Error("over-capacity reservation accepted")
+						cache.Release(key)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	if cache.inUse < 0 || cache.reserved < 0 {
+		t.Fatalf("negative accounting: inUse %d reserved %d", cache.inUse, cache.reserved)
+	}
+	if cache.reserved != 0 {
+		t.Fatalf("unpaired reservations: %d bytes still reserved", cache.reserved)
+	}
+	if cache.inUse > cache.capacity {
+		t.Fatalf("settled cache over budget: %d > %d", cache.inUse, cache.capacity)
+	}
+}
+
+// TestServiceStress runs the full request path — cache, coalescer,
+// admission — under concurrent randomized load with cache flushes mixed
+// in, then closes the service mid-traffic. Every response must be a
+// frame or one of the declared errors; afterwards the service must be
+// drained with nothing in flight.
+func TestServiceStress(t *testing.T) {
+	seed := stressSeed(t)
+	s := newTestService(t, Config{GPUs: 2, Workers: 4, MaxQueue: 8})
+	var renders sync.Map // key → true, to vary timing per key
+	s.renderOn = func(spec cluster.Spec, opt core.Options, devWorkers int) (*core.Result, sim.Time, error) {
+		renders.Store(opt.Width, true)
+		time.Sleep(time.Duration(opt.Width%5) * time.Millisecond) // vary interleavings
+		im := img.New(opt.Width, opt.Height, vec.V4{X: 0.5, W: 1})
+		return &core.Result{Image: im, Runtime: sim.Second}, sim.Second, nil
+	}
+
+	const workers = 12
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var unexpected sync.Map
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed ^ int64(g)<<32))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch rng.Intn(12) {
+				case 0:
+					s.Cache().Flush()
+				case 1:
+					s.Stats()
+				default:
+					req := Request{
+						Dataset: "skull", Edge: 16,
+						Width:  16 + rng.Intn(4), // small key space → real coalescing
+						Height: 16,
+						Orbit:  float64(rng.Intn(3)) * 10,
+					}
+					_, _, err := s.Render(context.Background(), req)
+					switch {
+					case err == nil:
+					case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining):
+					default:
+						unexpected.Store(err.Error(), true)
+					}
+				}
+			}
+		}()
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("close under load: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	unexpected.Range(func(k, _ any) bool {
+		t.Errorf("unexpected render error under stress: %v", k)
+		return true
+	})
+	st := s.Stats()
+	if st.InFlight != 0 {
+		t.Errorf("renders still in flight after drain: %d", st.InFlight)
+	}
+	if !st.Draining {
+		t.Error("service not marked draining after Close")
+	}
+	if st.Renders == 0 {
+		t.Error("stress run performed no renders")
+	}
+}
