@@ -7,22 +7,31 @@
 //
 //	gvmrd serve -addr :8421 -gpus 8 -render-workers 0 -queue 64
 //	gvmrd serve -pprof                  # expose /debug/pprof/ profiling
-//	gvmrd serve -workers h1:8421,h2:8421,h3:8421   # distributed coordinator
+//	gvmrd serve -accept-joins           # coordinator; workers join at runtime
+//	gvmrd serve -join coord:8421        # worker; registers with a coordinator
+//	gvmrd serve -workers h1:8421,h2:8421,h3:8421   # static coordinator
 //	gvmrd loadtest -duration 10s -concurrency 16 -json BENCH_serve.json
 //
 // Endpoints:
 //
 //	GET  /render?dataset=skull&edge=64&size=256&orbit=30&shading=1&format=png
 //	POST /map       (distributed map batches; every daemon is worker-capable)
+//	POST /register, /heartbeat, /drain, /deregister   (membership; -accept-joins)
 //	GET  /stats
-//	GET  /healthz
+//	GET  /healthz   (liveness: 200 while the process runs, even draining)
+//	GET  /readyz    (readiness: 503 while draining or not registered)
 //
-// With -workers host:port,… the daemon becomes a cluster coordinator:
-// every admitted /render fans its brick map-tasks out to the listed
+// As a coordinator (-accept-joins, and/or static -workers host:port,…)
+// every admitted /render fans its brick map-tasks out to the fleet's
 // gvmrd workers over POST /map (consistent-hash placement, bounded
 // retry with re-placement on node death, optional -hedge-after straggler
 // hedging) and composites the returned fragment stripes locally. Served
 // bits are identical to a single-process render — see DESIGN.md §9.
+//
+// As a worker (-join coord:port) the daemon registers itself with the
+// coordinator, advertises its capacity, heartbeats its load on the lease
+// the coordinator assigns, and on SIGTERM drains (finish in-flight map
+// batches, receive nothing new) before deregistering — see DESIGN.md §10.
 //
 // The loadtest subcommand hammers a service (its own in-process one by
 // default, or -addr for a running daemon) with a zipf mix of repeated
@@ -46,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"gvmr/internal/membership"
 	"gvmr/internal/server"
 )
 
@@ -80,6 +90,9 @@ func serviceFlags(fs *flag.FlagSet) func() (*server.Service, error) {
 		maxPixels     = fs.Int("max-pixels", 4096*4096, "largest image (width*height) a request may ask for")
 		workerList    = fs.String("workers", "", "comma-separated gvmrd worker addresses (host:port,...); non-empty fans renders out as a distributed coordinator")
 		hedgeAfter    = fs.Duration("hedge-after", 0, "duplicate a straggling map batch onto another worker after this delay (coordinator mode; 0 = off)")
+		acceptJoins   = fs.Bool("accept-joins", false, "accept dynamic worker joins (POST /register); coordinator mode with a live fleet")
+		heartbeat     = fs.Duration("heartbeat", 2*time.Second, "lease heartbeat interval assigned to joining workers")
+		leaseMisses   = fs.Int("lease-misses", 3, "missed heartbeats before a joined worker's lease expires and it is evicted")
 	)
 	return func() (*server.Service, error) {
 		var addrs []string
@@ -107,6 +120,9 @@ func serviceFlags(fs *flag.FlagSet) func() (*server.Service, error) {
 			MaxEdge:         *maxEdge,
 			WorkerAddrs:     addrs,
 			HedgeAfter:      *hedgeAfter,
+			AcceptJoins:     *acceptJoins,
+			HeartbeatEvery:  *heartbeat,
+			LeaseMisses:     *leaseMisses,
 		})
 	}
 }
@@ -116,6 +132,8 @@ func runServe(args []string) {
 	addr := fs.String("addr", ":8421", "listen address")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
 	withPprof := fs.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
+	join := fs.String("join", "", "coordinator address to register with as a cluster worker (host:port)")
+	advertise := fs.String("advertise", "", "address the coordinator should reach this worker at (default: derived from -addr)")
 	mkService := serviceFlags(fs)
 	_ = fs.Parse(args)
 
@@ -124,6 +142,10 @@ func runServe(args []string) {
 		log.Fatal(err)
 	}
 	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agent, err := startMembership(svc, ln, *join, *advertise)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -159,11 +181,77 @@ func runServe(args []string) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if agent != nil {
+		// Self-drain first: once the coordinator acknowledges, no new map
+		// batches arrive, so the local drain below only waits out work
+		// already in flight.
+		if err := agent.Drain(ctx); err != nil {
+			log.Printf("membership drain: %v", err)
+		}
+	}
 	if err := svc.Close(ctx); err != nil {
 		log.Printf("drain: %v", err)
+	}
+	if agent != nil {
+		if err := agent.Deregister(ctx); err != nil {
+			log.Printf("membership deregister: %v", err)
+		}
+		agent.Stop()
 	}
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
 	log.Printf("drained; bye")
+}
+
+// startMembership wires the worker side of dynamic membership when -join
+// is set: an agent registers this daemon with the coordinator, heartbeats
+// the service's load, and drives /readyz (a worker that lost its lease or
+// is draining reports not-ready while staying live).
+func startMembership(svc *server.Service, ln net.Listener, join, advertise string) (*membership.Agent, error) {
+	if join == "" {
+		return nil, nil
+	}
+	if advertise == "" {
+		advertise = advertiseFromListener(ln)
+	}
+	st := svc.Stats()
+	agent, err := membership.StartAgent(membership.AgentConfig{
+		Coordinator: join,
+		Advertise:   advertise,
+		Capacity: membership.Capacity{
+			DeviceWorkers: st.Workers,
+			StagingBytes:  st.Staging.Capacity,
+		},
+		Load: svc.LoadSnapshot,
+		Logf: log.Printf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	svc.SetReadinessProbe(func() (bool, string) {
+		switch s := agent.State(); s {
+		case membership.AgentRegistered:
+			return true, ""
+		default:
+			return false, "membership: " + string(s)
+		}
+	})
+	log.Printf("joining %s as %s", join, advertise)
+	return agent, nil
+}
+
+// advertiseFromListener derives a reachable default advertise address
+// from the bound listener: an unspecified host (":8421", "0.0.0.0") maps
+// to 127.0.0.1 — right for single-machine clusters, which is what an
+// unspecified bind plus no explicit -advertise implies.
+func advertiseFromListener(ln net.Listener) string {
+	host, port, err := net.SplitHostPort(ln.Addr().String())
+	if err != nil {
+		return ln.Addr().String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
 }

@@ -1,0 +1,388 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gvmr/internal/membership"
+	"gvmr/internal/volume/dataset"
+)
+
+// Membership chaos battery: joins mid-orbit, drains mid-job, lease
+// expiry mid-exchange, delayed vs dead heartbeats, re-registration after
+// eviction. The oracle everywhere is bit-identity — fragment stripes are
+// canonical per brick (DESIGN.md §9/§10), so membership churn may move
+// work between nodes but can never change the image. Runs under -race in
+// CI.
+
+// chaosClock is a manually-advanced registry clock.
+type chaosClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newChaosClock() *chaosClock {
+	return &chaosClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *chaosClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *chaosClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// countingWorkers starts n workers whose per-node map-request counts are
+// observable — the "zero new placements after drain" assertions hang off
+// these counters.
+func countingWorkers(t *testing.T, n int, wrap func(i int, h http.Handler) http.Handler) ([]string, []*atomic.Int64) {
+	t.Helper()
+	counts := make([]*atomic.Int64, n)
+	for i := range counts {
+		counts[i] = &atomic.Int64{}
+	}
+	addrs := startWorkers(t, n, func(i int, h http.Handler) http.Handler {
+		inner := h
+		if wrap != nil {
+			inner = wrap(i, h)
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			counts[i].Add(1)
+			inner.ServeHTTP(w, r)
+		})
+	})
+	return addrs, counts
+}
+
+func mustRegister(t *testing.T, reg *membership.Registry, addr, instance string) {
+	t.Helper()
+	if _, err := reg.Register(membership.RegisterRequest{Addr: addr, Instance: instance}); err != nil {
+		t.Fatalf("register %s: %v", addr, err)
+	}
+}
+
+func mustBeat(t *testing.T, reg *membership.Registry, addr, instance string) {
+	t.Helper()
+	if _, err := reg.Heartbeat(membership.HeartbeatRequest{Addr: addr, Instance: instance}); err != nil {
+		t.Fatalf("heartbeat %s: %v", addr, err)
+	}
+}
+
+func renderAngle(t *testing.T, coord *Coordinator, degrees float64) string {
+	t.Helper()
+	job := testJob(t, dataset.Skull, 32, 64, 6, degrees, false)
+	res, _, err := coord.Render(context.Background(), job)
+	if err != nil {
+		t.Fatalf("render at %v°: %v", degrees, err)
+	}
+	return res.Image.Digest()
+}
+
+// TestChaosJoinMidOrbit: a worker joining between frames of an orbit is
+// placed on immediately (the ring rebalances on the next placement) and
+// the bits never change.
+func TestChaosJoinMidOrbit(t *testing.T) {
+	reg := membership.New(membership.Config{})
+	addrs, counts := countingWorkers(t, 3, nil)
+	mustRegister(t, reg, addrs[0], "w0")
+	mustRegister(t, reg, addrs[1], "w1")
+	coord := newTestCoordinator(t, nil, func(c *CoordinatorConfig) { c.Registry = reg })
+
+	for _, deg := range []float64{0, 40} {
+		job := testJob(t, dataset.Skull, 32, 64, 6, deg, false)
+		if got, want := renderAngle(t, coord, deg), directDigest(t, job); got != want {
+			t.Fatalf("pre-join frame %v°: digest %s != direct %s", deg, got, want)
+		}
+	}
+	if counts[2].Load() != 0 {
+		t.Fatal("unjoined worker received traffic")
+	}
+
+	// Worker 2 joins mid-orbit.
+	mustRegister(t, reg, addrs[2], "w2")
+	for _, deg := range []float64{80, 120} {
+		job := testJob(t, dataset.Skull, 32, 64, 6, deg, false)
+		if got, want := renderAngle(t, coord, deg), directDigest(t, job); got != want {
+			t.Fatalf("post-join frame %v°: digest %s != direct %s", deg, got, want)
+		}
+	}
+	// Bounded loads guarantee the join rebalanced: 6 bricks over 3 nodes
+	// caps every node at 2, so the newcomer must have mapped.
+	if counts[2].Load() == 0 {
+		t.Error("joined worker never received a placement")
+	}
+	if st := reg.Stats(); st.Joins != 3 {
+		t.Errorf("joins = %d, want 3", st.Joins)
+	}
+}
+
+// TestChaosDrainMidOrbit: after the drain acknowledgment, the drained
+// node receives ZERO new placements — the acceptance criterion — while
+// frames keep rendering identical bits on the survivors.
+func TestChaosDrainMidOrbit(t *testing.T) {
+	reg := membership.New(membership.Config{})
+	addrs, counts := countingWorkers(t, 3, nil)
+	for i, a := range addrs {
+		mustRegister(t, reg, a, []string{"w0", "w1", "w2"}[i])
+	}
+	coord := newTestCoordinator(t, nil, func(c *CoordinatorConfig) { c.Registry = reg })
+
+	job0 := testJob(t, dataset.Skull, 32, 64, 6, 0, false)
+	if got, want := renderAngle(t, coord, 0), directDigest(t, job0); got != want {
+		t.Fatalf("pre-drain digest %s != direct %s", got, want)
+	}
+	if counts[0].Load() == 0 {
+		t.Fatal("node 0 got no pre-drain traffic; drain assertion would be vacuous")
+	}
+
+	// Drain returning IS the acknowledgment.
+	if err := reg.Drain(addrs[0]); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	afterAck := counts[0].Load()
+
+	for _, deg := range []float64{45, 90, 135} {
+		job := testJob(t, dataset.Skull, 32, 64, 6, deg, false)
+		if got, want := renderAngle(t, coord, deg), directDigest(t, job); got != want {
+			t.Fatalf("post-drain frame %v°: digest %s != direct %s", deg, got, want)
+		}
+	}
+	if got := counts[0].Load(); got != afterAck {
+		t.Errorf("drained node received %d new placements after ack", got-afterAck)
+	}
+	st := reg.Stats()
+	if st.Drains != 1 || st.Draining != 1 || st.Alive != 2 {
+		t.Errorf("registry stats after drain = %+v", st)
+	}
+}
+
+// TestChaosDrainMidJob drains a node while its map batch is in flight:
+// the in-flight batch completes and contributes (drain ≠ kill), and the
+// frame's bits are identical.
+func TestChaosDrainMidJob(t *testing.T) {
+	reg := membership.New(membership.Config{})
+	inFlight := make(chan struct{})   // node 0's batch arrived
+	drainAcked := make(chan struct{}) // main goroutine drained node 0
+	addrs, counts := countingWorkers(t, 3, func(i int, h http.Handler) http.Handler {
+		if i != 0 {
+			return h
+		}
+		var once sync.Once
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			once.Do(func() {
+				close(inFlight)
+				<-drainAcked // hold the batch in flight across the drain
+			})
+			h.ServeHTTP(w, r)
+		})
+	})
+	for i, a := range addrs {
+		mustRegister(t, reg, a, []string{"w0", "w1", "w2"}[i])
+	}
+	coord := newTestCoordinator(t, nil, func(c *CoordinatorConfig) { c.Registry = reg })
+
+	job := testJob(t, dataset.Skull, 32, 64, 6, 20, false)
+	want := directDigest(t, job)
+	type rendered struct {
+		digest string
+		err    error
+	}
+	done := make(chan rendered, 1)
+	go func() {
+		res, _, err := coord.Render(context.Background(), job)
+		if err != nil {
+			done <- rendered{err: err}
+			return
+		}
+		done <- rendered{digest: res.Image.Digest()}
+	}()
+
+	select {
+	case <-inFlight:
+	case <-time.After(30 * time.Second):
+		t.Fatal("node 0 never received its batch")
+	}
+	if err := reg.Drain(addrs[0]); err != nil {
+		t.Fatalf("drain mid-job: %v", err)
+	}
+	close(drainAcked)
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("render across mid-job drain: %v", r.err)
+	}
+	if r.digest != want {
+		t.Errorf("digest across mid-job drain %s != direct %s", r.digest, want)
+	}
+	held := counts[0].Load()
+	if held == 0 {
+		t.Fatal("in-flight batch never reached node 0")
+	}
+	// Further frames place nothing on the drained node.
+	if got, want := renderAngle(t, coord, 60), directDigest(t, testJob(t, dataset.Skull, 32, 64, 6, 60, false)); got != want {
+		t.Fatalf("post-drain frame: digest %s != direct %s", got, want)
+	}
+	if got := counts[0].Load(); got != held {
+		t.Errorf("drained node received %d placements after its in-flight batch", got-held)
+	}
+}
+
+// TestChaosLeaseExpiryMidExchange: a node dies mid-exchange AND its lease
+// expires before the retry. The re-placement consults a fresh membership
+// view, so the retry never touches the evicted node and the bits hold.
+func TestChaosLeaseExpiryMidExchange(t *testing.T) {
+	clk := newChaosClock()
+	reg := membership.New(membership.Config{HeartbeatInterval: time.Second, MissLimit: 3, Now: clk.Now})
+	var addrs []string
+	addrs, counts := countingWorkers(t, 2, func(i int, h http.Handler) http.Handler {
+		if i != 0 {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			// Walk time forward keeping the survivor's lease fresh while our
+			// own goes stale past the 3s TTL, then die mid-exchange: the
+			// crash and the eviction land together.
+			clk.Advance(2 * time.Second)
+			_, _ = reg.Heartbeat(membership.HeartbeatRequest{Addr: addrs[1], Instance: "w1"})
+			clk.Advance(2 * time.Second)
+			panic(http.ErrAbortHandler)
+		})
+	})
+	mustRegister(t, reg, addrs[0], "w0")
+	mustRegister(t, reg, addrs[1], "w1")
+	coord := newTestCoordinator(t, nil, func(c *CoordinatorConfig) { c.Registry = reg })
+
+	job := testJob(t, dataset.Skull, 32, 64, 6, 75, false)
+	want := directDigest(t, job)
+	res, _, err := coord.Render(context.Background(), job)
+	if err != nil {
+		t.Fatalf("render across lease expiry: %v", err)
+	}
+	if got := res.Image.Digest(); got != want {
+		t.Errorf("digest across lease expiry %s != direct %s", got, want)
+	}
+	if got := counts[0].Load(); got != 1 {
+		t.Errorf("evicted node saw %d requests, want exactly the one that killed it", got)
+	}
+	st := reg.Stats()
+	if st.Evictions < 1 {
+		t.Errorf("no eviction recorded: %+v", st)
+	}
+	if st.Alive != 1 {
+		t.Errorf("alive = %d after eviction, want 1", st.Alive)
+	}
+}
+
+// TestChaosHeartbeatDelayedVsDead draws the line the lease defines: a
+// beat delayed within the miss budget keeps a node placeable; silence
+// past MissLimit × interval evicts it. Both sides render identical bits.
+func TestChaosHeartbeatDelayedVsDead(t *testing.T) {
+	clk := newChaosClock()
+	reg := membership.New(membership.Config{HeartbeatInterval: time.Second, MissLimit: 3, Now: clk.Now})
+	addrs, counts := countingWorkers(t, 2, nil)
+	mustRegister(t, reg, addrs[0], "w0")
+	mustRegister(t, reg, addrs[1], "w1")
+	coord := newTestCoordinator(t, nil, func(c *CoordinatorConfig) { c.Registry = reg })
+
+	// 2.5s of silence is two missed beats but inside the 3s lease: node 1
+	// is delayed, not dead — still placed on.
+	clk.Advance(2500 * time.Millisecond)
+	mustBeat(t, reg, addrs[0], "w0")
+	job := testJob(t, dataset.Skull, 32, 64, 6, 0, false)
+	if got, want := renderAngle(t, coord, 0), directDigest(t, job); got != want {
+		t.Fatalf("digest with delayed heartbeat %s != direct %s", got, want)
+	}
+	if counts[1].Load() == 0 {
+		t.Error("delayed-but-live node was not placed on")
+	}
+	delayed := counts[1].Load()
+
+	// One more second of silence crosses the lease: node 1 is dead.
+	clk.Advance(time.Second)
+	mustBeat(t, reg, addrs[0], "w0")
+	job60 := testJob(t, dataset.Skull, 32, 64, 6, 60, false)
+	if got, want := renderAngle(t, coord, 60), directDigest(t, job60); got != want {
+		t.Fatalf("digest after eviction %s != direct %s", got, want)
+	}
+	if got := counts[1].Load(); got != delayed {
+		t.Errorf("dead node received %d placements after eviction", got-delayed)
+	}
+	if st := reg.Stats(); st.Evictions != 1 || st.Alive != 1 {
+		t.Errorf("stats after eviction = %+v", st)
+	}
+}
+
+// TestChaosReRegisterAfterEviction: an evicted worker that comes back
+// (new incarnation) rejoins the ring and is placed on again.
+func TestChaosReRegisterAfterEviction(t *testing.T) {
+	clk := newChaosClock()
+	reg := membership.New(membership.Config{HeartbeatInterval: time.Second, MissLimit: 3, Now: clk.Now})
+	addrs, counts := countingWorkers(t, 2, nil)
+	mustRegister(t, reg, addrs[0], "w0")
+	mustRegister(t, reg, addrs[1], "w1-gen1")
+
+	// Node 1 goes silent past its lease and is evicted; node 0 keeps
+	// beating inside the miss budget.
+	clk.Advance(2 * time.Second)
+	mustBeat(t, reg, addrs[0], "w0")
+	clk.Advance(2 * time.Second)
+	coord := newTestCoordinator(t, nil, func(c *CoordinatorConfig) { c.Registry = reg })
+	job := testJob(t, dataset.Skull, 32, 64, 6, 0, false)
+	if got, want := renderAngle(t, coord, 0), directDigest(t, job); got != want {
+		t.Fatalf("digest on survivor %s != direct %s", got, want)
+	}
+	if counts[1].Load() != 0 {
+		t.Fatal("evicted node was placed on")
+	}
+
+	// The worker restarts and re-registers as a fresh incarnation; its
+	// old instance ID is fenced, the new one owns the lease.
+	mustRegister(t, reg, addrs[1], "w1-gen2")
+	if _, err := reg.Heartbeat(membership.HeartbeatRequest{Addr: addrs[1], Instance: "w1-gen1"}); !errors.Is(err, membership.ErrStaleInstance) {
+		t.Fatalf("stale incarnation heartbeat = %v, want ErrStaleInstance", err)
+	}
+	job60 := testJob(t, dataset.Skull, 32, 64, 6, 60, false)
+	if got, want := renderAngle(t, coord, 60), directDigest(t, job60); got != want {
+		t.Fatalf("digest after rejoin %s != direct %s", got, want)
+	}
+	if counts[1].Load() == 0 {
+		t.Error("rejoined worker never placed on")
+	}
+	st := reg.Stats()
+	if st.Evictions < 1 || st.Rejoins < 1 {
+		t.Errorf("stats after rejoin = %+v", st)
+	}
+}
+
+// TestCoordinatorNoEligibleWorkers: an empty or fully-drained fleet fails
+// with ErrNoWorkers (the server's local-fallback trigger), not a hang.
+func TestCoordinatorNoEligibleWorkers(t *testing.T) {
+	reg := membership.New(membership.Config{})
+	coord := newTestCoordinator(t, nil, func(c *CoordinatorConfig) { c.Registry = reg })
+	job := testJob(t, dataset.Skull, 24, 48, 2, 0, false)
+	if _, _, err := coord.Render(context.Background(), job); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("empty registry render err = %v, want ErrNoWorkers", err)
+	}
+
+	addrs, _ := countingWorkers(t, 1, nil)
+	mustRegister(t, reg, addrs[0], "w0")
+	if _, _, err := coord.Render(context.Background(), job); err != nil {
+		t.Fatalf("render with one member: %v", err)
+	}
+	if err := reg.Drain(addrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := coord.Render(context.Background(), job); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("fully-drained render err = %v, want ErrNoWorkers", err)
+	}
+}

@@ -3,12 +3,13 @@ package dist
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,21 +17,39 @@ import (
 	"gvmr/internal/cluster"
 	"gvmr/internal/core"
 	"gvmr/internal/mapreduce"
+	"gvmr/internal/membership"
 	"gvmr/internal/sim"
 )
 
+// ErrNoWorkers means no eligible (alive, non-draining) worker node
+// exists right now. Callers with local render capacity may fall back to
+// it — the bits are identical either way.
+var ErrNoWorkers = errors.New("dist: no eligible worker nodes")
+
 // CoordinatorConfig sizes a Coordinator.
 type CoordinatorConfig struct {
-	// Nodes are the worker base addresses ("host:port" or full
-	// "http://host:port" URLs).
+	// Nodes are static worker addresses ("host:port" or full URLs),
+	// seeded into the membership registry as permanent members.
 	Nodes []string
-	// Client is the HTTP client for map requests (default: a client with
-	// a 2-minute overall timeout).
+	// Registry, when non-nil, is the authoritative membership source:
+	// workers join, drain and expire there, and every placement decision
+	// consults its current snapshot. Nil builds a private static
+	// registry from Nodes.
+	Registry *membership.Registry
+	// Client is the HTTP client for map requests. The default carries no
+	// overall timeout — per-attempt context deadlines (AttemptTimeout)
+	// bound each exchange instead, so one hung worker stalls a batch for
+	// one attempt budget, not a blanket client timeout.
 	Client *http.Client
 	// MaxAttempts bounds how many nodes one brick batch may be tried on
-	// before the job fails (default 3, always capped at the node count —
-	// a batch never retries the node that failed it).
+	// before the job fails (default 3 — a batch never retries the node
+	// that failed it).
 	MaxAttempts int
+	// AttemptTimeout bounds one map exchange (default 30s). When the job
+	// context carries a sooner deadline, the remaining attempts share
+	// its remaining budget instead, so retry/hedge always gets its turn
+	// inside the job budget. <0 disables the per-attempt bound.
+	AttemptTimeout time.Duration
 	// HedgeAfter launches a duplicate request to another healthy node
 	// when a batch has produced no response for this long; the first
 	// response wins and the loser is cancelled (default 0 = off).
@@ -39,13 +58,16 @@ type CoordinatorConfig struct {
 	HedgeAfter time.Duration
 	// Backoff is the base per-node health backoff after a failure,
 	// doubling per consecutive failure up to MaxBackoff (defaults 500ms
-	// and 15s). A node in backoff is skipped at placement and retry time
-	// unless no other node remains.
+	// and 15s), then jittered uniformly over [1/2, 1) of the doubled
+	// value so simultaneous blips don't resynchronise into retry storms.
+	// Backoff is a fast-path hint only — membership state (lease expiry,
+	// drain) is the authority on who is placeable at all.
 	Backoff    time.Duration
 	MaxBackoff time.Duration
-	// Reducers is the number of local composite shards (default: node
-	// count); Partitioner routes pixels to shards (default: the paper's
-	// per-pixel round robin). Neither changes the image.
+	// Reducers is the number of local composite shards (default: the
+	// eligible node count at render time); Partitioner routes pixels to
+	// shards (default: the paper's per-pixel round robin). Neither
+	// changes the image.
 	Reducers    int
 	Partitioner mapreduce.Partitioner
 	// MergeFallbackBytes switches local compositing to the pairwise
@@ -63,6 +85,10 @@ type CoordinatorConfig struct {
 	// any remaining disagreement into a loud error). Nil uses the
 	// calibrated AC cluster sized to each job's GPU count.
 	Spec *cluster.Spec
+
+	// jitter scales a computed backoff (test seam; default: uniform over
+	// [d/2, d)).
+	jitter func(d time.Duration) time.Duration
 }
 
 // CoordinatorStats counts distributed-layer events; the /stats endpoint
@@ -78,18 +104,29 @@ type CoordinatorStats struct {
 }
 
 // Coordinator shards render jobs across remote gvmrd workers and
-// composites the results locally. Safe for concurrent use.
+// composites the results locally. Worker membership is dynamic: every
+// placement decision (initial, retry re-placement, hedge) consults the
+// registry's current snapshot, so joins take effect on the next
+// placement and a drained node receives zero new placements after its
+// drain is acknowledged. Safe for concurrent use.
 type Coordinator struct {
-	cfg   CoordinatorConfig
-	ring  *ring
-	nodes []*nodeState
+	cfg CoordinatorConfig
+	reg *membership.Registry
+
+	mu    sync.Mutex
+	hints map[string]*nodeState // per-node backoff fast-path hints
+	// ring cache, keyed by the registry snapshot version: membership
+	// changes rebuild it (bounded-load cap is recomputed per render),
+	// heartbeats don't.
+	ringVer   uint64
+	ringAddrs []string
+	ringCache *ring
 
 	jobs, batches, retries, hedges, hedgeWins, corrupt, nodeDowns atomic.Int64
 }
 
 type nodeState struct {
-	index int
-	base  string // http://host:port
+	addr string // normalized http://host:port
 
 	mu        sync.Mutex
 	fails     int
@@ -102,25 +139,35 @@ func (n *nodeState) healthy(now time.Time) bool {
 	return !now.Before(n.downUntil)
 }
 
-// NewCoordinator builds a coordinator over the given worker nodes.
+// NewCoordinator builds a coordinator over the given worker membership:
+// a Registry (dynamic), static Nodes, or both (static seeds + joins).
 func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
-	if len(cfg.Nodes) == 0 {
-		return nil, fmt.Errorf("dist: no worker nodes")
+	if cfg.Registry == nil && len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("dist: no worker nodes or membership registry")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = membership.New(membership.Config{})
+	}
+	if len(cfg.Nodes) > 0 {
+		if err := reg.AddStatic(cfg.Nodes); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Client == nil {
-		cfg.Client = &http.Client{Timeout: 2 * time.Minute}
+		cfg.Client = &http.Client{}
 	}
 	if cfg.MaxAttempts == 0 {
 		cfg.MaxAttempts = 3
+	}
+	if cfg.AttemptTimeout == 0 {
+		cfg.AttemptTimeout = 30 * time.Second
 	}
 	if cfg.Backoff == 0 {
 		cfg.Backoff = 500 * time.Millisecond
 	}
 	if cfg.MaxBackoff == 0 {
 		cfg.MaxBackoff = 15 * time.Second
-	}
-	if cfg.Reducers == 0 {
-		cfg.Reducers = len(cfg.Nodes)
 	}
 	if cfg.Partitioner == nil {
 		cfg.Partitioner = mapreduce.RoundRobin{}
@@ -131,16 +178,21 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.MaxResponseBytes == 0 {
 		cfg.MaxResponseBytes = 1 << 30
 	}
-	c := &Coordinator{cfg: cfg, ring: newRing(cfg.Nodes, cfg.Replicas)}
-	for i, a := range cfg.Nodes {
-		base := a
-		if !strings.Contains(base, "://") {
-			base = "http://" + base
+	if cfg.jitter == nil {
+		cfg.jitter = func(d time.Duration) time.Duration {
+			if d <= 1 {
+				return d
+			}
+			half := d / 2
+			return half + rand.N(d-half)
 		}
-		c.nodes = append(c.nodes, &nodeState{index: i, base: strings.TrimRight(base, "/")})
 	}
-	return c, nil
+	return &Coordinator{cfg: cfg, reg: reg, hints: map[string]*nodeState{}}, nil
 }
+
+// Registry exposes the coordinator's membership authority (the server
+// mounts its control-plane endpoints and reports its stats).
+func (c *Coordinator) Registry() *membership.Registry { return c.reg }
 
 // Stats snapshots the event counters.
 func (c *Coordinator) Stats() CoordinatorStats {
@@ -155,8 +207,45 @@ func (c *Coordinator) Stats() CoordinatorStats {
 	}
 }
 
-// Nodes returns the configured worker count.
-func (c *Coordinator) Nodes() int { return len(c.nodes) }
+// Nodes returns the current registered member count (any state).
+func (c *Coordinator) Nodes() int { return len(c.reg.Snapshot().Members) }
+
+// clusterView is one placement decision's consistent view of the fleet:
+// the eligible members and the consistent-hash ring over exactly them.
+type clusterView struct {
+	addrs []string              // eligible (alive) addrs, ring index order
+	ring  *ring                 // hash ring over addrs
+	nodes map[string]*nodeState // backoff hints, shared across views
+}
+
+// view snapshots the registry and returns the placement view, rebuilding
+// the cached ring only when membership actually changed. Backoff hints
+// survive membership churn (they are keyed by address), so a node that
+// rejoins after a crash still starts from its recent failure history.
+func (c *Coordinator) view() (clusterView, error) {
+	snap := c.reg.Snapshot()
+	eligible := snap.Eligible()
+	if len(eligible) == 0 {
+		return clusterView{}, ErrNoWorkers
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ringCache == nil || c.ringVer != snap.Version {
+		c.ringCache = newRing(eligible, c.cfg.Replicas)
+		c.ringAddrs = eligible
+		c.ringVer = snap.Version
+	}
+	v := clusterView{addrs: c.ringAddrs, ring: c.ringCache, nodes: make(map[string]*nodeState, len(c.ringAddrs))}
+	for _, a := range c.ringAddrs {
+		n, ok := c.hints[a]
+		if !ok {
+			n = &nodeState{addr: a}
+			c.hints[a] = n
+		}
+		v.nodes[a] = n
+	}
+	return v, nil
+}
 
 func (c *Coordinator) markFailure(n *nodeState) {
 	n.mu.Lock()
@@ -165,7 +254,9 @@ func (c *Coordinator) markFailure(n *nodeState) {
 	if backoff > c.cfg.MaxBackoff || backoff <= 0 {
 		backoff = c.cfg.MaxBackoff
 	}
-	n.downUntil = time.Now().Add(backoff)
+	// Jitter decorrelates recovery: when several nodes blip at once,
+	// deterministic doubling would re-probe them all on the same beat.
+	n.downUntil = time.Now().Add(c.cfg.jitter(backoff))
 	n.mu.Unlock()
 	c.nodeDowns.Add(1)
 }
@@ -178,22 +269,24 @@ func (c *Coordinator) markSuccess(n *nodeState) {
 }
 
 // place picks the node for one brick: the first healthy, non-excluded
-// node on the brick's ring walk; failing that, the first non-excluded
-// node (better a likely-dead try than none); -1 when every node is
-// excluded.
-func (c *Coordinator) place(job JobSpec, brick int, excluded map[int]bool) int {
-	seq := c.ring.sequence(brickKey(job, brick))
+// eligible node on the brick's ring walk; failing that, the first
+// non-excluded one (better a likely-dead try than none); "" when every
+// eligible node is excluded. Draining and evicted nodes are not in the
+// view at all — membership is authoritative, backoff only a hint.
+func (v clusterView) place(job JobSpec, brick int, excluded map[string]bool) string {
+	seq := v.ring.sequence(brickKey(job, brick))
 	now := time.Now()
-	firstAlive := -1
-	for _, n := range seq {
-		if excluded[n] {
+	firstAlive := ""
+	for _, i := range seq {
+		a := v.addrs[i]
+		if excluded[a] {
 			continue
 		}
-		if firstAlive < 0 {
-			firstAlive = n
+		if firstAlive == "" {
+			firstAlive = a
 		}
-		if c.nodes[n].healthy(now) {
-			return n
+		if v.nodes[a].healthy(now) {
+			return a
 		}
 	}
 	return firstAlive
@@ -203,33 +296,56 @@ func (c *Coordinator) place(job JobSpec, brick int, excluded map[int]bool) int {
 // placement: first healthy node on the brick's ring walk with fewer than
 // cap bricks assigned; failing that, the first healthy node; failing
 // that, the first node at all.
-func (c *Coordinator) placeBounded(job JobSpec, brick int, loads map[int][]int, cap int) int {
-	seq := c.ring.sequence(brickKey(job, brick))
+func (v clusterView) placeBounded(job JobSpec, brick int, loads map[string][]int, cap int) string {
+	seq := v.ring.sequence(brickKey(job, brick))
 	now := time.Now()
-	firstAlive, firstHealthy := -1, -1
-	for _, n := range seq {
-		if firstAlive < 0 {
-			firstAlive = n
+	firstAlive, firstHealthy := "", ""
+	for _, i := range seq {
+		a := v.addrs[i]
+		if firstAlive == "" {
+			firstAlive = a
 		}
-		if !c.nodes[n].healthy(now) {
+		if !v.nodes[a].healthy(now) {
 			continue
 		}
-		if firstHealthy < 0 {
-			firstHealthy = n
+		if firstHealthy == "" {
+			firstHealthy = a
 		}
-		if len(loads[n]) < cap {
-			return n
+		if len(loads[a]) < cap {
+			return a
 		}
 	}
-	if firstHealthy >= 0 {
+	if firstHealthy != "" {
 		return firstHealthy
 	}
 	return firstAlive
 }
 
+// alternate picks a healthy hedge target not yet tried for this batch,
+// from a fresh membership view: a node that drained or expired since the
+// batch launched is never hedged onto.
+func (c *Coordinator) alternate(job JobSpec, brick int, tried, excluded map[string]bool) string {
+	v, err := c.view()
+	if err != nil {
+		return ""
+	}
+	seq := v.ring.sequence(brickKey(job, brick))
+	now := time.Now()
+	for _, i := range seq {
+		a := v.addrs[i]
+		if tried[a] || excluded[a] {
+			continue
+		}
+		if v.nodes[a].healthy(now) {
+			return a
+		}
+	}
+	return ""
+}
+
 // batchOutcome is one successfully mapped batch.
 type batchOutcome struct {
-	node       int
+	node       string
 	stripes    []core.BrickStripe
 	mapSeconds float64
 	bytes      int64
@@ -253,7 +369,7 @@ type Breakdown struct {
 // Render runs one distributed frame: plan, place, fan out, verify,
 // composite. The image is byte-identical to a single-process
 // core.Render of the same options regardless of node count, placement,
-// retries or hedging (DESIGN.md §9).
+// retries, hedging or membership churn (DESIGN.md §9/§10).
 func (c *Coordinator) Render(ctx context.Context, job JobSpec) (*core.Result, sim.Time, error) {
 	res, _, err := c.RenderDetailed(ctx, job)
 	if err != nil {
@@ -277,6 +393,10 @@ func (c *Coordinator) RenderDetailed(ctx context.Context, job JobSpec) (*core.Re
 	if err != nil {
 		return nil, Breakdown{}, err
 	}
+	view, err := c.view()
+	if err != nil {
+		return nil, Breakdown{}, err
+	}
 
 	// Cancelling the job context tears down every in-flight exchange; the
 	// buffered event channel lets stragglers deposit their terminal event
@@ -289,30 +409,32 @@ func (c *Coordinator) RenderDetailed(ctx context.Context, job JobSpec) (*core.Re
 	// under the per-node cap — affinity when the cluster is balanced,
 	// guaranteed balance always (no node maps more than ⌈bricks/healthy⌉
 	// while others idle, so adding nodes always shrinks the map phase).
-	perNode := make(map[int][]int)
+	// The cap is recomputed from the eligible set on every render, which
+	// is how a join or drain rebalances the next frame.
+	perNode := make(map[string][]int)
 	healthyNow := 0
 	now := time.Now()
-	for _, n := range c.nodes {
-		if n.healthy(now) {
+	for _, a := range view.addrs {
+		if view.nodes[a].healthy(now) {
 			healthyNow++
 		}
 	}
 	if healthyNow == 0 {
-		healthyNow = len(c.nodes) // everyone in backoff: place anyway
+		healthyNow = len(view.addrs) // everyone in backoff: place anyway
 	}
 	cap := (grid.NumBricks() + healthyNow - 1) / healthyNow
 	for id := 0; id < grid.NumBricks(); id++ {
-		n := c.placeBounded(job, id, perNode, cap)
-		if n < 0 {
+		a := view.placeBounded(job, id, perNode, cap)
+		if a == "" {
 			return nil, Breakdown{}, fmt.Errorf("dist: no live worker for brick %d", id)
 		}
-		perNode[n] = append(perNode[n], id)
+		perNode[a] = append(perNode[a], id)
 	}
 
 	type pendingBatch struct {
 		bricks   []int
-		target   int // node chosen at placement/re-placement time
-		excluded map[int]bool
+		target   string // node chosen at placement/re-placement time
+		excluded map[string]bool
 		attempts int
 	}
 	type event struct {
@@ -327,12 +449,11 @@ func (c *Coordinator) RenderDetailed(ctx context.Context, job JobSpec) (*core.Re
 	var launch func(b pendingBatch)
 	launch = func(b pendingBatch) {
 		go func() {
-			target := b.target
-			if target < 0 || b.attempts >= c.cfg.MaxAttempts {
+			if b.target == "" || b.attempts >= c.cfg.MaxAttempts {
 				events <- event{err: fmt.Errorf("dist: bricks %v undeliverable after %d attempts", b.bricks, b.attempts)}
 				return
 			}
-			out, tried, err := c.sendBatch(ctx, job, grid.Counts, b.bricks, target, b.excluded)
+			out, tried, err := c.sendBatch(ctx, job, grid.Counts, b.bricks, b.target, b.excluded, b.attempts)
 			if err == nil {
 				events <- event{out: out}
 				return
@@ -342,36 +463,43 @@ func (c *Coordinator) RenderDetailed(ctx context.Context, job JobSpec) (*core.Re
 				return
 			}
 			c.retries.Add(1)
-			excluded := map[int]bool{}
+			excluded := map[string]bool{}
 			for n := range b.excluded {
 				excluded[n] = true
 			}
 			for n := range tried {
 				excluded[n] = true
 			}
-			// Re-place the failed bricks over the remaining nodes; the
-			// batch may split if the ring walks diverge.
-			regroup := make(map[int][]int)
+			// Re-place the failed bricks over a FRESH membership view: a
+			// worker that joined since the job started is a valid retry
+			// target, one that drained or expired is not. The batch may
+			// split if the ring walks diverge.
+			rv, verr := c.view()
+			if verr != nil {
+				events <- event{err: fmt.Errorf("dist: bricks %v: %w after %v", b.bricks, verr, err)}
+				return
+			}
+			regroup := make(map[string][]int)
 			for _, id := range b.bricks {
-				n := c.place(job, id, excluded)
-				if n < 0 {
+				a := rv.place(job, id, excluded)
+				if a == "" {
 					events <- event{err: fmt.Errorf("dist: bricks %v exhausted every worker: %w", b.bricks, err)}
 					return
 				}
-				regroup[n] = append(regroup[n], id)
+				regroup[a] = append(regroup[a], id)
 			}
-			for n, bricks := range regroup {
-				launch(pendingBatch{bricks: bricks, target: n, excluded: excluded, attempts: b.attempts + 1})
+			for a, bricks := range regroup {
+				launch(pendingBatch{bricks: bricks, target: a, excluded: excluded, attempts: b.attempts + 1})
 			}
 		}()
 	}
-	for n, bricks := range perNode {
+	for a, bricks := range perNode {
 		sort.Ints(bricks)
-		launch(pendingBatch{bricks: bricks, target: n})
+		launch(pendingBatch{bricks: bricks, target: a})
 	}
 
 	stripes := make(map[int]core.BrickStripe, grid.NumBricks())
-	nodeVirtual := make([]sim.Time, len(c.nodes))
+	nodeVirtual := make(map[string]sim.Time)
 	var wireBytes int64
 	var batches int64
 	for len(stripes) < grid.NumBricks() {
@@ -396,8 +524,12 @@ func (c *Coordinator) RenderDetailed(ctx context.Context, job JobSpec) (*core.Re
 		ordered = append(ordered, stripes[id])
 	}
 
+	reducers := c.cfg.Reducers
+	if reducers == 0 {
+		reducers = len(view.addrs)
+	}
 	out, reduceCharge := compositeStripes(ordered, opt.Width, opt.Height, opt.Background,
-		c.cfg.Partitioner, c.cfg.Reducers, planSpec, c.cfg.MergeFallbackBytes)
+		c.cfg.Partitioner, reducers, planSpec, c.cfg.MergeFallbackBytes)
 
 	// Virtual makespan: map phases run node-parallel (max), the stripe
 	// transfers serialise into the coordinator's NIC, the local reduce
@@ -445,26 +577,52 @@ func (c *Coordinator) RenderDetailed(ctx context.Context, job JobSpec) (*core.Re
 	return res, bd, nil
 }
 
+// attemptTimeout derives the per-attempt deadline for one batch
+// exchange: the configured AttemptTimeout, shrunk so the remaining
+// attempts share the job context's remaining budget when that is
+// tighter. The parent context still bounds everything — the floor only
+// prevents a degenerate zero-length attempt.
+func (c *Coordinator) attemptTimeout(ctx context.Context, attempt int) time.Duration {
+	d := c.cfg.AttemptTimeout
+	if d < 0 {
+		return 0
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		left := c.cfg.MaxAttempts - attempt
+		if left < 1 {
+			left = 1
+		}
+		if share := time.Until(dl) / time.Duration(left); share < d {
+			d = share
+		}
+	}
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	return d
+}
+
 // sendBatch posts one map batch to target, hedging a straggler onto an
 // alternate node when configured. It validates shape and digest of the
 // winning response. On failure, tried names every node the batch was
 // attempted on (primary and hedges) so re-placement can exclude them
 // all — a batch never retries a node that already failed it.
 func (c *Coordinator) sendBatch(ctx context.Context, job JobSpec, counts [3]int,
-	bricks []int, target int, excluded map[int]bool) (batchOutcome, map[int]bool, error) {
-	type attempt struct {
+	bricks []int, target string, excluded map[string]bool, attempt int) (batchOutcome, map[string]bool, error) {
+	type result struct {
 		out batchOutcome
 		err error
 	}
+	perAttempt := c.attemptTimeout(ctx, attempt)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	resCh := make(chan attempt, len(c.nodes)+1)
-	post := func(node int) {
-		out, err := c.postMap(ctx, job, counts, bricks, node)
-		resCh <- attempt{out: out, err: err}
+	resCh := make(chan result, len(c.reg.Snapshot().Members)+2)
+	post := func(addr string) {
+		out, err := c.postMap(ctx, perAttempt, job, counts, bricks, addr)
+		resCh <- result{out: out, err: err}
 	}
 	c.batches.Add(1)
-	tried := map[int]bool{target: true}
+	tried := map[string]bool{target: true}
 	go post(target)
 	launched := 1
 	var timer *time.Timer
@@ -476,7 +634,7 @@ func (c *Coordinator) sendBatch(ctx context.Context, job JobSpec, counts [3]int,
 	}
 	hedge := func() {
 		timerC = nil
-		if alt := c.alternate(job, bricks[0], tried, excluded); alt >= 0 {
+		if alt := c.alternate(job, bricks[0], tried, excluded); alt != "" {
 			tried[alt] = true
 			c.hedges.Add(1)
 			c.batches.Add(1)
@@ -516,30 +674,35 @@ func (c *Coordinator) sendBatch(ctx context.Context, job JobSpec, counts [3]int,
 	}
 }
 
-// alternate picks a healthy hedge target not yet tried for this batch.
-func (c *Coordinator) alternate(job JobSpec, brick int, tried, excluded map[int]bool) int {
-	seq := c.ring.sequence(brickKey(job, brick))
-	now := time.Now()
-	for _, n := range seq {
-		if tried[n] || excluded[n] {
-			continue
-		}
-		if c.nodes[n].healthy(now) {
-			return n
-		}
+// node returns the backoff hint for addr, creating it if needed (a
+// response may arrive after the member already left the registry).
+func (c *Coordinator) node(addr string) *nodeState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.hints[addr]
+	if !ok {
+		n = &nodeState{addr: addr}
+		c.hints[addr] = n
 	}
-	return -1
+	return n
 }
 
-// postMap performs one HTTP map exchange with full response verification.
-func (c *Coordinator) postMap(ctx context.Context, job JobSpec, counts [3]int,
-	bricks []int, node int) (batchOutcome, error) {
+// postMap performs one HTTP map exchange with full response verification,
+// bounded by the per-attempt deadline.
+func (c *Coordinator) postMap(parent context.Context, perAttempt time.Duration, job JobSpec,
+	counts [3]int, bricks []int, addr string) (batchOutcome, error) {
+	ctx := parent
+	if perAttempt > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(parent, perAttempt)
+		defer cancel()
+	}
 	body, err := encodeMapRequest(MapRequest{Job: job, Bricks: bricks, GridCounts: counts})
 	if err != nil {
 		return batchOutcome{}, err
 	}
-	n := c.nodes[node]
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.base+MapPath, bytes.NewReader(body))
+	n := c.node(addr)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+MapPath, bytes.NewReader(body))
 	if err != nil {
 		return batchOutcome{}, err
 	}
@@ -549,11 +712,13 @@ func (c *Coordinator) postMap(ctx context.Context, job JobSpec, counts [3]int,
 		// A cancelled exchange says nothing about the node's health: the
 		// hedge winner (or job teardown) aborted us. Marking the node down
 		// here would put a healthy straggler into backoff on every hedge
-		// win and poison its placement affinity.
-		if ctx.Err() == nil {
+		// win and poison its placement affinity. An expired per-attempt
+		// deadline, by contrast, IS a node problem (it hung past its
+		// budget) and does mark it down.
+		if parent.Err() == nil {
 			c.markFailure(n)
 		}
-		return batchOutcome{}, fmt.Errorf("dist: node %s: %w", n.base, err)
+		return batchOutcome{}, fmt.Errorf("dist: node %s: %w", addr, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -567,21 +732,23 @@ func (c *Coordinator) postMap(ctx context.Context, job JobSpec, counts [3]int,
 		if resp.StatusCode >= 500 {
 			c.markFailure(n)
 		}
-		return batchOutcome{}, fmt.Errorf("dist: node %s: %s: %s", n.base, resp.Status, bytes.TrimSpace(msg))
+		return batchOutcome{}, fmt.Errorf("dist: node %s: %s: %s", addr, resp.Status, bytes.TrimSpace(msg))
 	}
 	payload, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxResponseBytes+1))
 	if err != nil {
-		c.markFailure(n)
-		return batchOutcome{}, fmt.Errorf("dist: node %s: reading stripes: %w", n.base, err)
+		if parent.Err() == nil {
+			c.markFailure(n)
+		}
+		return batchOutcome{}, fmt.Errorf("dist: node %s: reading stripes: %w", addr, err)
 	}
 	if int64(len(payload)) > c.cfg.MaxResponseBytes {
-		return batchOutcome{}, fmt.Errorf("dist: node %s: response exceeds %d bytes", n.base, c.cfg.MaxResponseBytes)
+		return batchOutcome{}, fmt.Errorf("dist: node %s: response exceeds %d bytes", addr, c.cfg.MaxResponseBytes)
 	}
-	out, err := c.verifyResponse(resp, payload, job, bricks, node)
+	out, err := c.verifyResponse(resp, payload, job, bricks, addr)
 	if err != nil {
 		c.corrupt.Add(1)
 		c.markFailure(n)
-		return batchOutcome{}, fmt.Errorf("dist: node %s: %w", n.base, err)
+		return batchOutcome{}, fmt.Errorf("dist: node %s: %w", addr, err)
 	}
 	c.markSuccess(n)
 	return out, nil
@@ -590,7 +757,7 @@ func (c *Coordinator) postMap(ctx context.Context, job JobSpec, counts [3]int,
 // verifyResponse checks digest, brick coverage, fragment counts and
 // per-fragment key bounds, then decodes the stripes.
 func (c *Coordinator) verifyResponse(resp *http.Response, payload []byte,
-	job JobSpec, bricks []int, node int) (batchOutcome, error) {
+	job JobSpec, bricks []int, addr string) (batchOutcome, error) {
 	wantDigest := resp.Header.Get(HeaderStripeDigest)
 	if wantDigest == "" {
 		return batchOutcome{}, fmt.Errorf("missing %s header", HeaderStripeDigest)
@@ -646,5 +813,5 @@ func (c *Coordinator) verifyResponse(resp *http.Response, payload []byte,
 		}
 		mapSeconds = v
 	}
-	return batchOutcome{node: node, stripes: stripes, mapSeconds: mapSeconds, bytes: int64(len(payload))}, nil
+	return batchOutcome{node: addr, stripes: stripes, mapSeconds: mapSeconds, bytes: int64(len(payload))}, nil
 }

@@ -1,0 +1,126 @@
+package membership
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// Mount attaches the registry's control-plane endpoints to mux. They sit
+// deliberately outside any render admission gate: a worker must be able
+// to register, beat and drain while the data plane is saturated —
+// membership is what keeps an overloaded cluster recoverable.
+func (r *Registry) Mount(mux *http.ServeMux) {
+	mux.HandleFunc(RegisterPath, r.handleRegister)
+	mux.HandleFunc(HeartbeatPath, r.handleHeartbeat)
+	mux.HandleFunc(DrainPath, r.handleDrain)
+	mux.HandleFunc(DeregisterPath, r.handleDeregister)
+}
+
+// readBody slurps a bounded request body for the strict decoders.
+func readBody(w http.ResponseWriter, req *http.Request) ([]byte, bool) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return nil, false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, MaxBodyBytes))
+	if err != nil {
+		http.Error(w, "membership: reading body: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	return body, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// memberStatus maps registry errors to control-plane statuses: 404 tells
+// an agent it is unknown (re-register), 409 tells a stale incarnation it
+// has been replaced (stop, or re-register as a new instance).
+func memberStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownMember):
+		return http.StatusNotFound
+	case errors.Is(err, ErrStaleInstance):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (r *Registry) handleRegister(w http.ResponseWriter, req *http.Request) {
+	body, ok := readBody(w, req)
+	if !ok {
+		return
+	}
+	reg, err := DecodeRegister(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := r.Register(reg)
+	if err != nil {
+		http.Error(w, err.Error(), memberStatus(err))
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (r *Registry) handleHeartbeat(w http.ResponseWriter, req *http.Request) {
+	body, ok := readBody(w, req)
+	if !ok {
+		return
+	}
+	hb, err := DecodeHeartbeat(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := r.Heartbeat(hb)
+	if err != nil {
+		http.Error(w, err.Error(), memberStatus(err))
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (r *Registry) handleDrain(w http.ResponseWriter, req *http.Request) {
+	body, ok := readBody(w, req)
+	if !ok {
+		return
+	}
+	dr, err := DecodeDrain(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := r.Drain(dr.Addr); err != nil {
+		http.Error(w, err.Error(), memberStatus(err))
+		return
+	}
+	// This response is the drain acknowledgment: once written, the
+	// member is guaranteed to receive zero new placements.
+	writeJSON(w, HeartbeatResponse{State: StateDraining})
+}
+
+func (r *Registry) handleDeregister(w http.ResponseWriter, req *http.Request) {
+	body, ok := readBody(w, req)
+	if !ok {
+		return
+	}
+	dr, err := DecodeDeregister(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := r.Deregister(dr.Addr, dr.Instance); err != nil {
+		http.Error(w, err.Error(), memberStatus(err))
+		return
+	}
+	writeJSON(w, struct {
+		Removed bool `json:"removed"`
+	}{true})
+}

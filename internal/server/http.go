@@ -32,23 +32,39 @@ const (
 //	GET /render?dataset=skull&edge=64&size=256&orbit=30&shading=1&format=png
 //	GET /stats
 //	GET /healthz
+//	GET /readyz
 //
 // /render query parameters: dataset (skull|supernova|plume), edge, size
 // (square image) or w+h, orbit (degrees), gpus, shading (0/1), step
 // (voxels), ta (termination alpha), format (png, the default, or raw —
 // little-endian float32 RGBA, the renderer's exact bits).
+//
+// /healthz is pure liveness: 200 whenever the process can answer, even
+// while draining — restarting a draining node would kill the in-flight
+// work the drain protects. /readyz is routability: 503 while draining,
+// not yet registered with a coordinator, or cut off from one.
+//
+// When the service accepts joins (or coordinates static workers), the
+// membership control plane (/register, /heartbeat, /drain, /deregister)
+// is mounted too.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/render", s.handleRender)
 	mux.HandleFunc(dist.MapPath, s.handleMap)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if s.Draining() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ok, reason := s.Ready(); !ok {
+			http.Error(w, reason, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	if s.registry != nil {
+		s.registry.Mount(mux)
+	}
 	return mux
 }
 

@@ -179,21 +179,38 @@ func TestHTTPErrors(t *testing.T) {
 	}
 }
 
-// TestHTTPDrainStatus: a draining service 503s /render and /healthz.
+// TestHTTPDrainStatus: a draining service 503s /render and /readyz (no
+// new traffic) while /healthz stays 200 (the process is alive and must
+// not be restarted out from under its in-flight work).
 func TestHTTPDrainStatus(t *testing.T) {
 	s, ts := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /readyz before drain = %d, want 200", resp.StatusCode)
+	}
+
 	if err := s.Close(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	for _, path := range []string{"/render?" + testQuery, "/healthz"} {
+	for path, want := range map[string]int{
+		"/render?" + testQuery: http.StatusServiceUnavailable,
+		"/readyz":              http.StatusServiceUnavailable,
+		"/healthz":             http.StatusOK,
+	} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusServiceUnavailable {
-			t.Errorf("GET %s while draining = %d, want 503", path, resp.StatusCode)
+		if resp.StatusCode != want {
+			t.Errorf("GET %s while draining = %d, want %d", path, resp.StatusCode, want)
 		}
 	}
 }

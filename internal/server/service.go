@@ -38,6 +38,7 @@ import (
 	"gvmr/internal/core"
 	"gvmr/internal/dist"
 	"gvmr/internal/img"
+	"gvmr/internal/membership"
 	"gvmr/internal/schedule"
 	"gvmr/internal/sim"
 	"gvmr/internal/transfer"
@@ -96,6 +97,19 @@ type Config struct {
 	// HedgeAfter duplicates a straggling map batch onto another healthy
 	// worker after this delay (0 = no hedging). Coordinator mode only.
 	HedgeAfter time.Duration
+
+	// AcceptJoins opens the membership control plane: workers may join
+	// the fleet at runtime (POST /register + heartbeats), drain, and be
+	// evicted on lease expiry. Static WorkerAddrs and joined workers mix
+	// freely; with AcceptJoins and no WorkerAddrs the service starts as a
+	// coordinator with an empty fleet and renders locally until the first
+	// worker joins.
+	AcceptJoins bool
+	// HeartbeatEvery is the lease heartbeat interval assigned to joining
+	// workers (default 2s); LeaseMisses is how many missed beats expire a
+	// lease (default 3).
+	HeartbeatEvery time.Duration
+	LeaseMisses    int
 }
 
 // Request addresses one frame: a built-in dataset (which also selects its
@@ -216,18 +230,24 @@ type Service struct {
 
 	// worker serves the /map endpoint (every gvmrd is worker-capable);
 	// coord, when non-nil, fans admitted renders out to remote workers.
-	worker *dist.Worker
-	coord  *dist.Coordinator
+	// registry (non-nil iff coord is) is the membership authority the
+	// coordinator places against; in AcceptJoins mode its control-plane
+	// endpoints are mounted on the HTTP handler.
+	worker   *dist.Worker
+	coord    *dist.Coordinator
+	registry *membership.Registry
 
-	mu       sync.Mutex
-	draining bool
-	inflight int
-	drained  chan struct{} // closed when draining && inflight == 0
-	closed   chan struct{} // closed on Close, kicks queued waiters
+	mu         sync.Mutex
+	draining   bool
+	inflight   int
+	drained    chan struct{} // closed when draining && inflight == 0
+	closed     chan struct{} // closed on Close, kicks queued waiters
+	readyProbe func() (bool, string)
 
 	start                                  time.Time
 	requests, renders, coalesced, rejected int64
 	errored, drainRejected, mapJobs        int64
+	localFallbacks                         int64
 	renderWall                             time.Duration
 }
 
@@ -289,9 +309,14 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	s.worker = wk
-	if len(cfg.WorkerAddrs) > 0 {
+	if len(cfg.WorkerAddrs) > 0 || cfg.AcceptJoins {
+		s.registry = membership.New(membership.Config{
+			HeartbeatInterval: cfg.HeartbeatEvery,
+			MissLimit:         cfg.LeaseMisses,
+		})
 		coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
-			Nodes:      cfg.WorkerAddrs,
+			Nodes:      cfg.WorkerAddrs, // static seeds; joins arrive live
+			Registry:   s.registry,
 			HedgeAfter: cfg.HedgeAfter,
 			// Plan grids with this service's spec, so a custom Spec works
 			// as long as the workers run the same hardware description
@@ -302,8 +327,74 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 		s.coord = coord
+		if cfg.AcceptJoins {
+			// Placement sweeps leases inline; this only bounds how long a
+			// dead node lingers in /stats between renders.
+			go s.sweepLoop()
+		}
 	}
 	return s, nil
+}
+
+// sweepLoop evicts expired leases in the background until Close.
+func (s *Service) sweepLoop() {
+	interval, _ := s.registry.Lease()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.registry.Sweep()
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+// Registry exposes the membership authority (nil when the service is
+// neither a static coordinator nor accepting joins).
+func (s *Service) Registry() *membership.Registry { return s.registry }
+
+// LoadSnapshot is the /stats-style load a worker's membership heartbeats
+// carry to its coordinator.
+func (s *Service) LoadSnapshot() membership.Load {
+	s.mu.Lock()
+	mapJobs := s.mapJobs
+	s.mu.Unlock()
+	inFlight := len(s.sem)
+	depth := len(s.queue) - inFlight
+	if depth < 0 {
+		depth = 0
+	}
+	return membership.Load{InFlight: inFlight, QueueDepth: depth, MapJobs: mapJobs}
+}
+
+// SetReadinessProbe installs an extra readiness input (the daemon wires
+// the membership agent's state in: a worker that lost its lease or is
+// draining reports not-ready while staying live).
+func (s *Service) SetReadinessProbe(fn func() (ok bool, reason string)) {
+	s.mu.Lock()
+	s.readyProbe = fn
+	s.mu.Unlock()
+}
+
+// Ready reports whether this node should receive new traffic. Liveness
+// (/healthz) is separate and unconditional: a draining node is alive —
+// restarting it would kill the in-flight work the drain exists to
+// protect — it just must not be routed new requests.
+func (s *Service) Ready() (bool, string) {
+	s.mu.Lock()
+	draining, probe := s.draining, s.readyProbe
+	s.mu.Unlock()
+	if draining {
+		return false, "draining"
+	}
+	if probe != nil {
+		if ok, reason := probe(); !ok {
+			return false, reason
+		}
+	}
+	return true, ""
 }
 
 // Render serves one frame: cache, then coalescer, then an admitted
@@ -393,6 +484,15 @@ func (s *Service) renderLeader(req Request, key string) (*Frame, error) {
 			StepVoxels: req.StepVoxels, TerminationAlpha: req.TerminationAlpha,
 			Camera: dist.CameraFrom(opt.Camera),
 		})
+		if errors.Is(err, dist.ErrNoWorkers) {
+			// The whole fleet drained or expired: render locally rather
+			// than fail. Bits are identical either way, so the fallback is
+			// invisible except in the stats.
+			s.mu.Lock()
+			s.localFallbacks++
+			s.mu.Unlock()
+			res, dur, err = s.renderOn(s.spec, opt, s.devWorkers)
+		}
 	} else {
 		res, dur, err = s.renderOn(s.spec, opt, s.devWorkers)
 	}
@@ -571,6 +671,7 @@ type Stats struct {
 	Workers       int     `json:"workers"`
 	QueueCapacity int     `json:"queue_capacity"` // waiting slots beyond the workers
 	Draining      bool    `json:"draining"`
+	Ready         bool    `json:"ready"`
 
 	Requests  int64 `json:"requests"`
 	Renders   int64 `json:"renders"`
@@ -581,10 +682,16 @@ type Stats struct {
 	// node acting as a cluster worker).
 	MapJobs int64 `json:"map_jobs"`
 
-	// WorkerNodes and Dist describe coordinator mode: the configured
-	// remote worker count and the distributed-layer event counters.
-	WorkerNodes int                    `json:"worker_nodes,omitempty"`
-	Dist        *dist.CoordinatorStats `json:"dist,omitempty"`
+	// WorkerNodes and Dist describe coordinator mode: the current
+	// registered worker count and the distributed-layer event counters.
+	// Membership is the full registry view — per-node state (alive /
+	// draining, capacity, load, lease age) plus lifetime join / drain /
+	// eviction counters. LocalFallbacks counts renders served in-process
+	// because no eligible worker existed.
+	WorkerNodes    int                    `json:"worker_nodes,omitempty"`
+	Dist           *dist.CoordinatorStats `json:"dist,omitempty"`
+	Membership     *membership.Stats      `json:"membership,omitempty"`
+	LocalFallbacks int64                  `json:"local_fallbacks,omitempty"`
 
 	// InFlight renders hold worker slots; QueueDepth renders are admitted
 	// and waiting for one.
@@ -612,13 +719,17 @@ func (s *Service) Stats() Stats {
 		Rejected:          s.rejected,
 		Errors:            s.errored,
 		MapJobs:           s.mapJobs,
+		LocalFallbacks:    s.localFallbacks,
 		RenderWallSeconds: s.renderWall.Seconds(),
 	}
 	s.mu.Unlock()
+	st.Ready, _ = s.Ready()
 	if s.coord != nil {
 		st.WorkerNodes = s.coord.Nodes()
 		ds := s.coord.Stats()
 		st.Dist = &ds
+		ms := s.registry.Stats()
+		st.Membership = &ms
 	}
 	st.InFlight = len(s.sem)
 	if d := len(s.queue) - st.InFlight; d > 0 {
