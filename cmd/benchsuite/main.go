@@ -228,24 +228,40 @@ func main() {
 	if want["distbench"] {
 		// Not part of "all": it measures the distributed render cluster
 		// (in-process HTTP workers), not a paper table.
-		log.Printf("distbench: %d-frame orbit over 1/2/4 worker nodes, %s scale...", *frames, sc.Name)
+		log.Printf("distbench: %d-frame orbit, classic 1/2/4 workers + raw-wire A/B + distributed reduce 2/4, %s scale...", *frames, sc.Name)
 		b, err := experiments.RunDistBench(sc, *frames)
 		if err != nil {
 			fatal(err)
 		}
+		frameCount := int64(b.Config.Frames)
 		for _, leg := range b.Legs {
-			fmt.Printf("distbench: %d worker(s): virtual %.3fs (map %.3fs, wire %.3fs, reduce %.3fs), wall %.2fs\n",
-				leg.Workers, leg.VirtualSeconds, leg.MapSeconds, leg.WireSeconds, leg.ReduceSeconds, leg.WallSeconds)
+			fmt.Printf("distbench: %-7s %d worker(s): virtual %.3fs (map %.3fs, wire %.3fs, reduce %.3fs), wall %.2fs, wire %d B/frame\n",
+				leg.Mode, leg.Workers, leg.VirtualSeconds, leg.MapSeconds, leg.WireSeconds, leg.ReduceSeconds,
+				leg.WallSeconds, leg.WireBytes/frameCount)
 		}
-		fmt.Printf("distbench: map-phase virtual speedup 1→2 workers %.2fx, 2→4 workers %.2fx; coordinator overhead %.2fx wall, %.1f%% virtual; bit-identical: %v\n",
-			b.SpeedupVirtual1to2, b.SpeedupVirtual2to4,
+		fmt.Printf("distbench: map-phase virtual speedup 1→2 workers %.2fx, 2→4 workers %.2fx; end-to-end 1→4 (reduce) %.2fx; wire compression %.2fx; coordinator overhead %.2fx wall, %.1f%% virtual; bit-identical: %v\n",
+			b.SpeedupVirtual1to2, b.SpeedupVirtual2to4, b.SpeedupVirtual1to4,
+			b.WireCompressionRatio,
 			b.CoordinatorOverheadWall, 100*b.CoordinatorOverheadVirtual, b.BitIdentical)
 		if !b.BitIdentical {
 			fatal("distbench: distributed output diverged from the direct render — determinism bug")
 		}
-		if v1, v2 := b.Legs[0].VirtualSeconds, b.Legs[1].VirtualSeconds; v2 > v1 {
+		if v1, v2 := b.Leg("classic", 1).VirtualSeconds, b.Leg("classic", 2).VirtualSeconds; v2 > v1 {
 			fatalf("distbench: 2-worker virtual time %.3fs regressed past 1-worker %.3fs — distribution must not slow the job down",
 				v2, v1)
+		}
+		// The compression-ratio and scaling floors are claims about the
+		// paper-scale workload; quick-scale frames are small enough to be
+		// fixed-overhead-dominated and would trip them spuriously.
+		if sc.Name == "paper" {
+			if b.WireCompressionRatio < 2 {
+				fatalf("distbench: columnar wire compression %.2fx < 2x — wire encoding regression",
+					b.WireCompressionRatio)
+			}
+			if b.SpeedupVirtual1to4 < 1.25 {
+				fatalf("distbench: end-to-end 1→4-worker virtual speedup %.2fx ≤ the 1.25x floor — cluster scaling regression",
+					b.SpeedupVirtual1to4)
+			}
 		}
 		path := *jsonPath
 		if path == "BENCH_fig2.json" {

@@ -16,6 +16,7 @@
 //
 //	GET  /render?dataset=skull&edge=64&size=256&orbit=30&shading=1&format=png
 //	POST /map       (distributed map batches; every daemon is worker-capable)
+//	POST /reduce, /reduce/collect   (worker-side reduce exchange; -dist-reduce)
 //	POST /register, /heartbeat, /drain, /deregister   (membership; -accept-joins)
 //	GET  /stats
 //	GET  /healthz   (liveness: 200 while the process runs, even draining)
@@ -90,6 +91,8 @@ func serviceFlags(fs *flag.FlagSet) func() (*server.Service, error) {
 		maxPixels     = fs.Int("max-pixels", 4096*4096, "largest image (width*height) a request may ask for")
 		workerList    = fs.String("workers", "", "comma-separated gvmrd worker addresses (host:port,...); non-empty fans renders out as a distributed coordinator")
 		hedgeAfter    = fs.Duration("hedge-after", 0, "duplicate a straggling map batch onto another worker after this delay (coordinator mode; 0 = off)")
+		distReduce    = fs.Bool("dist-reduce", false, "reduce on the worker fleet: mappers exchange stripes peer-to-peer and the coordinator collects near-final pixels (coordinator mode)")
+		wireCompress  = fs.Bool("wire-compress", true, "negotiate columnar stripe compression on the map/reduce wire")
 		acceptJoins   = fs.Bool("accept-joins", false, "accept dynamic worker joins (POST /register); coordinator mode with a live fleet")
 		heartbeat     = fs.Duration("heartbeat", 2*time.Second, "lease heartbeat interval assigned to joining workers")
 		leaseMisses   = fs.Int("lease-misses", 3, "missed heartbeats before a joined worker's lease expires and it is evicted")
@@ -120,6 +123,8 @@ func serviceFlags(fs *flag.FlagSet) func() (*server.Service, error) {
 			MaxEdge:         *maxEdge,
 			WorkerAddrs:     addrs,
 			HedgeAfter:      *hedgeAfter,
+			DistReduce:      *distReduce,
+			NoWireCompress:  !*wireCompress,
 			AcceptJoins:     *acceptJoins,
 			HeartbeatEvery:  *heartbeat,
 			LeaseMisses:     *leaseMisses,

@@ -63,13 +63,17 @@ func startGoldenWorkers(t *testing.T, n int, wrap func(i int, h http.Handler) ht
 		if err != nil {
 			t.Fatal(err)
 		}
-		var h http.Handler = wk
+		mux := http.NewServeMux()
+		mux.Handle(dist.MapPath, wk)
+		// Every worker is reduce-capable, like a real gvmrd; a classic
+		// coordinator simply never calls these endpoints.
+		mux.HandleFunc(dist.ReducePath, wk.HandleReducePush)
+		mux.HandleFunc(dist.CollectPath, wk.HandleCollect)
+		var h http.Handler = mux
 		if wrap != nil {
 			h = wrap(i, h)
 		}
-		mux := http.NewServeMux()
-		mux.Handle(dist.MapPath, h)
-		srv := httptest.NewServer(mux)
+		srv := httptest.NewServer(h)
 		t.Cleanup(srv.Close)
 		addrs[i] = srv.URL
 	}
@@ -133,6 +137,89 @@ func TestDistributedGoldenOrbit(t *testing.T) {
 		if got := res.Image.Digest(); got != want[name] {
 			t.Errorf("%s distributed: digest %s != committed %s", name, got, want[name])
 		}
+	}
+}
+
+// TestDistributedReduceGoldenOrbit renders the committed orbit views
+// with the reduce phase on the worker fleet: mappers exchange pixel
+// ranges peer-to-peer and the coordinator assembles near-final ranges —
+// the digests must still equal testdata/golden.json bit for bit, with
+// every frame actually carried by the exchange (no silent fallback).
+func TestDistributedReduceGoldenOrbit(t *testing.T) {
+	want := committedGoldens(t)
+	addrs := startGoldenWorkers(t, 3, nil)
+	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{Nodes: addrs, DistReduce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := dataset.New("skull", dataset.PaperDims("skull", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, angle := range goldenOrbitAngles {
+		cam, err := core.OrbitCamera(src, 64, 64, angle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := dist.JobSpec{
+			Dataset: "skull", Edge: 32, Width: 64, Height: 64,
+			GPUs: 2, Shading: true,
+			StepVoxels: 1, TerminationAlpha: 0.98,
+			Camera: dist.CameraFrom(cam),
+		}
+		res, _, err := coord.Render(context.Background(), job)
+		if err != nil {
+			t.Fatalf("reduce orbit %v: %v", angle, err)
+		}
+		name := goldenOrbitName(angle)
+		if got := res.Image.Digest(); got != want[name] {
+			t.Errorf("%s distributed-reduce: digest %s != committed %s", name, got, want[name])
+		}
+	}
+	st := coord.Stats()
+	if st.ReduceJobs != int64(len(goldenOrbitAngles)) || st.ReduceFallbacks != 0 {
+		t.Errorf("exchange did not carry every frame: %+v", st)
+	}
+}
+
+// TestDistributedReduceGoldenPeerKilled kills one worker's exchange
+// endpoints (reduce push and collect) while leaving its map endpoint
+// alive — a peer dying mid-exchange. Every committed golden config must
+// still digest exactly: the coordinator abandons each exchange and falls
+// back to the classic coordinator-local composite.
+func TestDistributedReduceGoldenPeerKilled(t *testing.T) {
+	want := committedGoldens(t)
+	var killed atomic.Int64
+	addrs := startGoldenWorkers(t, 3, func(i int, h http.Handler) http.Handler {
+		if i != 1 {
+			return h
+		}
+		// Wrap the whole mux surface: map passes through, exchange dies.
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == dist.ReducePath || r.URL.Path == dist.CollectPath {
+				killed.Add(1)
+				panic(http.ErrAbortHandler)
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{Nodes: addrs, DistReduce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range goldenConfigs {
+		res, _, err := coord.Render(context.Background(), goldenJob(t, i))
+		if err != nil {
+			t.Fatalf("%s with killed exchange peer: %v", c.name, err)
+		}
+		if got := res.Image.Digest(); got != want[c.name] {
+			t.Errorf("%s with killed exchange peer: digest %s != committed %s",
+				c.name, got, want[c.name])
+		}
+	}
+	st := coord.Stats()
+	if killed.Load() >= 1 && st.ReduceFallbacks < 1 {
+		t.Errorf("peer death did not register as a fallback: %+v", st)
 	}
 }
 

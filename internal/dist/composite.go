@@ -2,6 +2,7 @@ package dist
 
 import (
 	"runtime"
+	"sort"
 
 	"gvmr/internal/cluster"
 	"gvmr/internal/composite"
@@ -13,112 +14,145 @@ import (
 	"gvmr/internal/vec"
 )
 
-// compositeStripes folds the returned stripes into the final image — the
-// coordinator-local reduce phase. Two strategies produce byte-identical
-// images:
+// streamComposite is the coordinator-local reduce phase, fed stripes as
+// batch responses arrive instead of barriering on the full set: the
+// partition scan of an early batch overlaps the map phase of a slow one.
+// Because fragments are bucketed per (shard, brick) and the fold walks
+// bricks in ascending order, the final floats are independent of arrival
+// order — the determinism the golden digests enforce.
 //
-//   - direct-send: all fragments, in ascending-brick canonical order, are
-//     partitioned into `reducers` shards with the configured partitioner
-//     (per-pixel round robin by default, exactly like the in-process
-//     engine), each shard counting-sorted by pixel key and composited;
-//   - pairwise merge: per-brick partial images are merged two at a time
-//     in log₂(bricks) rounds, binary-swap style, then folded once.
+// Two fold strategies produce byte-identical images:
+//
+//   - direct-send: each shard concatenates its buckets in ascending-brick
+//     canonical order, counting-sorts by pixel key and composites — the
+//     in-process engine's layout, shards folding in parallel;
+//   - pairwise merge: per-brick partial images merge two at a time in
+//     log₂(bricks) rounds, binary-swap style, then every pixel folds
+//     once. Used when the fragment volume crosses the fallback threshold:
+//     it touches fragments in brick-sized runs instead of materialising
+//     one giant per-shard buffer.
 //
 // Identity of the two: each brick emits at most one fragment per pixel,
 // in deterministic emission order; a stable merge that prefers the
 // lower-brick side on depth ties yields, per pixel, exactly the stable
 // sort by depth of the brick-ordered concatenation — which is what
-// CompositePixel computes on the direct path. The pairwise path is used
-// when the fragment volume crosses the fallback threshold: it touches
-// fragments in brick-sized runs instead of one giant per-shard buffer.
-//
-// The returned virtual time is the modeled coordinator reduce charge —
-// partition scan, counting sort and per-fragment blend at the spec's
-// calibrated rates, with sort+reduce parallel across the shards. It is
-// computed from fragment counts alone, so it is identical for both
-// strategies and independent of placement, faults, and the host machine.
-func compositeStripes(stripes []core.BrickStripe, width, height int, bg vec.V4,
-	part mapreduce.Partitioner, reducers int, spec cluster.Spec, mergeFallbackBytes int64) (*img.Image, sim.Time) {
+// CompositePixel computes on the direct path.
+type streamComposite struct {
+	width, height      int
+	bg                 vec.V4
+	part               mapreduce.Partitioner
+	reducers           int
+	spec               cluster.Spec
+	mergeFallbackBytes int64
+	numBricks          int
+
+	shards []map[int][]composite.Fragment // shard → brick → fragments, emission order
+	total  int64
+}
+
+func newStreamComposite(width, height int, bg vec.V4, part mapreduce.Partitioner,
+	reducers int, spec cluster.Spec, mergeFallbackBytes int64, numBricks int) *streamComposite {
 	if part == nil {
 		part = mapreduce.RoundRobin{}
 	}
 	if reducers < 1 {
 		reducers = 1
 	}
+	sc := &streamComposite{
+		width: width, height: height, bg: bg,
+		part: part, reducers: reducers, spec: spec,
+		mergeFallbackBytes: mergeFallbackBytes,
+		numBricks:          numBricks,
+		shards:             make([]map[int][]composite.Fragment, reducers),
+	}
+	for r := range sc.shards {
+		sc.shards[r] = map[int][]composite.Fragment{}
+	}
+	return sc
+}
+
+// add partitions one brick's stripe into the shard buckets — the
+// modeled partition scan, run as responses land.
+func (sc *streamComposite) add(s core.BrickStripe) {
+	for _, f := range s.Frags {
+		r := sc.part.Partition(f.Key, sc.reducers)
+		sc.shards[r][s.Brick] = append(sc.shards[r][s.Brick], f)
+	}
+	sc.total += int64(len(s.Frags))
+}
+
+// finish folds the accumulated shards into the final image and returns
+// it with the modeled reduce charge: one partition scan over everything,
+// then the widest shard's sort and blend (shards run in parallel on the
+// display node, like the engine's co-located reducers). The charge is
+// computed from fragment counts alone — identical for both strategies
+// and independent of placement, faults, and the host machine.
+func (sc *streamComposite) finish() (*img.Image, sim.Time) {
 	// Pixels no fragment reaches keep the same background the in-process
 	// reducers never touch.
-	out := img.New(width, height, composite.Finalize(composite.Fragment{}.Color(), bg))
+	out := img.New(sc.width, sc.height, composite.Finalize(composite.Fragment{}.Color(), sc.bg))
 
-	var total int64
-	for _, s := range stripes {
-		total += int64(len(s.Frags))
+	shardCount := make([]int64, sc.reducers)
+	for r, m := range sc.shards {
+		for _, frags := range m {
+			shardCount[r] += int64(len(frags))
+		}
 	}
-	merge := total*composite.FragmentBytes > mergeFallbackBytes && mergeFallbackBytes > 0 && len(stripes) > 1
-	var shardCount []int64
-	if total > 0 {
+	if sc.total > 0 {
+		merge := sc.total*composite.FragmentBytes > sc.mergeFallbackBytes &&
+			sc.mergeFallbackBytes > 0 && sc.numBricks > 1
 		if merge {
-			// The merge path exists to avoid one giant per-shard buffer,
-			// so only count shard widths (for the charge), never store.
-			shardCount = make([]int64, reducers)
-			for _, s := range stripes {
-				for _, f := range s.Frags {
-					shardCount[part.Partition(f.Key, reducers)]++
-				}
-			}
-			mergeComposite(stripes, bg, out)
+			sc.mergeFold(out)
 		} else {
-			shards := make([][]mapreduce.KV[composite.Fragment], reducers)
-			for _, s := range stripes {
-				for _, f := range s.Frags {
-					r := part.Partition(f.Key, reducers)
-					shards[r] = append(shards[r], mapreduce.KV[composite.Fragment]{Key: f.Key, Val: f})
-				}
-			}
-			shardCount = make([]int64, reducers)
-			for r, shard := range shards {
-				shardCount[r] = int64(len(shard))
-			}
-			directComposite(shards, width, height, bg, out)
+			sc.directFold(out)
 		}
 	}
 
-	// Reduce charge: one partition scan over everything, then the widest
-	// shard's sort and blend (shards run in parallel on the display
-	// node, like the engine's co-located reducers). Identical for both
-	// strategies — the fallback is a memory/locality choice, not a
-	// different cost model.
 	var widest int64
 	for _, n := range shardCount {
 		if n > widest {
 			widest = n
 		}
 	}
-	charge := sim.WorkTime(float64(total), spec.PartitionRate) +
-		sim.WorkTime(float64(widest), spec.SortRate) +
-		sim.WorkTime(float64(widest), spec.CompositeRate)
+	charge := sim.WorkTime(float64(sc.total), sc.spec.PartitionRate) +
+		sim.WorkTime(float64(widest), sc.spec.SortRate) +
+		sim.WorkTime(float64(widest), sc.spec.CompositeRate)
 	return out, charge
 }
 
-// directComposite is the direct-send strategy: counting-sort each shard
-// and composite. Shards hold disjoint pixel keys, so they fold
+// directFold is the direct-send strategy: each shard's buckets are
+// concatenated ascending by brick (the canonical order), counting-sorted
+// and composited. Shards hold disjoint pixel keys, so they fold
 // concurrently.
-func directComposite(shards [][]mapreduce.KV[composite.Fragment], width, height int, bg vec.V4,
-	out *img.Image) {
-	reducers := len(shards)
-	keyRange := int32(width * height)
-	workers := reducers
+func (sc *streamComposite) directFold(out *img.Image) {
+	keyRange := int32(sc.width * sc.height)
+	workers := sc.reducers
 	if mp := runtime.GOMAXPROCS(0); workers > mp {
 		workers = mp
 	}
 	// Shard errors are impossible (pure computation); ignore the error
 	// slot of the pool API.
-	_, _ = schedule.Map(workers, reducers, func(r int) (struct{}, error) {
-		if len(shards[r]) == 0 {
+	_, _ = schedule.Map(workers, sc.reducers, func(r int) (struct{}, error) {
+		m := sc.shards[r]
+		if len(m) == 0 {
 			return struct{}{}, nil
 		}
-		keys, groups := mapreduce.CountingSort(shards[r], keyRange)
+		ids := make([]int, 0, len(m))
+		n := 0
+		for id, frags := range m {
+			ids = append(ids, id)
+			n += len(frags)
+		}
+		sort.Ints(ids)
+		shard := make([]mapreduce.KV[composite.Fragment], 0, n)
+		for _, id := range ids {
+			for _, f := range m[id] {
+				shard = append(shard, mapreduce.KV[composite.Fragment]{Key: f.Key, Val: f})
+			}
+		}
+		keys, groups := mapreduce.CountingSort(shard, keyRange)
 		for i, k := range keys {
-			out.SetKey(k, composite.CompositePixel(groups[i], bg))
+			out.SetKey(k, composite.CompositePixel(groups[i], sc.bg))
 		}
 		return struct{}{}, nil
 	})
@@ -128,20 +162,32 @@ func directComposite(shards [][]mapreduce.KV[composite.Fragment], width, height 
 // merging; lists are depth-sorted with ties in ascending-brick order.
 type partialImage map[int32][]composite.Fragment
 
-// mergeComposite is the binary-swap-style strategy: leaves are per-brick
-// partials (at most one fragment per pixel, trivially sorted), adjacent
-// partials merge pairwise until one remains, then every pixel folds once.
-func mergeComposite(stripes []core.BrickStripe, bg vec.V4, out *img.Image) {
-	partials := make([]partialImage, 0, len(stripes))
-	for _, s := range stripes {
-		if len(s.Frags) == 0 {
-			continue
+// mergeFold is the binary-swap-style strategy: leaves are per-brick
+// partials (at most one fragment per pixel, trivially sorted) rebuilt
+// from the shard buckets, adjacent partials merge pairwise until one
+// remains, then every pixel folds once.
+func (sc *streamComposite) mergeFold(out *img.Image) {
+	perBrick := map[int]partialImage{}
+	for _, m := range sc.shards {
+		for id, frags := range m {
+			p, ok := perBrick[id]
+			if !ok {
+				p = make(partialImage, len(frags))
+				perBrick[id] = p
+			}
+			for _, f := range frags {
+				p[f.Key] = append(p[f.Key], f)
+			}
 		}
-		p := make(partialImage, len(s.Frags))
-		for _, f := range s.Frags {
-			p[f.Key] = append(p[f.Key], f)
-		}
-		partials = append(partials, p)
+	}
+	ids := make([]int, 0, len(perBrick))
+	for id := range perBrick {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	partials := make([]partialImage, 0, len(ids))
+	for _, id := range ids {
+		partials = append(partials, perBrick[id])
 	}
 	for len(partials) > 1 {
 		next := make([]partialImage, 0, (len(partials)+1)/2)
@@ -155,7 +201,7 @@ func mergeComposite(stripes []core.BrickStripe, bg vec.V4, out *img.Image) {
 	}
 	if len(partials) == 1 {
 		for k, frags := range partials[0] {
-			out.SetKey(k, composite.CompositeSorted(frags, bg))
+			out.SetKey(k, composite.CompositeSorted(frags, sc.bg))
 		}
 	}
 }

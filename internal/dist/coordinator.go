@@ -3,9 +3,11 @@ package dist
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand/v2"
 	"net/http"
 	"sort"
@@ -15,10 +17,14 @@ import (
 	"time"
 
 	"gvmr/internal/cluster"
+	"gvmr/internal/composite"
 	"gvmr/internal/core"
+	"gvmr/internal/img"
 	"gvmr/internal/mapreduce"
 	"gvmr/internal/membership"
 	"gvmr/internal/sim"
+	"gvmr/internal/vec"
+	"gvmr/internal/volume"
 )
 
 // ErrNoWorkers means no eligible (alive, non-draining) worker node
@@ -79,6 +85,19 @@ type CoordinatorConfig struct {
 	Replicas int
 	// MaxResponseBytes bounds one batch response (default 1 GiB).
 	MaxResponseBytes int64
+	// DistReduce pushes the reduce phase onto the worker fleet: mappers
+	// exchange pixel ranges peer-to-peer and the coordinator collects
+	// near-final range images instead of every raw fragment. Requires at
+	// least two eligible workers; any exchange failure (a peer dying
+	// mid-exchange, an old worker that predates the protocol) falls back
+	// to the classic coordinator-local composite on a fresh membership
+	// view — bits never change, only topology (DESIGN.md §11).
+	DistReduce bool
+	// NoCompress disables negotiated stripe compression on every hop
+	// (map responses, exchange pushes, collects). Compression is
+	// otherwise on: workers that don't advertise it simply reply
+	// identity, so mixed fleets interoperate.
+	NoCompress bool
 	// Spec, when non-nil, is the hardware description used for grid
 	// planning and the coordinator-side reduce/wire rates — set it when
 	// the workers run a non-AC spec (the grid-counts cross-check turns
@@ -101,6 +120,11 @@ type CoordinatorStats struct {
 	HedgeWins int64 `json:"hedge_wins"`
 	Corrupt   int64 `json:"corrupt"`    // responses failing the digest/shape check
 	NodeDowns int64 `json:"node_downs"` // health transitions into backoff
+	// ReduceJobs counts frames completed over the distributed-reduce
+	// exchange; ReduceFallbacks counts exchanges abandoned for the
+	// classic coordinator-local path (peer death, old workers, timeouts).
+	ReduceJobs      int64 `json:"reduce_jobs"`
+	ReduceFallbacks int64 `json:"reduce_fallbacks"`
 }
 
 // Coordinator shards render jobs across remote gvmrd workers and
@@ -123,6 +147,7 @@ type Coordinator struct {
 	ringCache *ring
 
 	jobs, batches, retries, hedges, hedgeWins, corrupt, nodeDowns atomic.Int64
+	reduceJobs, reduceFallbacks                                   atomic.Int64
 }
 
 type nodeState struct {
@@ -155,7 +180,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		}
 	}
 	if cfg.Client == nil {
-		cfg.Client = &http.Client{}
+		cfg.Client = newClient()
 	}
 	if cfg.MaxAttempts == 0 {
 		cfg.MaxAttempts = 3
@@ -197,13 +222,15 @@ func (c *Coordinator) Registry() *membership.Registry { return c.reg }
 // Stats snapshots the event counters.
 func (c *Coordinator) Stats() CoordinatorStats {
 	return CoordinatorStats{
-		Jobs:      c.jobs.Load(),
-		Batches:   c.batches.Load(),
-		Retries:   c.retries.Load(),
-		Hedges:    c.hedges.Load(),
-		HedgeWins: c.hedgeWins.Load(),
-		Corrupt:   c.corrupt.Load(),
-		NodeDowns: c.nodeDowns.Load(),
+		Jobs:            c.jobs.Load(),
+		Batches:         c.batches.Load(),
+		Retries:         c.retries.Load(),
+		Hedges:          c.hedges.Load(),
+		HedgeWins:       c.hedgeWins.Load(),
+		Corrupt:         c.corrupt.Load(),
+		NodeDowns:       c.nodeDowns.Load(),
+		ReduceJobs:      c.reduceJobs.Load(),
+		ReduceFallbacks: c.reduceFallbacks.Load(),
 	}
 }
 
@@ -343,6 +370,40 @@ func (c *Coordinator) alternate(job JobSpec, brick int, tried, excluded map[stri
 	return ""
 }
 
+// placeInitial runs the initial placement: consistent hash with bounded
+// loads. Each brick walks its ring sequence and takes the first healthy
+// node still under the per-node cap — affinity when the cluster is
+// balanced, guaranteed balance always (no node maps more than
+// ⌈bricks/healthy⌉ while others idle, so adding nodes always shrinks
+// the map phase). The cap is recomputed from the eligible set on every
+// render, which is how a join or drain rebalances the next frame. Brick
+// lists come back sorted.
+func (c *Coordinator) placeInitial(view clusterView, job JobSpec, numBricks int) (map[string][]int, error) {
+	perNode := make(map[string][]int)
+	healthyNow := 0
+	now := time.Now()
+	for _, a := range view.addrs {
+		if view.nodes[a].healthy(now) {
+			healthyNow++
+		}
+	}
+	if healthyNow == 0 {
+		healthyNow = len(view.addrs) // everyone in backoff: place anyway
+	}
+	cap := (numBricks + healthyNow - 1) / healthyNow
+	for id := 0; id < numBricks; id++ {
+		a := view.placeBounded(job, id, perNode, cap)
+		if a == "" {
+			return nil, fmt.Errorf("dist: no live worker for brick %d", id)
+		}
+		perNode[a] = append(perNode[a], id)
+	}
+	for _, bricks := range perNode {
+		sort.Ints(bricks)
+	}
+	return perNode, nil
+}
+
 // batchOutcome is one successfully mapped batch.
 type batchOutcome struct {
 	node       string
@@ -364,6 +425,14 @@ type Breakdown struct {
 	Batches   int64 `json:"batches"`
 	WireBytes int64 `json:"wire_bytes"`
 	Fragments int64 `json:"fragments"`
+
+	// Reduced marks a frame that completed over the distributed-reduce
+	// exchange; ExchangeBytes crossed the worker-to-worker wire and
+	// CollectBytes the collect hop into the coordinator (both already
+	// counted in WireBytes).
+	Reduced       bool  `json:"reduced,omitempty"`
+	ExchangeBytes int64 `json:"exchange_bytes,omitempty"`
+	CollectBytes  int64 `json:"collect_bytes,omitempty"`
 }
 
 // Render runs one distributed frame: plan, place, fan out, verify,
@@ -398,37 +467,36 @@ func (c *Coordinator) RenderDetailed(ctx context.Context, job JobSpec) (*core.Re
 		return nil, Breakdown{}, err
 	}
 
+	// Distributed reduce first when configured and the fleet can carry
+	// it: mappers exchange pixel ranges peer-to-peer and the collects
+	// return near-final range images. Any exchange failure — a peer
+	// dying mid-exchange, a worker predating the protocol, a timeout —
+	// abandons the exchange and falls through to the classic path on a
+	// fresh membership view: same bits, different topology.
+	if c.cfg.DistReduce && len(view.addrs) >= 2 {
+		res, bd, rerr := c.renderReduce(ctx, job, opt, planSpec, grid, view)
+		if rerr == nil {
+			c.reduceJobs.Add(1)
+			return res, bd, nil
+		}
+		if ctx.Err() != nil {
+			return nil, Breakdown{}, rerr
+		}
+		c.reduceFallbacks.Add(1)
+		if view, err = c.view(); err != nil {
+			return nil, Breakdown{}, err
+		}
+	}
+
 	// Cancelling the job context tears down every in-flight exchange; the
 	// buffered event channel lets stragglers deposit their terminal event
 	// and exit without a reader.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	// Initial placement: consistent hash with bounded loads. Each brick
-	// walks its ring sequence and takes the first healthy node still
-	// under the per-node cap — affinity when the cluster is balanced,
-	// guaranteed balance always (no node maps more than ⌈bricks/healthy⌉
-	// while others idle, so adding nodes always shrinks the map phase).
-	// The cap is recomputed from the eligible set on every render, which
-	// is how a join or drain rebalances the next frame.
-	perNode := make(map[string][]int)
-	healthyNow := 0
-	now := time.Now()
-	for _, a := range view.addrs {
-		if view.nodes[a].healthy(now) {
-			healthyNow++
-		}
-	}
-	if healthyNow == 0 {
-		healthyNow = len(view.addrs) // everyone in backoff: place anyway
-	}
-	cap := (grid.NumBricks() + healthyNow - 1) / healthyNow
-	for id := 0; id < grid.NumBricks(); id++ {
-		a := view.placeBounded(job, id, perNode, cap)
-		if a == "" {
-			return nil, Breakdown{}, fmt.Errorf("dist: no live worker for brick %d", id)
-		}
-		perNode[a] = append(perNode[a], id)
+	perNode, err := c.placeInitial(view, job, grid.NumBricks())
+	if err != nil {
+		return nil, Breakdown{}, err
 	}
 
 	type pendingBatch struct {
@@ -494,22 +562,36 @@ func (c *Coordinator) RenderDetailed(ctx context.Context, job JobSpec) (*core.Re
 		}()
 	}
 	for a, bricks := range perNode {
-		sort.Ints(bricks)
 		launch(pendingBatch{bricks: bricks, target: a})
 	}
 
-	stripes := make(map[int]core.BrickStripe, grid.NumBricks())
+	// Stream responses straight into the composite accumulator: the
+	// partition scan of an early batch overlaps slow workers instead of
+	// barriering on the full stripe set. Bucketing is per brick and the
+	// fold walks bricks ascending, so arrival order never reaches the
+	// pixels. A brick already seen (a late duplicate from a raced retry)
+	// is dropped — duplicates are bit-identical by canonicality anyway.
+	reducers := c.cfg.Reducers
+	if reducers == 0 {
+		reducers = len(view.addrs)
+	}
+	acc := newStreamComposite(opt.Width, opt.Height, opt.Background,
+		c.cfg.Partitioner, reducers, planSpec, c.cfg.MergeFallbackBytes, grid.NumBricks())
+	seen := make(map[int]bool, grid.NumBricks())
 	nodeVirtual := make(map[string]sim.Time)
 	var wireBytes int64
 	var batches int64
-	for len(stripes) < grid.NumBricks() {
+	for len(seen) < grid.NumBricks() {
 		select {
 		case ev := <-events:
 			if ev.err != nil {
 				return nil, Breakdown{}, ev.err
 			}
 			for _, s := range ev.out.stripes {
-				stripes[s.Brick] = s
+				if !seen[s.Brick] {
+					seen[s.Brick] = true
+					acc.add(s)
+				}
 			}
 			nodeVirtual[ev.out.node] += sim.Seconds(ev.out.mapSeconds)
 			wireBytes += ev.out.bytes
@@ -519,17 +601,7 @@ func (c *Coordinator) RenderDetailed(ctx context.Context, job JobSpec) (*core.Re
 		}
 	}
 
-	ordered := make([]core.BrickStripe, 0, len(stripes))
-	for id := 0; id < grid.NumBricks(); id++ {
-		ordered = append(ordered, stripes[id])
-	}
-
-	reducers := c.cfg.Reducers
-	if reducers == 0 {
-		reducers = len(view.addrs)
-	}
-	out, reduceCharge := compositeStripes(ordered, opt.Width, opt.Height, opt.Background,
-		c.cfg.Partitioner, reducers, planSpec, c.cfg.MergeFallbackBytes)
+	out, reduceCharge := acc.finish()
 
 	// Virtual makespan: map phases run node-parallel (max), the stripe
 	// transfers serialise into the coordinator's NIC, the local reduce
@@ -544,10 +616,7 @@ func (c *Coordinator) RenderDetailed(ctx context.Context, job JobSpec) (*core.Re
 		sim.BytesTime(wireBytes, planSpec.NICBandwidth)
 	runtime := mapVirtual + wireVirtual + reduceCharge
 
-	var frags int64
-	for _, s := range ordered {
-		frags += int64(len(s.Frags))
-	}
+	frags := acc.total
 	res := &core.Result{
 		Image: out,
 		Stats: &mapreduce.JobStats{
@@ -575,6 +644,306 @@ func (c *Coordinator) RenderDetailed(ctx context.Context, job JobSpec) (*core.Re
 		Fragments: frags,
 	}
 	return res, bd, nil
+}
+
+// exchangeID mints a session identifier unique enough that a stale
+// exchange from a previous frame can never alias a live one.
+func exchangeID() string {
+	return fmt.Sprintf("%016x%016x", rand.Uint64(), rand.Uint64())
+}
+
+// renderReduce runs one frame with the reduce phase on the workers
+// (DESIGN.md §11): every eligible worker owns a contiguous pixel-key
+// range, mappers push each range to its owner over /reduce (their own
+// range never touches the wire), and the coordinator collects one
+// sparse composited range image per worker. No retries or hedging
+// inside an exchange — a delivered push is not idempotent-free to
+// re-place across nodes mid-flight, so any failure aborts the exchange
+// and the caller falls back to the classic path, which has both.
+func (c *Coordinator) renderReduce(ctx context.Context, job JobSpec, opt core.Options,
+	planSpec cluster.Spec, grid *volume.Grid, view clusterView) (*core.Result, Breakdown, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	perNode, err := c.placeInitial(view, job, grid.NumBricks())
+	if err != nil {
+		return nil, Breakdown{}, err
+	}
+	n := len(view.addrs)
+	pixels := int64(opt.Width) * int64(opt.Height)
+	targets := make([]ReduceTarget, n)
+	selfIdx := make(map[string]int, n)
+	for i, a := range view.addrs {
+		targets[i] = ReduceTarget{
+			Addr: a,
+			Lo:   int32(pixels * int64(i) / int64(n)),
+			Hi:   int32(pixels * int64(i+1) / int64(n)),
+		}
+		selfIdx[a] = i
+	}
+	exID := exchangeID()
+	compress := !c.cfg.NoCompress
+
+	// Map fan-out: one batch per node, each carrying the identical
+	// reducer plan. All maps must land before any collect can complete,
+	// so failures surface here first.
+	type mapRes struct {
+		node       string
+		mapSeconds float64
+		frags      int64
+		err        error
+	}
+	mapCh := make(chan mapRes, len(perNode))
+	for a, bricks := range perNode {
+		plan := &ReducePlan{Exchange: exID, Self: selfIdx[a], Compress: compress, Reducers: targets}
+		go func(a string, bricks []int) {
+			secs, frags, err := c.postMapReduce(ctx, job, grid.Counts, bricks, a, plan)
+			mapCh <- mapRes{node: a, mapSeconds: secs, frags: frags, err: err}
+		}(a, bricks)
+	}
+	var mapVirtual sim.Time
+	var frags int64
+	var mapErr error
+	for range perNode {
+		mr := <-mapCh
+		if mr.err != nil {
+			if mapErr == nil {
+				mapErr = mr.err
+				cancel() // tear down sibling maps; the exchange is lost
+			}
+			continue
+		}
+		if t := sim.Seconds(mr.mapSeconds); t > mapVirtual {
+			mapVirtual = t
+		}
+		frags += mr.frags
+	}
+	if mapErr != nil {
+		return nil, Breakdown{}, mapErr
+	}
+
+	// Collect fan-out: by now every range is fully delivered (maps
+	// returned only after their pushes landed), so collects are one
+	// round trip each.
+	type collectRes struct {
+		i   int
+		out collectOutcome
+		err error
+	}
+	colCh := make(chan collectRes, n)
+	for i := range targets {
+		go func(i int) {
+			out, err := c.postCollect(ctx, job, exID, targets[i], grid.NumBricks(), opt.Background, compress)
+			colCh <- collectRes{i: i, out: out, err: err}
+		}(i)
+	}
+	outs := make([]collectOutcome, n)
+	var colErr error
+	for range targets {
+		cr := <-colCh
+		if cr.err != nil {
+			if colErr == nil {
+				colErr = cr.err
+				cancel()
+			}
+			continue
+		}
+		outs[cr.i] = cr.out
+	}
+	if colErr != nil {
+		return nil, Breakdown{}, colErr
+	}
+
+	// Assemble: untouched pixels keep the same pre-filled background as
+	// the classic path; every collected pixel carries its final color.
+	out := img.New(opt.Width, opt.Height, composite.Finalize(composite.Fragment{}.Color(), opt.Background))
+	var exchBytes, collectBytes, exchMsgs int64
+	var exchangeWire, collectWire, reduceVirtual sim.Time
+	for _, co := range outs {
+		for _, f := range co.frags {
+			out.SetKey(f.Key, vec.V4{X: f.R, Y: f.G, Z: f.B, W: f.A})
+		}
+		// Peer pushes into the reducers' NICs run reducer-parallel (max);
+		// the collect responses serialise into the coordinator's NIC.
+		w := sim.Time(co.netMsgs)*(planSpec.NICLatency+planSpec.MsgOverhead) +
+			sim.BytesTime(co.netBytes, planSpec.NICBandwidth)
+		if w > exchangeWire {
+			exchangeWire = w
+		}
+		if t := sim.Seconds(co.reduceSeconds); t > reduceVirtual {
+			reduceVirtual = t
+		}
+		collectWire += planSpec.NICLatency + planSpec.MsgOverhead +
+			sim.BytesTime(co.bytes, planSpec.NICBandwidth)
+		exchBytes += co.netBytes
+		exchMsgs += co.netMsgs
+		collectBytes += co.bytes
+	}
+	mapMsgs := sim.Time(len(perNode)) * (planSpec.NICLatency + planSpec.MsgOverhead)
+	wireVirtual := mapMsgs + exchangeWire + collectWire
+	wireBytes := exchBytes + collectBytes
+	runtime := mapVirtual + wireVirtual + reduceVirtual
+
+	batches := int64(len(perNode)) + int64(n)
+	res := &core.Result{
+		Image: out,
+		Stats: &mapreduce.JobStats{
+			Makespan:      runtime,
+			BytesOnWire:   wireBytes,
+			Messages:      batches,
+			TotalEmitted:  frags,
+			TotalReceived: frags,
+		},
+		Grid:    grid,
+		GPUs:    job.GPUs,
+		Runtime: runtime,
+		Voxels:  opt.Source.Dims().Voxels(),
+	}
+	if runtime > 0 {
+		res.FPS = 1 / runtime.Seconds()
+		res.VPSMillions = float64(res.Voxels) / runtime.Seconds() / 1e6
+	}
+	bd := Breakdown{
+		Map:           mapVirtual,
+		Wire:          wireVirtual,
+		Reduce:        reduceVirtual,
+		Batches:       batches,
+		WireBytes:     wireBytes,
+		Fragments:     frags,
+		Reduced:       true,
+		ExchangeBytes: exchBytes,
+		CollectBytes:  collectBytes,
+	}
+	return res, bd, nil
+}
+
+// postMapReduce posts one reduce-mode map batch: the worker pushes its
+// stripes into the exchange and answers with an empty body and the
+// HeaderReduced marker.
+func (c *Coordinator) postMapReduce(ctx context.Context, job JobSpec, counts [3]int,
+	bricks []int, addr string, plan *ReducePlan) (mapSeconds float64, frags int64, err error) {
+	body, err := encodeMapRequest(MapRequest{Job: job, Bricks: bricks, GridCounts: counts, Reduce: plan})
+	if err != nil {
+		return 0, 0, err
+	}
+	c.batches.Add(1)
+	n := c.node(addr)
+	resp, _, err := c.post(ctx, c.attemptTimeout(ctx, 0), addr, MapPath, body, "application/json", "")
+	if err != nil {
+		return 0, 0, fmt.Errorf("dist: node %s: %w", addr, err)
+	}
+	if resp.Header.Get(HeaderReduced) != "1" {
+		c.corrupt.Add(1)
+		c.markFailure(n)
+		return 0, 0, fmt.Errorf("dist: node %s: map response lacks %s (stripes went nowhere)", addr, HeaderReduced)
+	}
+	mapSeconds, err = parseSecondsHeader(resp, HeaderMapSeconds)
+	if err != nil {
+		c.corrupt.Add(1)
+		c.markFailure(n)
+		return 0, 0, fmt.Errorf("dist: node %s: %w", addr, err)
+	}
+	if h := resp.Header.Get(HeaderFragCount); h != "" {
+		v, perr := strconv.ParseInt(h, 10, 64)
+		if perr != nil || v < 0 {
+			c.corrupt.Add(1)
+			c.markFailure(n)
+			return 0, 0, fmt.Errorf("dist: node %s: bad %s header %q", addr, HeaderFragCount, h)
+		}
+		frags = v
+	}
+	c.markSuccess(n)
+	return mapSeconds, frags, nil
+}
+
+// collectOutcome is one reducer's composited range.
+type collectOutcome struct {
+	frags         []composite.Fragment // sparse final pixels (Key + RGBA)
+	reduceSeconds float64
+	netBytes      int64 // exchange bytes the reducer received from peers
+	netMsgs       int64
+	bytes         int64 // collect response bytes on the coordinator hop
+}
+
+// postCollect fetches and verifies one reducer's composited range.
+func (c *Coordinator) postCollect(ctx context.Context, job JobSpec, exID string,
+	tgt ReduceTarget, numBricks int, bg vec.V4, compress bool) (collectOutcome, error) {
+	body, err := json.Marshal(CollectRequest{
+		Exchange:   exID,
+		Lo:         tgt.Lo,
+		Hi:         tgt.Hi,
+		NumBricks:  numBricks,
+		Background: [4]float32{bg.X, bg.Y, bg.Z, bg.W},
+		Job:        job,
+	})
+	if err != nil {
+		return collectOutcome{}, err
+	}
+	accept := ""
+	if compress {
+		accept = EncodingColumnar
+	}
+	c.batches.Add(1)
+	n := c.node(tgt.Addr)
+	resp, payload, err := c.post(ctx, c.attemptTimeout(ctx, 0), tgt.Addr, CollectPath, body, "application/json", accept)
+	if err != nil {
+		return collectOutcome{}, fmt.Errorf("dist: node %s: collect: %w", tgt.Addr, err)
+	}
+	out, err := c.verifyCollect(resp, payload, tgt)
+	if err != nil {
+		c.corrupt.Add(1)
+		c.markFailure(n)
+		return collectOutcome{}, fmt.Errorf("dist: node %s: collect: %w", tgt.Addr, err)
+	}
+	c.markSuccess(n)
+	return out, nil
+}
+
+// verifyCollect checks digest, decodes the sparse range image and bounds
+// every pixel key to the reducer's range.
+func (c *Coordinator) verifyCollect(resp *http.Response, payload []byte, tgt ReduceTarget) (collectOutcome, error) {
+	wantDigest := resp.Header.Get(HeaderStripeDigest)
+	if wantDigest == "" {
+		return collectOutcome{}, fmt.Errorf("missing %s header", HeaderStripeDigest)
+	}
+	if got := PayloadDigest(payload); got != wantDigest {
+		return collectOutcome{}, fmt.Errorf("collect digest mismatch: body %s != header %s (corrupt response)", got, wantDigest)
+	}
+	stripes, err := DecodePayload(resp.Header.Get("Content-Encoding"), payload, c.cfg.MaxResponseBytes)
+	if err != nil {
+		return collectOutcome{}, err
+	}
+	var frags []composite.Fragment
+	for _, s := range stripes {
+		frags = append(frags, s.Frags...)
+	}
+	for _, f := range frags {
+		if f.Key < tgt.Lo || f.Key >= tgt.Hi {
+			return collectOutcome{}, fmt.Errorf("collected pixel %d outside range [%d,%d)", f.Key, tgt.Lo, tgt.Hi)
+		}
+	}
+	if h := resp.Header.Get(HeaderFragCount); h != "" {
+		if v, perr := strconv.Atoi(h); perr != nil || v != len(frags) {
+			return collectOutcome{}, fmt.Errorf("collect fragment count mismatch: body %d != header %q", len(frags), h)
+		}
+	}
+	out := collectOutcome{frags: frags, bytes: int64(len(payload))}
+	if out.reduceSeconds, err = parseSecondsHeader(resp, HeaderReduceSeconds); err != nil {
+		return collectOutcome{}, err
+	}
+	for _, h := range []struct {
+		name string
+		dst  *int64
+	}{{HeaderExchangeBytes, &out.netBytes}, {HeaderExchangeMsgs, &out.netMsgs}} {
+		if s := resp.Header.Get(h.name); s != "" {
+			v, perr := strconv.ParseInt(s, 10, 64)
+			if perr != nil || v < 0 {
+				return collectOutcome{}, fmt.Errorf("bad %s header %q", h.name, s)
+			}
+			*h.dst = v
+		}
+	}
+	return out, nil
 }
 
 // attemptTimeout derives the per-attempt deadline for one batch
@@ -687,26 +1056,29 @@ func (c *Coordinator) node(addr string) *nodeState {
 	return n
 }
 
-// postMap performs one HTTP map exchange with full response verification,
-// bounded by the per-attempt deadline.
-func (c *Coordinator) postMap(parent context.Context, perAttempt time.Duration, job JobSpec,
-	counts [3]int, bricks []int, addr string) (batchOutcome, error) {
+// post performs one HTTP exchange against a node, bounded by the
+// per-attempt deadline, with the node health bookkeeping every dist hop
+// shares. Error bodies are drained before close so the keep-alive
+// connection returns to the shared transport's pool instead of being
+// torn down — under hedging the same worker sees many short exchanges,
+// and re-dialing each one churns TCP state for nothing.
+func (c *Coordinator) post(parent context.Context, perAttempt time.Duration,
+	addr, path string, body []byte, contentType, accept string) (*http.Response, []byte, error) {
 	ctx := parent
 	if perAttempt > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(parent, perAttempt)
 		defer cancel()
 	}
-	body, err := encodeMapRequest(MapRequest{Job: job, Bricks: bricks, GridCounts: counts})
-	if err != nil {
-		return batchOutcome{}, err
-	}
 	n := c.node(addr)
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+MapPath, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+path, bytes.NewReader(body))
 	if err != nil {
-		return batchOutcome{}, err
+		return nil, nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
+	if accept != "" {
+		req.Header.Set("Accept-Encoding", accept)
+	}
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
 		// A cancelled exchange says nothing about the node's health: the
@@ -718,31 +1090,55 @@ func (c *Coordinator) postMap(parent context.Context, perAttempt time.Duration, 
 		if parent.Err() == nil {
 			c.markFailure(n)
 		}
-		return batchOutcome{}, fmt.Errorf("dist: node %s: %w", addr, err)
+		return nil, nil, err
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		drainBody(resp.Body)
 		// Only 5xx marks the node down. 429 is transient backpressure
-		// (the node is alive and telling us so) and 400 is a
-		// deterministic request problem — neither says the node is
-		// unhealthy, and backing off healthy nodes would degrade
-		// placement for every following job. The batch still fails here
-		// and re-places onto another node, bounded by MaxAttempts.
+		// (the node is alive and telling us so), 400 is a deterministic
+		// request problem, and 424 is a reduce push that a *peer*
+		// refused — none of those say this node is unhealthy, and
+		// backing off healthy nodes would degrade placement for every
+		// following job. The batch still fails here and re-places onto
+		// another node (or the exchange falls back), bounded by
+		// MaxAttempts.
 		if resp.StatusCode >= 500 {
 			c.markFailure(n)
 		}
-		return batchOutcome{}, fmt.Errorf("dist: node %s: %s: %s", addr, resp.Status, bytes.TrimSpace(msg))
+		return nil, nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
 	payload, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxResponseBytes+1))
 	if err != nil {
+		_ = resp.Body.Close()
 		if parent.Err() == nil {
 			c.markFailure(n)
 		}
-		return batchOutcome{}, fmt.Errorf("dist: node %s: reading stripes: %w", addr, err)
+		return nil, nil, fmt.Errorf("reading response: %w", err)
 	}
+	_ = resp.Body.Close()
 	if int64(len(payload)) > c.cfg.MaxResponseBytes {
-		return batchOutcome{}, fmt.Errorf("dist: node %s: response exceeds %d bytes", addr, c.cfg.MaxResponseBytes)
+		return nil, nil, fmt.Errorf("response exceeds %d bytes", c.cfg.MaxResponseBytes)
+	}
+	return resp, payload, nil
+}
+
+// postMap performs one HTTP map exchange with full response verification,
+// bounded by the per-attempt deadline.
+func (c *Coordinator) postMap(parent context.Context, perAttempt time.Duration, job JobSpec,
+	counts [3]int, bricks []int, addr string) (batchOutcome, error) {
+	body, err := encodeMapRequest(MapRequest{Job: job, Bricks: bricks, GridCounts: counts})
+	if err != nil {
+		return batchOutcome{}, err
+	}
+	accept := ""
+	if !c.cfg.NoCompress {
+		accept = EncodingColumnar
+	}
+	n := c.node(addr)
+	resp, payload, err := c.post(parent, perAttempt, addr, MapPath, body, "application/json", accept)
+	if err != nil {
+		return batchOutcome{}, fmt.Errorf("dist: node %s: %w", addr, err)
 	}
 	out, err := c.verifyResponse(resp, payload, job, bricks, addr)
 	if err != nil {
@@ -754,8 +1150,8 @@ func (c *Coordinator) postMap(parent context.Context, perAttempt time.Duration, 
 	return out, nil
 }
 
-// verifyResponse checks digest, brick coverage, fragment counts and
-// per-fragment key bounds, then decodes the stripes.
+// verifyResponse checks digest, brick coverage, canonical stripe order,
+// fragment counts and per-fragment key bounds, then decodes the stripes.
 func (c *Coordinator) verifyResponse(resp *http.Response, payload []byte,
 	job JobSpec, bricks []int, addr string) (batchOutcome, error) {
 	wantDigest := resp.Header.Get(HeaderStripeDigest)
@@ -765,7 +1161,7 @@ func (c *Coordinator) verifyResponse(resp *http.Response, payload []byte,
 	if got := PayloadDigest(payload); got != wantDigest {
 		return batchOutcome{}, fmt.Errorf("stripe digest mismatch: body %s != header %s (corrupt response)", got, wantDigest)
 	}
-	stripes, err := DecodeStripes(payload)
+	stripes, err := DecodePayload(resp.Header.Get("Content-Encoding"), payload, c.cfg.MaxResponseBytes)
 	if err != nil {
 		return batchOutcome{}, err
 	}
@@ -775,10 +1171,20 @@ func (c *Coordinator) verifyResponse(resp *http.Response, payload []byte,
 	}
 	keyRange := int32(job.Width) * int32(job.Height)
 	frags := 0
+	prevBrick := -1
 	for _, s := range stripes {
 		if !want[s.Brick] {
 			return batchOutcome{}, fmt.Errorf("stripe for unrequested brick %d", s.Brick)
 		}
+		// The wire format documents ascending brick IDs and the
+		// compositor's depth-tie ordering silently depends on canonical
+		// order — enforce it instead of trusting it (coverage alone
+		// already rejects duplicates via the want set).
+		if s.Brick <= prevBrick {
+			return batchOutcome{}, fmt.Errorf(
+				"stripe order violation: brick %d after brick %d (canonical order is ascending)", s.Brick, prevBrick)
+		}
+		prevBrick = s.Brick
 		delete(want, s.Brick)
 		frags += len(s.Frags)
 		// Bound every pixel key now: compositing indexes shards, the
@@ -805,13 +1211,26 @@ func (c *Coordinator) verifyResponse(resp *http.Response, payload []byte,
 			return batchOutcome{}, fmt.Errorf("fragment count mismatch: body %d != header %q", frags, h)
 		}
 	}
-	mapSeconds := 0.0
-	if h := resp.Header.Get(HeaderMapSeconds); h != "" {
-		v, err := strconv.ParseFloat(h, 64)
-		if err != nil || v < 0 {
-			return batchOutcome{}, fmt.Errorf("bad %s header %q", HeaderMapSeconds, h)
-		}
-		mapSeconds = v
+	mapSeconds, err := parseSecondsHeader(resp, HeaderMapSeconds)
+	if err != nil {
+		return batchOutcome{}, err
 	}
 	return batchOutcome{node: addr, stripes: stripes, mapSeconds: mapSeconds, bytes: int64(len(payload))}, nil
+}
+
+// parseSecondsHeader reads an optional virtual-seconds header. Values
+// must be finite and non-negative: NaN compares false against every
+// bound (the old `v < 0` guard silently accepted it) and a single NaN
+// or +Inf from one hostile worker would poison every aggregated
+// virtual-time stat and BENCH record downstream.
+func parseSecondsHeader(resp *http.Response, name string) (float64, error) {
+	h := resp.Header.Get(name)
+	if h == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(h, 64)
+	if err != nil || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("bad %s header %q", name, h)
+	}
+	return v, nil
 }

@@ -1,0 +1,793 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"gvmr/internal/cluster"
+	"gvmr/internal/composite"
+	"gvmr/internal/core"
+	"gvmr/internal/volume/dataset"
+)
+
+// startReduceWorkers spins n 1-GPU worker nodes with the full worker
+// surface mounted (map, reduce push, collect). wrap, when non-nil, may
+// interpose per endpoint — the fault-injection hook for killing a peer
+// mid-exchange.
+func startReduceWorkers(t *testing.T, n int, wrap func(i int, path string, h http.Handler) http.Handler) ([]string, []*Worker) {
+	t.Helper()
+	addrs := make([]string, n)
+	workers := make([]*Worker, n)
+	for i := 0; i < n; i++ {
+		wk, err := NewWorker(WorkerConfig{Spec: cluster.AC(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = wk
+		mux := http.NewServeMux()
+		for path, h := range map[string]http.Handler{
+			MapPath:     wk,
+			ReducePath:  http.HandlerFunc(wk.HandleReducePush),
+			CollectPath: http.HandlerFunc(wk.HandleCollect),
+		} {
+			if wrap != nil {
+				h = wrap(i, path, h)
+			}
+			mux.Handle(path, h)
+		}
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		addrs[i] = srv.URL
+	}
+	return addrs, workers
+}
+
+// TestDistReduceMatchesDirect is the distributed-reduce contract: with
+// the reduce phase on the workers, the frame digests equal to a
+// single-process render over 2, 3 and 4 nodes, no fallback taken, and
+// the breakdown marks the exchange topology.
+func TestDistReduceMatchesDirect(t *testing.T) {
+	job := testJob(t, dataset.Skull, 32, 64, 4, 30, true)
+	want := directDigest(t, job)
+	for _, workers := range []int{2, 3, 4} {
+		addrs, nodes := startReduceWorkers(t, workers, nil)
+		coord := newTestCoordinator(t, addrs, func(c *CoordinatorConfig) {
+			c.DistReduce = true
+		})
+		res, bd, err := coord.RenderDetailed(context.Background(), job)
+		if err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+		if got := res.Image.Digest(); got != want {
+			t.Errorf("%d workers: digest %s != direct %s", workers, got, want)
+		}
+		if !bd.Reduced {
+			t.Errorf("%d workers: breakdown not marked reduced: %+v", workers, bd)
+		}
+		if bd.Map <= 0 || bd.Wire <= 0 || bd.Reduce <= 0 || bd.Map+bd.Wire+bd.Reduce != res.Runtime {
+			t.Errorf("%d workers: implausible breakdown %+v (runtime %v)", workers, bd, res.Runtime)
+		}
+		if bd.CollectBytes <= 0 {
+			t.Errorf("%d workers: no collect bytes recorded: %+v", workers, bd)
+		}
+		st := coord.Stats()
+		if st.ReduceJobs < 1 || st.ReduceFallbacks != 0 {
+			t.Errorf("%d workers: exchange not recorded: %+v", workers, st)
+		}
+		collects := int64(0)
+		for _, wk := range nodes {
+			collects += wk.ExchangeStats().Collects
+		}
+		if collects != int64(workers) {
+			t.Errorf("%d workers: %d collects served, want one per reducer", workers, collects)
+		}
+	}
+}
+
+// TestDistReduceCompressionToggle: the exchange produces identical bits
+// with wire compression on and off (it only changes the encoding).
+func TestDistReduceCompressionToggle(t *testing.T) {
+	job := testJob(t, dataset.Supernova, 24, 48, 2, 75, false)
+	want := directDigest(t, job)
+	for _, noCompress := range []bool{false, true} {
+		addrs, _ := startReduceWorkers(t, 2, nil)
+		coord := newTestCoordinator(t, addrs, func(c *CoordinatorConfig) {
+			c.DistReduce = true
+			c.NoCompress = noCompress
+		})
+		res, _, err := coord.Render(context.Background(), job)
+		if err != nil {
+			t.Fatalf("noCompress=%t: %v", noCompress, err)
+		}
+		if got := res.Image.Digest(); got != want {
+			t.Errorf("noCompress=%t: digest %s != direct %s", noCompress, got, want)
+		}
+	}
+}
+
+// TestDistReduceSingleWorkerFallsBack: one eligible node cannot host an
+// exchange; the coordinator must use the classic path without counting a
+// fallback (the exchange never started).
+func TestDistReduceSingleWorkerFallsBack(t *testing.T) {
+	job := testJob(t, dataset.Skull, 24, 48, 2, 10, false)
+	want := directDigest(t, job)
+	addrs, _ := startReduceWorkers(t, 1, nil)
+	coord := newTestCoordinator(t, addrs, func(c *CoordinatorConfig) {
+		c.DistReduce = true
+	})
+	res, bd, err := coord.RenderDetailed(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Image.Digest(); got != want {
+		t.Errorf("digest %s != direct %s", got, want)
+	}
+	if bd.Reduced {
+		t.Error("single-worker frame claims the exchange topology")
+	}
+	if st := coord.Stats(); st.ReduceJobs != 0 || st.ReduceFallbacks != 0 {
+		t.Errorf("single-worker render touched exchange counters: %+v", st)
+	}
+}
+
+// TestDistReducePeerDeathFallsBack kills one worker's /reduce endpoint:
+// every push to it aborts mid-exchange. The mappers report the failed
+// dependency, the coordinator abandons the exchange and the classic path
+// must still produce the committed bits — with no node marked down (the
+// mappers were healthy; 424 is the peer's fault).
+func TestDistReducePeerDeathFallsBack(t *testing.T) {
+	job := testJob(t, dataset.Skull, 32, 64, 4, 50, true)
+	want := directDigest(t, job)
+	addrs, _ := startReduceWorkers(t, 2, func(i int, path string, h http.Handler) http.Handler {
+		if i != 1 || path != ReducePath {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			panic(http.ErrAbortHandler) // peer dies mid-exchange
+		})
+	})
+	coord := newTestCoordinator(t, addrs, func(c *CoordinatorConfig) {
+		c.DistReduce = true
+	})
+	res, bd, err := coord.RenderDetailed(context.Background(), job)
+	if err != nil {
+		t.Fatalf("render with dead reduce peer: %v", err)
+	}
+	if got := res.Image.Digest(); got != want {
+		t.Errorf("digest after peer death %s != direct %s", got, want)
+	}
+	if bd.Reduced {
+		t.Error("fallback frame claims the exchange topology")
+	}
+	st := coord.Stats()
+	if st.ReduceFallbacks < 1 || st.ReduceJobs != 0 {
+		t.Errorf("fallback not recorded: %+v", st)
+	}
+	if st.NodeDowns != 0 {
+		t.Errorf("a healthy mapper was marked down over its peer's death: %+v", st)
+	}
+}
+
+// TestDistReduceCollectDeathFallsBack kills the collect endpoint on one
+// reducer after the maps (and all pushes) landed — the latest possible
+// failure point. The classic fallback must still reproduce the bits.
+func TestDistReduceCollectDeathFallsBack(t *testing.T) {
+	job := testJob(t, dataset.Skull, 32, 64, 4, 80, false)
+	want := directDigest(t, job)
+	addrs, _ := startReduceWorkers(t, 2, func(i int, path string, h http.Handler) http.Handler {
+		if i != 0 || path != CollectPath {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			panic(http.ErrAbortHandler)
+		})
+	})
+	coord := newTestCoordinator(t, addrs, func(c *CoordinatorConfig) {
+		c.DistReduce = true
+	})
+	res, _, err := coord.Render(context.Background(), job)
+	if err != nil {
+		t.Fatalf("render with dead collect endpoint: %v", err)
+	}
+	if got := res.Image.Digest(); got != want {
+		t.Errorf("digest after collect death %s != direct %s", got, want)
+	}
+	if st := coord.Stats(); st.ReduceFallbacks < 1 {
+		t.Errorf("fallback not recorded: %+v", st)
+	}
+}
+
+// TestDistReduceOldWorkerFallsBack simulates a mixed fleet: one worker
+// predates the reduce protocol and rejects any map request carrying a
+// reduce plan (DisallowUnknownFields → 400). The coordinator must fall
+// back and serve identical bits, without marking the old worker down —
+// it is healthy, just older.
+func TestDistReduceOldWorkerFallsBack(t *testing.T) {
+	job := testJob(t, dataset.Skull, 32, 64, 4, 120, true)
+	want := directDigest(t, job)
+	addrs, _ := startReduceWorkers(t, 2, func(i int, path string, h http.Handler) http.Handler {
+		if i != 0 || path != MapPath {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			body, _ := io.ReadAll(r.Body)
+			if bytes.Contains(body, []byte(`"reduce"`)) {
+				http.Error(w, `bad map request: json: unknown field "reduce"`, http.StatusBadRequest)
+				return
+			}
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			h.ServeHTTP(w, r)
+		})
+	})
+	coord := newTestCoordinator(t, addrs, func(c *CoordinatorConfig) {
+		c.DistReduce = true
+	})
+	res, _, err := coord.Render(context.Background(), job)
+	if err != nil {
+		t.Fatalf("render against mixed fleet: %v", err)
+	}
+	if got := res.Image.Digest(); got != want {
+		t.Errorf("mixed-fleet digest %s != direct %s", got, want)
+	}
+	st := coord.Stats()
+	if st.ReduceFallbacks < 1 {
+		t.Errorf("old worker did not trigger fallback: %+v", st)
+	}
+	if st.NodeDowns != 0 {
+		t.Errorf("old worker marked down over a 400: %+v", st)
+	}
+}
+
+// --- map-protocol hardening regressions ---
+
+// TestParseSecondsHeaderRejectsNonFinite pins the NaN/Inf regression:
+// the old `v < 0` guard compared false against NaN and accepted it, and
+// one hostile worker's NaN would poison every aggregated virtual-time
+// stat downstream.
+func TestParseSecondsHeaderRejectsNonFinite(t *testing.T) {
+	cases := []struct {
+		value string
+		want  float64
+		ok    bool
+	}{
+		{"", 0, true},
+		{"1.5", 1.5, true},
+		{"0", 0, true},
+		{"NaN", 0, false},
+		{"nan", 0, false},
+		{"+Inf", 0, false},
+		{"Inf", 0, false},
+		{"-Inf", 0, false},
+		{"-0.001", 0, false},
+		{"bogus", 0, false},
+	}
+	for _, tc := range cases {
+		resp := &http.Response{Header: http.Header{}}
+		if tc.value != "" {
+			resp.Header.Set(HeaderMapSeconds, tc.value)
+		}
+		v, err := parseSecondsHeader(resp, HeaderMapSeconds)
+		if tc.ok && (err != nil || v != tc.want) {
+			t.Errorf("%q: got %v, %v; want %v", tc.value, v, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%q: accepted (got %v)", tc.value, v)
+		}
+	}
+}
+
+// syntheticMapResponse builds the http.Response + payload pair a worker
+// would serve for the given stripes, with a correct digest.
+func syntheticMapResponse(stripes []core.BrickStripe, mut func(h http.Header)) (*http.Response, []byte) {
+	payload := EncodeStripes(stripes)
+	h := http.Header{}
+	h.Set(HeaderStripeDigest, PayloadDigest(payload))
+	h.Set(HeaderMapSeconds, "0.25")
+	if mut != nil {
+		mut(h)
+	}
+	return &http.Response{Header: h}, payload
+}
+
+// TestVerifyResponseStripeOrder pins the canonical-order regression: the
+// wire format documents ascending brick IDs and the compositor's
+// depth-tie ordering silently depends on it, but verifyResponse never
+// checked — an out-of-order (or duplicated) response must be rejected as
+// corrupt, not composited into wrong bits.
+func TestVerifyResponseStripeOrder(t *testing.T) {
+	job := testJob(t, dataset.Skull, 24, 48, 2, 0, false)
+	coord := newTestCoordinator(t, []string{"http://unused:1"}, nil)
+	frag := composite.Fragment{Key: 1, A: 0.5, Depth: 1}
+
+	ordered := []core.BrickStripe{{Brick: 0, Frags: []composite.Fragment{frag}}, {Brick: 2}}
+	resp, payload := syntheticMapResponse(ordered, nil)
+	if _, err := coord.verifyResponse(resp, payload, job, []int{0, 2}, "w"); err != nil {
+		t.Fatalf("canonical response rejected: %v", err)
+	}
+
+	reversed := []core.BrickStripe{{Brick: 2}, {Brick: 0, Frags: []composite.Fragment{frag}}}
+	resp, payload = syntheticMapResponse(reversed, nil)
+	if _, err := coord.verifyResponse(resp, payload, job, []int{0, 2}, "w"); err == nil {
+		t.Fatal("out-of-order stripes accepted")
+	} else if !strings.Contains(err.Error(), "order") {
+		t.Fatalf("out-of-order stripes rejected for the wrong reason: %v", err)
+	}
+
+	duplicated := []core.BrickStripe{{Brick: 0}, {Brick: 0, Frags: []composite.Fragment{frag}}}
+	resp, payload = syntheticMapResponse(duplicated, nil)
+	if _, err := coord.verifyResponse(resp, payload, job, []int{0}, "w"); err == nil {
+		t.Fatal("duplicated stripe accepted")
+	}
+}
+
+// TestVerifyResponseRejectsNonFiniteMapSeconds drives the NaN guard
+// through the full verification path a real response takes.
+func TestVerifyResponseRejectsNonFiniteMapSeconds(t *testing.T) {
+	job := testJob(t, dataset.Skull, 24, 48, 2, 0, false)
+	coord := newTestCoordinator(t, []string{"http://unused:1"}, nil)
+	for _, bad := range []string{"NaN", "+Inf", "-Inf"} {
+		resp, payload := syntheticMapResponse([]core.BrickStripe{{Brick: 0}}, func(h http.Header) {
+			h.Set(HeaderMapSeconds, bad)
+		})
+		if _, err := coord.verifyResponse(resp, payload, job, []int{0}, "w"); err == nil {
+			t.Errorf("map seconds %q accepted", bad)
+		}
+	}
+}
+
+// TestWorkerMapStatusCodes pins the error-classification contract of
+// /map: deterministic request problems are 400 (the node is healthy and
+// must not be marked down), peer push failures are 424, and only genuine
+// node-side failures — staging, planning, the map computation — are 500.
+func TestWorkerMapStatusCodes(t *testing.T) {
+	spec := cluster.AC(1)
+	job := testJob(t, dataset.Skull, 24, 48, 2, 0, false)
+	opt, err := job.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := core.PlanGrid(spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadPeer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "peer is sick", http.StatusInternalServerError)
+	}))
+	t.Cleanup(deadPeer.Close)
+	keyRange := int32(job.Width) * int32(job.Height)
+
+	cases := []struct {
+		name   string
+		body   string
+		sick   bool // substitute a failing mapBricks
+		status int
+	}{
+		{name: "garbage json", body: "{", status: http.StatusBadRequest},
+		{name: "unknown field", body: `{"job":{},"bricks":[0],"grid_counts":[1,1,1],"nope":1}`, status: http.StatusBadRequest},
+		{name: "invalid job", body: mustJSON(t, MapRequest{Bricks: []int{0}}), status: http.StatusBadRequest},
+		{name: "empty batch", body: mustJSON(t, MapRequest{Job: job, GridCounts: grid.Counts}), status: http.StatusBadRequest},
+		{name: "brick out of range", body: mustJSON(t, MapRequest{Job: job, Bricks: []int{99}, GridCounts: grid.Counts}), status: http.StatusBadRequest},
+		{name: "duplicate brick", body: mustJSON(t, MapRequest{Job: job, Bricks: []int{0, 0}, GridCounts: grid.Counts}), status: http.StatusBadRequest},
+		{name: "bad reduce plan", body: mustJSON(t, MapRequest{Job: job, Bricks: []int{0}, GridCounts: grid.Counts,
+			Reduce: &ReducePlan{Exchange: "", Self: -1, Reducers: []ReduceTarget{{Addr: "x", Hi: 1}}}}), status: http.StatusBadRequest},
+		{name: "grid mismatch", body: mustJSON(t, MapRequest{Job: job, Bricks: []int{0}, GridCounts: [3]int{7, 7, 7}}), status: http.StatusInternalServerError},
+		{name: "map failure", body: mustJSON(t, MapRequest{Job: job, Bricks: []int{0}, GridCounts: grid.Counts}), sick: true, status: http.StatusInternalServerError},
+		{name: "push failure", body: mustJSON(t, MapRequest{Job: job, Bricks: []int{0}, GridCounts: grid.Counts,
+			Reduce: &ReducePlan{Exchange: "ex1", Self: -1, Reducers: []ReduceTarget{{Addr: deadPeer.URL, Lo: 0, Hi: keyRange}}}}), status: http.StatusFailedDependency},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wk, err := NewWorker(WorkerConfig{Spec: spec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.sick {
+				wk.mapBricks = func(cluster.Spec, core.Options, []int, int) (*core.MapResult, error) {
+					return nil, errors.New("injected device failure")
+				}
+			}
+			rec := httptest.NewRecorder()
+			wk.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, MapPath, strings.NewReader(tc.body)))
+			if rec.Code != tc.status {
+				t.Errorf("status %d, want %d (%s)", rec.Code, tc.status, bytes.TrimSpace(rec.Body.Bytes()))
+			}
+		})
+	}
+}
+
+func mustJSON(t *testing.T, req MapRequest) string {
+	t.Helper()
+	body, err := encodeMapRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestCoordinatorDoesNotMarkDownOn4xx: a node answering 400 or 424 is
+// alive and healthy — backing it off would degrade placement for every
+// following job. Only 5xx marks it down.
+func TestCoordinatorDoesNotMarkDownOn4xx(t *testing.T) {
+	for _, tc := range []struct {
+		status    int
+		nodeDowns int64
+	}{
+		{http.StatusBadRequest, 0},
+		{http.StatusFailedDependency, 0},
+		{http.StatusTooManyRequests, 0},
+		{http.StatusInternalServerError, 1},
+	} {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "nope", tc.status)
+		}))
+		coord := newTestCoordinator(t, []string{srv.URL}, nil)
+		_, _, err := coord.post(context.Background(), time.Second, srv.URL, MapPath, nil, "application/json", "")
+		if err == nil {
+			t.Fatalf("status %d produced no error", tc.status)
+		}
+		if got := coord.Stats().NodeDowns; got != tc.nodeDowns {
+			t.Errorf("status %d: %d node-downs, want %d", tc.status, got, tc.nodeDowns)
+		}
+		srv.Close()
+	}
+}
+
+// --- exchange-table unit tests ---
+
+// reduceWorker builds a bare worker for exchange handler tests.
+func reduceWorker(t *testing.T, mut func(*WorkerConfig)) *Worker {
+	t.Helper()
+	cfg := WorkerConfig{Spec: cluster.AC(1)}
+	if mut != nil {
+		mut(&cfg)
+	}
+	wk, err := NewWorker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wk
+}
+
+// pushReq builds a /reduce request for stripes with a correct digest.
+func pushReq(exchange string, lo, hi int32, stripes []core.BrickStripe) *http.Request {
+	payload := EncodeStripes(stripes)
+	u := fmt.Sprintf("%s?ex=%s&lo=%d&hi=%d", ReducePath, url.QueryEscape(exchange), lo, hi)
+	r := httptest.NewRequest(http.MethodPost, u, bytes.NewReader(payload))
+	r.Header.Set(HeaderStripeDigest, PayloadDigest(payload))
+	return r
+}
+
+func TestReducePushRejects(t *testing.T) {
+	wk := reduceWorker(t, nil)
+	frag := composite.Fragment{Key: 5, A: 1}
+	good := []core.BrickStripe{{Brick: 0, Frags: []composite.Fragment{frag}}}
+
+	cases := []struct {
+		name   string
+		req    *http.Request
+		status int
+	}{
+		{"inverted range", pushReq("e", 10, 5, nil), http.StatusBadRequest},
+		{"missing exchange", pushReq("", 0, 10, nil), http.StatusBadRequest},
+		{"key outside range", pushReq("e", 0, 4, good), http.StatusBadRequest},
+		{"duplicate brick in payload", pushReq("e", 0, 10,
+			[]core.BrickStripe{{Brick: 1}, {Brick: 1}}), http.StatusBadRequest},
+	}
+	digestless := pushReq("e", 0, 10, good)
+	digestless.Header.Del(HeaderStripeDigest)
+	cases = append(cases, struct {
+		name   string
+		req    *http.Request
+		status int
+	}{"missing digest", digestless, http.StatusBadRequest})
+	corrupt := pushReq("e", 0, 10, good)
+	corrupt.Header.Set(HeaderStripeDigest, PayloadDigest([]byte("x")))
+	cases = append(cases, struct {
+		name   string
+		req    *http.Request
+		status int
+	}{"digest mismatch", corrupt, http.StatusBadRequest})
+
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		wk.HandleReducePush(rec, tc.req)
+		if rec.Code != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, rec.Code, tc.status)
+		}
+	}
+	st := wk.ExchangeStats()
+	if st.PushRejects != int64(len(cases)) || st.Pushes != 0 {
+		t.Errorf("rejects not counted: %+v", st)
+	}
+
+	rec := httptest.NewRecorder()
+	wk.HandleReducePush(rec, pushReq("e", 0, 10, good))
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("valid push rejected: %d %s", rec.Code, rec.Body.String())
+	}
+	if st := wk.ExchangeStats(); st.Pushes != 1 || st.Sessions != 1 {
+		t.Errorf("push not counted: %+v", st)
+	}
+}
+
+// TestReducePushRangeConflict: two pushes for one exchange must agree on
+// the range — a mismatch is a planning bug, answered 409.
+func TestReducePushRangeConflict(t *testing.T) {
+	wk := reduceWorker(t, nil)
+	rec := httptest.NewRecorder()
+	wk.HandleReducePush(rec, pushReq("e", 0, 10, nil))
+	if rec.Code != http.StatusNoContent {
+		t.Fatal(rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	wk.HandleReducePush(rec, pushReq("e", 0, 20, nil))
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("conflicting range answered %d, want 409", rec.Code)
+	}
+}
+
+// TestReduceSessionCap: the table refuses new exchanges past the cap so
+// a coordinator storm cannot pin unbounded fragment memory.
+func TestReduceSessionCap(t *testing.T) {
+	wk := reduceWorker(t, func(c *WorkerConfig) { c.MaxExchanges = 1 })
+	rec := httptest.NewRecorder()
+	wk.HandleReducePush(rec, pushReq("a", 0, 10, nil))
+	if rec.Code != http.StatusNoContent {
+		t.Fatal(rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	wk.HandleReducePush(rec, pushReq("b", 0, 10, nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-cap exchange answered %d, want 429", rec.Code)
+	}
+}
+
+// TestReduceSessionTTLSweep: a session whose coordinator died must be
+// swept after the TTL, freeing its fragments and its cap slot.
+func TestReduceSessionTTLSweep(t *testing.T) {
+	wk := reduceWorker(t, func(c *WorkerConfig) { c.ExchangeTTL = time.Minute })
+	now := time.Unix(1000, 0)
+	wk.ex.now = func() time.Time { return now }
+
+	rec := httptest.NewRecorder()
+	wk.HandleReducePush(rec, pushReq("orphan", 0, 10, nil))
+	if rec.Code != http.StatusNoContent {
+		t.Fatal(rec.Code)
+	}
+	if st := wk.ExchangeStats(); st.Sessions != 1 {
+		t.Fatalf("session not live: %+v", st)
+	}
+	now = now.Add(2 * time.Minute)
+	if st := wk.ExchangeStats(); st.Sessions != 0 || st.Expired != 1 {
+		t.Errorf("orphaned session survived the TTL: %+v", st)
+	}
+}
+
+// TestReduceDuplicateDeliveryFirstWriteWins: a duplicate delivery for a
+// brick (a retried or hedged mapper) is dropped. Stripes are canonical
+// per brick, so in production the duplicate carries identical bytes —
+// the test uses different ones precisely to observe which delivery won.
+func TestReduceDuplicateDeliveryFirstWriteWins(t *testing.T) {
+	table := newExchangeTable(4, time.Minute)
+	s, _, err := table.join("e", 0, 10, time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := []composite.Fragment{{Key: 1, A: 0.5}}
+	second := []composite.Fragment{{Key: 2, A: 0.9}}
+	s.deliver([]core.BrickStripe{{Brick: 0, Frags: first}}, 0, 0, time.Unix(1, 0))
+	s.deliver([]core.BrickStripe{{Brick: 0, Frags: second}}, 0, 0, time.Unix(2, 0))
+	s.mu.Lock()
+	got := s.bricks[0]
+	s.mu.Unlock()
+	if len(got) != 1 || got[0].Key != 1 {
+		t.Errorf("second delivery overwrote the first: %+v", got)
+	}
+}
+
+// collectReq builds a /reduce/collect request.
+func collectReq(t *testing.T, job JobSpec, exchange string, lo, hi int32, numBricks int) *http.Request {
+	t.Helper()
+	body, err := json.Marshal(CollectRequest{
+		Exchange: exchange, Lo: lo, Hi: hi, NumBricks: numBricks, Job: job,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return httptest.NewRequest(http.MethodPost, CollectPath, bytes.NewReader(body))
+}
+
+// TestCollectTimeoutIncomplete: a collect whose exchange never completes
+// (a mapper died before pushing) must answer 504 when the request
+// context expires, naming the progress — not hang.
+func TestCollectTimeoutIncomplete(t *testing.T) {
+	wk := reduceWorker(t, nil)
+	job := testJob(t, dataset.Skull, 24, 48, 2, 0, false)
+	keyRange := int32(job.Width) * int32(job.Height)
+
+	rec := httptest.NewRecorder()
+	wk.HandleReducePush(rec, pushReq("e", 0, keyRange, []core.BrickStripe{{Brick: 0}}))
+	if rec.Code != http.StatusNoContent {
+		t.Fatal(rec.Code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req := collectReq(t, job, "e", 0, keyRange, 2).WithContext(ctx)
+	rec = httptest.NewRecorder()
+	wk.HandleCollect(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("incomplete collect answered %d, want 504", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "1/2") {
+		t.Errorf("timeout body does not name progress: %s", rec.Body.String())
+	}
+}
+
+// TestCollectRejectsOverrun: a session holding bricks outside the
+// declared grid is a protocol violation, answered 409 and torn down.
+func TestCollectRejectsOverrun(t *testing.T) {
+	wk := reduceWorker(t, nil)
+	job := testJob(t, dataset.Skull, 24, 48, 2, 0, false)
+	keyRange := int32(job.Width) * int32(job.Height)
+	rec := httptest.NewRecorder()
+	wk.HandleReducePush(rec, pushReq("e", 0, keyRange, []core.BrickStripe{{Brick: 7}}))
+	if rec.Code != http.StatusNoContent {
+		t.Fatal(rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	wk.HandleCollect(rec, collectReq(t, job, "e", 0, keyRange, 2))
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("overrun collect answered %d, want 409", rec.Code)
+	}
+	if st := wk.ExchangeStats(); st.Sessions != 0 {
+		t.Errorf("poisoned session survived: %+v", st)
+	}
+}
+
+// TestCollectRejectsBadParameters: range and brick-count bounds.
+func TestCollectRejectsBadParameters(t *testing.T) {
+	wk := reduceWorker(t, nil)
+	job := testJob(t, dataset.Skull, 24, 48, 2, 0, false)
+	keyRange := int32(job.Width) * int32(job.Height)
+	for name, req := range map[string]*http.Request{
+		"range beyond image": collectReq(t, job, "e", 0, keyRange+1, 1),
+		"inverted range":     collectReq(t, job, "e", 10, 5, 1),
+		"zero bricks":        collectReq(t, job, "e", 0, keyRange, 0),
+		"missing exchange":   collectReq(t, job, "", 0, keyRange, 1),
+	} {
+		rec := httptest.NewRecorder()
+		wk.HandleCollect(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: answered %d, want 400", name, rec.Code)
+		}
+	}
+}
+
+// --- wire codec ---
+
+// TestCompressedWireRoundTrip: the columnar payload is lossless to the
+// bit, including non-finite float patterns and non-monotone keys.
+func TestCompressedWireRoundTrip(t *testing.T) {
+	nan := math.Float32frombits(0x7fc00001) // a specific quiet-NaN payload
+	stripes := []core.BrickStripe{
+		{Brick: 0, Frags: []composite.Fragment{
+			{Key: 3, R: 0.25, G: 0.5, B: 0.125, A: 0.75, Depth: 1.5},
+			{Key: 9, R: nan, G: float32(math.Inf(1)), B: float32(math.Inf(-1)), A: 0, Depth: 2.25},
+			{Key: 7, R: -0.0, A: 1, Depth: 0.5}, // keys may go backwards; deltas are signed
+		}},
+		{Brick: 2},
+		{Brick: 5, Frags: []composite.Fragment{{Key: 0, A: 1, Depth: 0.5}}},
+	}
+	payload := CompressStripes(stripes)
+	back, err := DecompressStripes(payload, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stripesBitEqual(stripes, back) {
+		t.Fatal("columnar round trip changed fragment bits")
+	}
+}
+
+// stripesBitEqual compares stripes fragment by fragment on raw float
+// bits, so NaN payloads compare correctly.
+func stripesBitEqual(a, b []core.BrickStripe) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Brick != b[i].Brick || len(a[i].Frags) != len(b[i].Frags) {
+			return false
+		}
+		for j := range a[i].Frags {
+			fa, fb := a[i].Frags[j], b[i].Frags[j]
+			if fa.Key != fb.Key ||
+				math.Float32bits(fa.R) != math.Float32bits(fb.R) ||
+				math.Float32bits(fa.G) != math.Float32bits(fb.G) ||
+				math.Float32bits(fa.B) != math.Float32bits(fb.B) ||
+				math.Float32bits(fa.A) != math.Float32bits(fb.A) ||
+				math.Float32bits(fa.Depth) != math.Float32bits(fb.Depth) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestDecodePayloadUnknownEncoding: an encoding neither side negotiated
+// is an error, never silently misparsed.
+func TestDecodePayloadUnknownEncoding(t *testing.T) {
+	if _, err := DecodePayload("gzip", []byte{1, 2, 3}, 1<<20); err == nil {
+		t.Fatal("unknown encoding accepted")
+	}
+}
+
+// TestCompressionShrinksRealStripes runs a real map batch and asserts
+// the columnar payload is materially smaller than the identity one —
+// the wire win the cluster bench records (its guard demands ≥2x; here
+// a softer floor keeps the unit test robust at tiny scale).
+func TestCompressionShrinksRealStripes(t *testing.T) {
+	job := testJob(t, dataset.Skull, 32, 64, 2, 30, true)
+	opt, err := job.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cluster.AC(1)
+	grid, err := core.PlanGrid(spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bricks := make([]int, grid.NumBricks())
+	for i := range bricks {
+		bricks[i] = i
+	}
+	res, err := core.MapBricks(spec, opt, bricks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identity := EncodeStripes(res.Stripes)
+	compressed := CompressStripes(res.Stripes)
+	if len(identity) == 0 {
+		t.Skip("empty stripes at this view")
+	}
+	if len(compressed)*3 > len(identity)*2 {
+		t.Errorf("columnar payload %d bytes vs identity %d: less than 1.5x", len(compressed), len(identity))
+	}
+	t.Logf("wire compression: %d -> %d bytes (%.2fx)",
+		len(identity), len(compressed), float64(len(identity))/float64(len(compressed)))
+	back, err := DecompressStripes(compressed, int64(len(identity))+1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stripesBitEqual(res.Stripes, back) {
+		t.Fatal("real stripes changed bits over the columnar wire")
+	}
+}
+
+// TestAcceptsColumnar covers the negotiation parser.
+func TestAcceptsColumnar(t *testing.T) {
+	for header, want := range map[string]bool{
+		"":                           false,
+		"gzip, deflate":              false,
+		EncodingColumnar:             true,
+		"gzip, " + EncodingColumnar:  true,
+		EncodingColumnar + ";q=1":    true,
+		" " + EncodingColumnar + " ": true,
+		"xgvmr-cf1":                  false,
+	} {
+		if got := acceptsColumnar(header); got != want {
+			t.Errorf("acceptsColumnar(%q) = %t, want %t", header, got, want)
+		}
+	}
+}

@@ -1,12 +1,16 @@
 package dist
 
 import (
+	"bytes"
+	"compress/flate"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
+	"strings"
 
 	"gvmr/internal/composite"
 	"gvmr/internal/core"
@@ -17,17 +21,44 @@ const (
 	// MapPath is the worker endpoint: POST a JSON MapRequest, receive the
 	// binary stripe payload.
 	MapPath = "/map"
+	// ReducePath is the worker-to-worker exchange endpoint: a mapper
+	// POSTs the stripe payload filtered to one reducer's pixel range
+	// (query: ?ex=<exchange>&lo=<lo>&hi=<hi>).
+	ReducePath = "/reduce"
+	// CollectPath is the coordinator-facing end of an exchange: POST a
+	// JSON CollectRequest, receive the reducer's composited pixel range
+	// as a sparse result stripe.
+	CollectPath = "/reduce/collect"
 	// HeaderFragCount is the total fragment count across all stripes in
 	// the response body.
 	HeaderFragCount = "X-Gvmr-Frag-Count"
 	// HeaderMapSeconds is the virtual duration of the worker's map job
 	// (its simulated makespan, not wall time), in seconds.
 	HeaderMapSeconds = "X-Gvmr-Map-Seconds"
-	// HeaderStripeDigest is the SHA-256 of the exact response body. The
+	// HeaderStripeDigest is the SHA-256 of the exact response body (the
+	// bytes as sent, compressed when compression was negotiated). The
 	// coordinator recomputes it; any corruption in flight (or a buggy
 	// worker) turns into a retry on another node instead of wrong bits.
 	HeaderStripeDigest = "X-Gvmr-Stripe-Digest"
+	// HeaderReduced marks a map response whose stripes went to the
+	// exchange's reducers instead of the response body ("1").
+	HeaderReduced = "X-Gvmr-Reduced"
+	// HeaderReduceSeconds is the reducer's modeled composite charge for
+	// its pixel range, in virtual seconds (collect responses).
+	HeaderReduceSeconds = "X-Gvmr-Reduce-Seconds"
+	// HeaderExchangeBytes and HeaderExchangeMsgs are the bytes and
+	// messages a reducer received over the peer exchange (collect
+	// responses) — in-process self-deliveries count zero.
+	HeaderExchangeBytes = "X-Gvmr-Exchange-Bytes"
+	HeaderExchangeMsgs  = "X-Gvmr-Exchange-Msgs"
 )
+
+// EncodingColumnar names the negotiated stripe compression: a columnar
+// transform (varint stripe headers, per-stripe delta-zigzag pixel keys,
+// byte-plane-split float channels) under stdlib flate. Advertised via
+// Accept-Encoding and confirmed via Content-Encoding, so either side may
+// be older and the exchange degrades to the identity v1 payload.
+const EncodingColumnar = "gvmr-cf1"
 
 // MapRequest asks a worker to run the map phase for a batch of bricks.
 type MapRequest struct {
@@ -39,6 +70,39 @@ type MapRequest struct {
 	// GPU model, different bricking policy version) must fail loudly,
 	// never render different bricks.
 	GridCounts [3]int `json:"grid_counts"`
+	// Reduce, when non-nil, turns the batch into one leg of a
+	// distributed reduce: instead of returning stripes, the worker
+	// pushes each reducer's pixel range to its /reduce endpoint (its own
+	// range is delivered in-process) and returns an empty body with
+	// HeaderReduced set. Workers predating the field reject the request
+	// (DisallowUnknownFields), which the coordinator treats as a reduce
+	// failure and falls back to the classic path — mixed fleets degrade,
+	// never diverge.
+	Reduce *ReducePlan `json:"reduce,omitempty"`
+}
+
+// ReduceTarget is one reducer in an exchange: the worker owning the
+// half-open pixel-key range [Lo, Hi).
+type ReduceTarget struct {
+	Addr string `json:"addr"`
+	Lo   int32  `json:"lo"`
+	Hi   int32  `json:"hi"`
+}
+
+// ReducePlan tells a mapper where every reducer in its exchange lives.
+// All mappers in one exchange receive the identical Reducers slice
+// (contiguous ranges ordered by reducer index, covering the image).
+type ReducePlan struct {
+	// Exchange identifies the session; reducers keep per-exchange state
+	// until the coordinator collects or the session expires.
+	Exchange string `json:"exchange"`
+	// Self is the index in Reducers of the mapper itself, or -1 when the
+	// mapper is not a reducer; its own range skips the wire entirely.
+	Self int `json:"self"`
+	// Compress applies EncodingColumnar to the pushed payloads.
+	Compress bool `json:"compress,omitempty"`
+
+	Reducers []ReduceTarget `json:"reducers"`
 }
 
 // Stripe payload format (all little-endian):
@@ -114,6 +178,223 @@ func DecodeStripes(data []byte) ([]core.BrickStripe, error) {
 		stripes = append(stripes, s)
 	}
 	return stripes, nil
+}
+
+// fragChannels and fragPlanes shape the columnar transform: five float32
+// channels (R,G,B,A,Depth), each split into its four little-endian byte
+// planes so flate sees long runs of structurally similar bytes (sign and
+// exponent planes of neighbouring fragments are near-constant).
+const (
+	fragChannels = 5
+	fragPlanes   = 4
+)
+
+// CompressStripes serialises stripes into the EncodingColumnar payload:
+//
+//	flate(
+//	  uvarint stripe count
+//	  repeat per stripe: uvarint brick ID, uvarint fragment count
+//	  repeat per stripe: varint delta-coded pixel keys (reset per stripe)
+//	  5 channels × 4 byte planes × one byte per fragment
+//	)
+//
+// Keys inside a stripe ascend (the caster emits pixels in scan order),
+// so deltas are small positive varints; the float planes compress on the
+// smoothness of adjacent rays. The transform is lossless and exact: the
+// decoded fragments carry the same bit patterns, NaNs included.
+func CompressStripes(stripes []core.BrickStripe) []byte {
+	total := 0
+	for _, s := range stripes {
+		total += len(s.Frags)
+	}
+	var raw bytes.Buffer
+	raw.Grow(len(stripes)*8 + total*(fragChannels*fragPlanes+2))
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) { raw.Write(tmp[:binary.PutUvarint(tmp[:], v)]) }
+	putVarint := func(v int64) { raw.Write(tmp[:binary.PutVarint(tmp[:], v)]) }
+
+	putUvarint(uint64(len(stripes)))
+	for _, s := range stripes {
+		putUvarint(uint64(uint32(int32(s.Brick))))
+		putUvarint(uint64(len(s.Frags)))
+	}
+	for _, s := range stripes {
+		prev := int64(0)
+		for _, f := range s.Frags {
+			putVarint(int64(f.Key) - prev)
+			prev = int64(f.Key)
+		}
+	}
+	planes := make([]byte, total*fragChannels*fragPlanes)
+	i := 0
+	for _, s := range stripes {
+		for _, f := range s.Frags {
+			bits := [fragChannels]uint32{
+				math.Float32bits(f.R), math.Float32bits(f.G), math.Float32bits(f.B),
+				math.Float32bits(f.A), math.Float32bits(f.Depth),
+			}
+			for c, b := range bits {
+				for p := 0; p < fragPlanes; p++ {
+					planes[(c*fragPlanes+p)*total+i] = byte(b >> (8 * p))
+				}
+			}
+			i++
+		}
+	}
+	raw.Write(planes)
+
+	var out bytes.Buffer
+	// BestCompression: stripe payloads are sub-megabyte and encoded once
+	// per hop, so the deeper match search is wall-clock noise, and the
+	// wire model charges every byte it saves.
+	zw, _ := flate.NewWriter(&out, flate.BestCompression)
+	_, _ = zw.Write(raw.Bytes()) // bytes.Buffer writes cannot fail
+	_ = zw.Close()
+	return out.Bytes()
+}
+
+// DecompressStripes parses an EncodingColumnar payload. maxBytes bounds
+// the decompressed size (zip-bomb guard); structural violations —
+// truncation, counts beyond the payload, out-of-range bricks or keys,
+// trailing garbage — are errors, mirroring DecodeStripes.
+func DecompressStripes(data []byte, maxBytes int64) ([]core.BrickStripe, error) {
+	zr := flate.NewReader(bytes.NewReader(data))
+	defer zr.Close()
+	raw, err := io.ReadAll(io.LimitReader(zr, maxBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("dist: %s inflate: %w", EncodingColumnar, err)
+	}
+	if int64(len(raw)) > maxBytes {
+		return nil, fmt.Errorf("dist: %s payload inflates beyond %d bytes", EncodingColumnar, maxBytes)
+	}
+	pos := 0
+	uvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(raw[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("dist: %s truncated varint at byte %d", EncodingColumnar, pos)
+		}
+		pos += n
+		return v, nil
+	}
+	nStripes, err := uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Each stripe costs at least two header bytes; anything claiming more
+	// is corrupt, and bounding here keeps allocations honest.
+	if nStripes > uint64(len(raw)-pos) {
+		return nil, fmt.Errorf("dist: %s claims %d stripes in %d bytes", EncodingColumnar, nStripes, len(raw)-pos)
+	}
+	stripes := make([]core.BrickStripe, nStripes)
+	var total64 int64
+	counts := make([]int, nStripes)
+	for i := range stripes {
+		brick, err := uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if brick > math.MaxInt32 {
+			return nil, fmt.Errorf("dist: %s brick ID %d overflows int32", EncodingColumnar, brick)
+		}
+		count, err := uvarint()
+		if err != nil {
+			return nil, err
+		}
+		// A fragment costs at least one key byte plus its 20 plane bytes,
+		// so any count past that density is corrupt — checked before the
+		// fragment slices are allocated.
+		if count > uint64(len(raw)-pos)/(fragChannels*fragPlanes+1) {
+			return nil, fmt.Errorf("dist: %s stripe for brick %d claims %d fragments beyond payload", EncodingColumnar, brick, count)
+		}
+		stripes[i].Brick = int(int32(brick))
+		counts[i] = int(count)
+		total64 += int64(count)
+	}
+	if total64*(fragChannels*fragPlanes+1) > int64(len(raw)-pos) {
+		return nil, fmt.Errorf("dist: %s claims %d fragments beyond payload", EncodingColumnar, total64)
+	}
+	total := int(total64)
+	for i := range stripes {
+		if counts[i] == 0 {
+			continue
+		}
+		frags := make([]composite.Fragment, counts[i])
+		prev := int64(0)
+		for j := range frags {
+			d, n := binary.Varint(raw[pos:])
+			if n <= 0 {
+				return nil, fmt.Errorf("dist: %s truncated key varint at byte %d", EncodingColumnar, pos)
+			}
+			pos += n
+			k := prev + d
+			if k < math.MinInt32 || k > math.MaxInt32 {
+				return nil, fmt.Errorf("dist: %s key %d overflows int32", EncodingColumnar, k)
+			}
+			frags[j].Key = int32(k)
+			prev = k
+		}
+		stripes[i].Frags = frags
+	}
+	if len(raw)-pos != total*fragChannels*fragPlanes {
+		return nil, fmt.Errorf("dist: %s plane section is %d bytes, want %d", EncodingColumnar, len(raw)-pos, total*fragChannels*fragPlanes)
+	}
+	planes := raw[pos:]
+	i := 0
+	for si := range stripes {
+		for j := range stripes[si].Frags {
+			var bits [fragChannels]uint32
+			for c := 0; c < fragChannels; c++ {
+				for p := 0; p < fragPlanes; p++ {
+					bits[c] |= uint32(planes[(c*fragPlanes+p)*total+i]) << (8 * p)
+				}
+			}
+			f := &stripes[si].Frags[j]
+			f.R = math.Float32frombits(bits[0])
+			f.G = math.Float32frombits(bits[1])
+			f.B = math.Float32frombits(bits[2])
+			f.A = math.Float32frombits(bits[3])
+			f.Depth = math.Float32frombits(bits[4])
+			i++
+		}
+	}
+	if nStripes == 0 {
+		return nil, nil
+	}
+	return stripes, nil
+}
+
+// EncodePayload serialises stripes for the wire, compressed when the
+// peer negotiated it. The returned encoding is the Content-Encoding
+// value ("" = identity v1).
+func EncodePayload(stripes []core.BrickStripe, compress bool) ([]byte, string) {
+	if compress {
+		return CompressStripes(stripes), EncodingColumnar
+	}
+	return EncodeStripes(stripes), ""
+}
+
+// DecodePayload parses a wire payload according to its Content-Encoding.
+// maxBytes bounds the decompressed size of compressed payloads.
+func DecodePayload(encoding string, data []byte, maxBytes int64) ([]core.BrickStripe, error) {
+	switch encoding {
+	case "", "identity":
+		return DecodeStripes(data)
+	case EncodingColumnar:
+		return DecompressStripes(data, maxBytes)
+	default:
+		return nil, fmt.Errorf("dist: unsupported content encoding %q", encoding)
+	}
+}
+
+// acceptsColumnar reports whether an Accept-Encoding header value offers
+// EncodingColumnar.
+func acceptsColumnar(header string) bool {
+	for _, tok := range strings.Split(header, ",") {
+		if name, _, _ := strings.Cut(strings.TrimSpace(tok), ";"); strings.TrimSpace(name) == EncodingColumnar {
+			return true
+		}
+	}
+	return false
 }
 
 // PayloadDigest is the hex SHA-256 of a stripe payload — the value of

@@ -1,10 +1,16 @@
 package dist
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"net/url"
 	"strconv"
+	"time"
 
 	"gvmr/internal/cluster"
 	"gvmr/internal/core"
@@ -24,9 +30,23 @@ type WorkerConfig struct {
 	// service's limits (defaults 512 and 4096²).
 	MaxEdge   int
 	MaxPixels int
-	// MaxBody bounds the request body (default 1 MiB — a map request is
-	// a small JSON document).
+	// MaxBody bounds JSON request bodies (default 1 MiB — map and
+	// collect requests are small documents).
 	MaxBody int64
+	// MaxResponseBytes bounds one exchange push payload, on the wire and
+	// decompressed (default 1 GiB, mirroring the coordinator's response
+	// bound).
+	MaxResponseBytes int64
+	// PushClient posts exchange ranges to peer reducers (default: a
+	// client on the shared tuned transport). PushTimeout bounds one peer
+	// push (default 20s).
+	PushClient  *http.Client
+	PushTimeout time.Duration
+	// MaxExchanges caps concurrent reduce sessions (default 64);
+	// ExchangeTTL sweeps sessions whose coordinator vanished (default
+	// 2 minutes).
+	MaxExchanges int
+	ExchangeTTL  time.Duration
 }
 
 func (c *WorkerConfig) fillDefaults() error {
@@ -42,15 +62,55 @@ func (c *WorkerConfig) fillDefaults() error {
 	if c.MaxBody == 0 {
 		c.MaxBody = 1 << 20
 	}
+	if c.MaxResponseBytes == 0 {
+		c.MaxResponseBytes = 1 << 30
+	}
+	if c.PushClient == nil {
+		c.PushClient = newClient()
+	}
+	if c.PushTimeout == 0 {
+		c.PushTimeout = 20 * time.Second
+	}
+	if c.MaxExchanges == 0 {
+		c.MaxExchanges = 64
+	}
+	if c.ExchangeTTL == 0 {
+		c.ExchangeTTL = 2 * time.Minute
+	}
 	return nil
 }
 
+// requestError marks a deterministic problem with the request itself —
+// the node is healthy, the request can never succeed anywhere as posed.
+// Served as 400, which the coordinator deliberately does not treat as a
+// node failure.
+type requestError struct{ err error }
+
+func (e requestError) Error() string { return e.err.Error() }
+func (e requestError) Unwrap() error { return e.err }
+
+// pushError marks a reduce-exchange push that a peer refused or never
+// answered. The mapper itself is healthy — served as 424 (failed
+// dependency) so the coordinator aborts the exchange without backing
+// off the mapper.
+type pushError struct{ err error }
+
+func (e pushError) Error() string { return e.err.Error() }
+func (e pushError) Unwrap() error { return e.err }
+
 // Worker serves MapPath: it decodes a MapRequest, cross-checks the grid
-// plan, runs core.MapBricks on the local spec and writes the stripe
-// payload. Mount it on any mux (cmd/gvmrd mounts it on every service, so
-// every daemon is worker-capable out of the box).
+// plan, runs core.MapBricks on the local spec and either writes the
+// stripe payload (classic) or pushes each reducer's pixel range into the
+// frame's exchange (distributed reduce). Mount it on any mux (cmd/gvmrd
+// mounts it on every service, so every daemon is worker-capable out of
+// the box).
 type Worker struct {
 	cfg WorkerConfig
+	ex  *exchangeTable
+
+	// mapBricks is the compute seam; tests substitute it to fault-inject
+	// internal failures without a sick GPU model.
+	mapBricks func(spec cluster.Spec, opt core.Options, brickIDs []int, devWorkers int) (*core.MapResult, error)
 }
 
 // NewWorker validates the config and builds the handler.
@@ -58,10 +118,31 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	return &Worker{cfg: cfg}, nil
+	return &Worker{
+		cfg:       cfg,
+		ex:        newExchangeTable(cfg.MaxExchanges, cfg.ExchangeTTL),
+		mapBricks: core.MapBricks,
+	}, nil
 }
 
-// ServeHTTP implements http.Handler for MapPath.
+// ExchangeStats snapshots the worker's reduce-exchange counters.
+func (wk *Worker) ExchangeStats() ExchangeStats { return wk.ex.stats() }
+
+// mapOutcome is one successful map batch, ready to serve.
+type mapOutcome struct {
+	payload    []byte
+	encoding   string // Content-Encoding of payload ("" = identity)
+	frags      int
+	mapSeconds float64
+	reduced    bool // stripes went to the exchange, payload is empty
+}
+
+// ServeHTTP implements http.Handler for MapPath. Errors map to status by
+// class: deterministic request problems are 400 (retrying elsewhere
+// cannot help, the node is fine), failed exchange pushes are 424 (a
+// *peer* is sick), and everything else — staging, planning, the map
+// computation itself — is 500, which is what lets the coordinator mark
+// a sick node down and steer placement away from it.
 func (wk *Worker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -74,48 +155,169 @@ func (wk *Worker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad map request: %v", err), http.StatusBadRequest)
 		return
 	}
-	payload, frags, mapSeconds, err := wk.run(req)
+	out, err := wk.run(r.Context(), req, acceptsColumnar(r.Header.Get("Accept-Encoding")))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		status := http.StatusInternalServerError
+		var reqErr requestError
+		var pErr pushError
+		switch {
+		case errors.As(err, &reqErr):
+			status = http.StatusBadRequest
+		case errors.As(err, &pErr):
+			status = http.StatusFailedDependency
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
 	h := w.Header()
 	h.Set("Content-Type", "application/octet-stream")
-	h.Set("Content-Length", strconv.Itoa(len(payload)))
-	h.Set(HeaderFragCount, strconv.Itoa(frags))
-	h.Set(HeaderMapSeconds, strconv.FormatFloat(mapSeconds, 'g', -1, 64))
-	h.Set(HeaderStripeDigest, PayloadDigest(payload))
-	_, _ = w.Write(payload) // client hangup; the coordinator will retry
+	if out.encoding != "" {
+		h.Set("Content-Encoding", out.encoding)
+	}
+	h.Set("Content-Length", strconv.Itoa(len(out.payload)))
+	h.Set(HeaderFragCount, strconv.Itoa(out.frags))
+	h.Set(HeaderMapSeconds, strconv.FormatFloat(out.mapSeconds, 'g', -1, 64))
+	h.Set(HeaderStripeDigest, PayloadDigest(out.payload))
+	if out.reduced {
+		h.Set(HeaderReduced, "1")
+	}
+	_, _ = w.Write(out.payload) // client hangup; the coordinator will retry
 }
 
 // Map is the in-process form of the endpoint: run a map batch and return
-// the encoded payload, its fragment count and the job's virtual seconds.
-// The HTTP handler and tests share it.
-func (wk *Worker) Map(req MapRequest) ([]byte, int, float64, error) { return wk.run(req) }
-
-func (wk *Worker) run(req MapRequest) ([]byte, int, float64, error) {
-	if err := req.Job.Validate(wk.cfg.MaxEdge, wk.cfg.MaxPixels); err != nil {
+// the encoded identity payload, its fragment count and the job's virtual
+// seconds. Tests share it.
+func (wk *Worker) Map(req MapRequest) ([]byte, int, float64, error) {
+	out, err := wk.run(context.Background(), req, false)
+	if err != nil {
 		return nil, 0, 0, err
 	}
+	return out.payload, out.frags, out.mapSeconds, nil
+}
+
+func (wk *Worker) run(ctx context.Context, req MapRequest, compressOK bool) (mapOutcome, error) {
+	if err := req.Job.Validate(wk.cfg.MaxEdge, wk.cfg.MaxPixels); err != nil {
+		return mapOutcome{}, requestError{err}
+	}
 	if len(req.Bricks) == 0 {
-		return nil, 0, 0, fmt.Errorf("dist: empty brick batch")
+		return mapOutcome{}, requestError{fmt.Errorf("dist: empty brick batch")}
 	}
 	opt, err := req.Job.Options()
 	if err != nil {
-		return nil, 0, 0, err
+		return mapOutcome{}, requestError{err}
 	}
 	grid, err := core.PlanGrid(wk.cfg.Spec, opt)
 	if err != nil {
-		return nil, 0, 0, err
+		return mapOutcome{}, fmt.Errorf("dist: planning grid: %w", err)
 	}
 	if grid.Counts != req.GridCounts {
-		return nil, 0, 0, fmt.Errorf(
+		// Not a request error: the request is fine for the rest of the
+		// fleet, this node's GPU model or bricking policy diverged. A 500
+		// backs the node off so placement stops feeding it batches it can
+		// never run.
+		return mapOutcome{}, fmt.Errorf(
 			"dist: grid plan mismatch: worker %v != coordinator %v (GPU model or bricking policy differs)",
 			grid.Counts, req.GridCounts)
 	}
-	res, err := core.MapBricks(wk.cfg.Spec, opt, req.Bricks, wk.cfg.DevWorkers)
-	if err != nil {
-		return nil, 0, 0, err
+	seen := make(map[int]bool, len(req.Bricks))
+	for _, id := range req.Bricks {
+		if id < 0 || id >= grid.NumBricks() {
+			return mapOutcome{}, requestError{fmt.Errorf("dist: brick %d outside grid of %d", id, grid.NumBricks())}
+		}
+		if seen[id] {
+			return mapOutcome{}, requestError{fmt.Errorf("dist: duplicate brick %d in batch", id)}
+		}
+		seen[id] = true
 	}
-	return EncodeStripes(res.Stripes), res.FragmentCount(), res.Runtime.Seconds(), nil
+	if req.Reduce != nil {
+		if err := validatePlan(req.Reduce, int32(req.Job.Width)*int32(req.Job.Height)); err != nil {
+			return mapOutcome{}, requestError{err}
+		}
+	}
+	res, err := wk.mapBricks(wk.cfg.Spec, opt, req.Bricks, wk.cfg.DevWorkers)
+	if err != nil {
+		return mapOutcome{}, fmt.Errorf("dist: map phase: %w", err)
+	}
+	out := mapOutcome{frags: res.FragmentCount(), mapSeconds: res.Runtime.Seconds()}
+	if req.Reduce != nil {
+		if err := wk.pushStripes(ctx, req.Reduce, res.Stripes); err != nil {
+			return mapOutcome{}, err
+		}
+		out.reduced = true
+		return out, nil
+	}
+	out.payload, out.encoding = EncodePayload(res.Stripes, compressOK)
+	return out, nil
+}
+
+// validatePlan bounds a reduce plan before any work runs.
+func validatePlan(plan *ReducePlan, keyRange int32) error {
+	if plan.Exchange == "" || len(plan.Exchange) > maxExchangeID {
+		return fmt.Errorf("dist: bad exchange ID %q", plan.Exchange)
+	}
+	if len(plan.Reducers) < 1 || len(plan.Reducers) > 4096 {
+		return fmt.Errorf("dist: %d reducers outside [1, 4096]", len(plan.Reducers))
+	}
+	if plan.Self < -1 || plan.Self >= len(plan.Reducers) {
+		return fmt.Errorf("dist: self index %d outside plan of %d reducers", plan.Self, len(plan.Reducers))
+	}
+	for i, t := range plan.Reducers {
+		if t.Lo < 0 || t.Hi < t.Lo || t.Hi > keyRange {
+			return fmt.Errorf("dist: reducer %d range [%d,%d) outside image of %d pixels", i, t.Lo, t.Hi, keyRange)
+		}
+		if t.Addr == "" && i != plan.Self {
+			return fmt.Errorf("dist: reducer %d has no address", i)
+		}
+	}
+	return nil
+}
+
+// pushStripes delivers each reducer's pixel range: in-process for the
+// mapper's own range (zero wire bytes), POST /reduce for peers. Any peer
+// failure aborts the whole exchange with a pushError — the coordinator
+// falls back to the classic path, it never composites a partial frame.
+func (wk *Worker) pushStripes(ctx context.Context, plan *ReducePlan, stripes []core.BrickStripe) error {
+	for i, tgt := range plan.Reducers {
+		sub := filterRange(stripes, tgt.Lo, tgt.Hi)
+		if i == plan.Self {
+			s, _, err := wk.ex.join(plan.Exchange, tgt.Lo, tgt.Hi, wk.ex.now())
+			if err != nil {
+				return pushError{err}
+			}
+			s.deliver(sub, 0, 0, wk.ex.now())
+			continue
+		}
+		if err := wk.postPush(ctx, tgt, plan.Exchange, sub, plan.Compress); err != nil {
+			return pushError{fmt.Errorf("dist: pushing range [%d,%d) to %s: %w", tgt.Lo, tgt.Hi, tgt.Addr, err)}
+		}
+	}
+	return nil
+}
+
+func (wk *Worker) postPush(ctx context.Context, tgt ReduceTarget, exchange string,
+	stripes []core.BrickStripe, compress bool) error {
+	payload, encoding := EncodePayload(stripes, compress)
+	ctx, cancel := context.WithTimeout(ctx, wk.cfg.PushTimeout)
+	defer cancel()
+	u := fmt.Sprintf("%s%s?ex=%s&lo=%d&hi=%d", tgt.Addr, ReducePath, url.QueryEscape(exchange), tgt.Lo, tgt.Hi)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if encoding != "" {
+		req.Header.Set("Content-Encoding", encoding)
+	}
+	req.Header.Set(HeaderStripeDigest, PayloadDigest(payload))
+	resp, err := wk.cfg.PushClient.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		drainBody(resp.Body)
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	drainBody(resp.Body)
+	return nil
 }

@@ -71,3 +71,51 @@ func TestCoordinatorServiceMatchesLocal(t *testing.T) {
 		t.Errorf("repeat request served via %q, err %v", via, err)
 	}
 }
+
+// TestDistReduceServiceMatchesLocal: a coordinator service running the
+// reduce phase on its worker fleet serves byte-identical frames to a
+// purely local service, and the exchange demonstrably happened (reduce
+// jobs on the coordinator, pushes and collects on the workers).
+func TestDistReduceServiceMatchesLocal(t *testing.T) {
+	w1, ws1 := startWorkerService(t, 1)
+	w2, ws2 := startWorkerService(t, 1)
+
+	local, err := New(Config{GPUs: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close(context.Background())
+	coord, err := New(Config{GPUs: 2, Workers: 2, WorkerAddrs: []string{w1, w2}, DistReduce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close(context.Background())
+
+	req := Request{Dataset: "skull", Edge: 24, Width: 48, Height: 48, Orbit: 57, GPUs: 2, Shading: true}
+	fLocal, _, err := local.Render(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fDist, _, err := coord.Render(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fDist.Digest != fLocal.Digest {
+		t.Errorf("distributed-reduce digest %s != local %s", fDist.Digest, fLocal.Digest)
+	}
+
+	st := coord.Stats()
+	if st.Dist == nil || st.Dist.ReduceJobs < 1 || st.Dist.ReduceFallbacks != 0 {
+		t.Errorf("exchange did not carry the frame: %+v", st.Dist)
+	}
+	var pushes, collects int64
+	for _, ws := range []*Service{ws1, ws2} {
+		if ex := ws.Stats().Exchange; ex != nil {
+			pushes += ex.Pushes
+			collects += ex.Collects
+		}
+	}
+	if pushes < 1 || collects != 2 {
+		t.Errorf("worker exchange counters implausible: %d pushes, %d collects", pushes, collects)
+	}
+}

@@ -51,6 +51,14 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/render", s.handleRender)
 	mux.HandleFunc(dist.MapPath, s.handleMap)
+	// The reduce-exchange endpoints bypass the admission gate on purpose:
+	// a push or collect is the tail of a render whose map batches already
+	// hold admission slots fleet-wide. Gating them behind the same bounded
+	// queue could deadlock a full fleet — every slot held by a mapper
+	// waiting on a push the gate won't admit. The handlers bound their own
+	// memory (body caps, session cap, TTL sweep) instead.
+	mux.HandleFunc(dist.ReducePath, s.worker.HandleReducePush)
+	mux.HandleFunc(dist.CollectPath, s.worker.HandleCollect)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")

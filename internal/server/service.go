@@ -97,6 +97,16 @@ type Config struct {
 	// HedgeAfter duplicates a straggling map batch onto another healthy
 	// worker after this delay (0 = no hedging). Coordinator mode only.
 	HedgeAfter time.Duration
+	// DistReduce moves the reduce phase onto the worker fleet: mappers
+	// exchange fragment stripes peer-to-peer per pixel partition and the
+	// coordinator collects near-final pixels instead of raw stripes.
+	// Bits are identical either way; any exchange failure falls back to
+	// the classic coordinator-local composite. Coordinator mode only.
+	DistReduce bool
+	// NoWireCompress disables columnar stripe compression on the wire
+	// (it is negotiated per request, so mixed fleets interoperate either
+	// way). Coordinator mode only.
+	NoWireCompress bool
 
 	// AcceptJoins opens the membership control plane: workers may join
 	// the fleet at runtime (POST /register + heartbeats), drain, and be
@@ -318,6 +328,8 @@ func New(cfg Config) (*Service, error) {
 			Nodes:      cfg.WorkerAddrs, // static seeds; joins arrive live
 			Registry:   s.registry,
 			HedgeAfter: cfg.HedgeAfter,
+			DistReduce: cfg.DistReduce,
+			NoCompress: cfg.NoWireCompress,
 			// Plan grids with this service's spec, so a custom Spec works
 			// as long as the workers run the same hardware description
 			// (the grid-counts cross-check catches anything else).
@@ -681,6 +693,11 @@ type Stats struct {
 	// MapJobs counts /map batches served for remote coordinators (this
 	// node acting as a cluster worker).
 	MapJobs int64 `json:"map_jobs"`
+	// Exchange counts distributed-reduce activity on this node acting as
+	// a reducer: stripe pushes received from peer mappers, collects
+	// served to coordinators, and sessions expired or live. Omitted
+	// until the first exchange touches this node.
+	Exchange *dist.ExchangeStats `json:"exchange,omitempty"`
 
 	// WorkerNodes and Dist describe coordinator mode: the current
 	// registered worker count and the distributed-layer event counters.
@@ -724,6 +741,9 @@ func (s *Service) Stats() Stats {
 	}
 	s.mu.Unlock()
 	st.Ready, _ = s.Ready()
+	if ex := s.worker.ExchangeStats(); ex != (dist.ExchangeStats{}) {
+		st.Exchange = &ex
+	}
 	if s.coord != nil {
 		st.WorkerNodes = s.coord.Nodes()
 		ds := s.coord.Stats()
