@@ -80,6 +80,113 @@ func startGoldenWorkers(t *testing.T, n int, wrap func(i int, h http.Handler) ht
 	return addrs
 }
 
+// goldenPartitionJob rebuilds the adversarial non-convex golden (the
+// shaded skull on 16 bricks, interleaved into 2 checkerboard units) as a
+// distributed JobSpec, at the fitted view (angle nil) or an orbit angle.
+func goldenPartitionJob(t *testing.T, angle *float64) dist.JobSpec {
+	t.Helper()
+	job := goldenJob(t, 0) // config 0 is the shaded skull
+	if angle != nil {
+		src, err := dataset.New("skull", dataset.PaperDims("skull", 32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cam, err := core.OrbitCamera(src, job.Width, job.Height, *angle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job.Camera = dist.CameraFrom(cam)
+	}
+	job.BricksPerGPU = 8
+	job.Partition = &dist.PartitionSpec{Scheme: "interleave", Parts: 2}
+	return job
+}
+
+// TestDistributedGoldenNonConvex is the acceptance battery for the
+// non-convex partition path: the adversarial interleaved goldens,
+// rendered through the cluster in every wire regime — classic and
+// distributed reduce, compressed and identity — must reproduce the
+// committed single-process digests bit for bit. Rays re-enter units
+// here, so whole fragment *lists* ride the v2/cf2 codecs and the
+// exchange; one moved bit anywhere in that path fails this test.
+func TestDistributedGoldenNonConvex(t *testing.T) {
+	want := committedGoldens(t)
+	for _, mode := range []struct {
+		name       string
+		distReduce bool
+		noCompress bool
+	}{
+		{"classic", false, false},
+		{"classic-nocompress", false, true},
+		{"reduce", true, false},
+		{"reduce-nocompress", true, true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			addrs := startGoldenWorkers(t, 3, nil)
+			coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
+				Nodes: addrs, DistReduce: mode.distReduce, NoCompress: mode.noCompress,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, _, err := coord.Render(context.Background(), goldenPartitionJob(t, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res.Image.Digest(); got != want[goldenPartitionBase] {
+				t.Errorf("%s: digest %s != committed %s", goldenPartitionBase, got, want[goldenPartitionBase])
+			}
+			for _, angle := range goldenPartitionOrbitAngles {
+				angle := angle
+				res, _, err := coord.Render(context.Background(), goldenPartitionJob(t, &angle))
+				if err != nil {
+					t.Fatalf("orbit %v: %v", angle, err)
+				}
+				name := goldenPartitionName(angle)
+				if got := res.Image.Digest(); got != want[name] {
+					t.Errorf("%s: digest %s != committed %s", name, got, want[name])
+				}
+			}
+		})
+	}
+}
+
+// TestDistributedGoldenNonConvexWorkerKilled: the adversarial partition
+// frames with the first-contacted worker crashing mid-job and staying
+// dead — retries must land whole unit lists elsewhere and the digests
+// must not move.
+func TestDistributedGoldenNonConvexWorkerKilled(t *testing.T) {
+	want := committedGoldens(t)
+	var deadNode atomic.Int64
+	addrs := startGoldenWorkers(t, 3, func(i int, h http.Handler) http.Handler {
+		node := int64(i + 1)
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if deadNode.CompareAndSwap(0, node) || deadNode.Load() == node {
+				panic(http.ErrAbortHandler)
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{Nodes: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := coord.Render(context.Background(), goldenPartitionJob(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Image.Digest(); got != want[goldenPartitionBase] {
+		t.Errorf("%s with killed worker: digest %s != committed %s",
+			goldenPartitionBase, got, want[goldenPartitionBase])
+	}
+	if deadNode.Load() == 0 {
+		t.Error("no worker was ever contacted — fault not exercised")
+	}
+	if st := coord.Stats(); st.NodeDowns < 1 {
+		t.Errorf("worker death not recorded: %+v", st)
+	}
+}
+
 // TestDistributedGoldenImages: every committed golden configuration,
 // rendered over 2 and 3 worker nodes, digests equal to testdata/golden.json.
 func TestDistributedGoldenImages(t *testing.T) {

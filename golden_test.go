@@ -52,7 +52,27 @@ func goldenOrbitName(angle float64) string {
 	return fmt.Sprintf("skull_32_shaded_orbit%03.0f", angle)
 }
 
-func renderGoldenWith(t *testing.T, i int, part mapreduce.Partitioner, orbit *float64) *gvmr.Result {
+// The adversarial non-convex goldens: the shaded skull re-bricked to 16
+// bricks (2 GPUs × 8 bricks/GPU) and interleaved into 2 checkerboard
+// units, so rays re-enter each unit several times and every (unit,
+// pixel) compositing cell really carries a fragment *list* (DESIGN.md
+// §12; the re-entry premise is pinned by core's TestInterleavedRayReentry).
+// The orbit angles are the frames the CI cluster smoke requests with
+// ?partition=interleave:2&bricks-per-gpu=8.
+var goldenPartitionOrbitAngles = []float64{0, 120, 240}
+
+const goldenPartitionBase = "skull_32_interleave2"
+
+func goldenPartitionName(angle float64) string {
+	return fmt.Sprintf("%s_orbit%03.0f", goldenPartitionBase, angle)
+}
+
+func adversarialPartition(o *gvmr.Options) {
+	o.BricksPerGPU = 8
+	o.Partition = gvmr.Interleaved{NumParts: 2}
+}
+
+func renderGoldenWith(t *testing.T, i int, part mapreduce.Partitioner, orbit *float64, mut func(*gvmr.Options)) *gvmr.Result {
 	t.Helper()
 	c := goldenConfigs[i]
 	cl, err := gvmr.NewCluster(c.gpus)
@@ -78,6 +98,9 @@ func renderGoldenWith(t *testing.T, i int, part mapreduce.Partitioner, orbit *fl
 			t.Fatal(err)
 		}
 	}
+	if mut != nil {
+		mut(&opt)
+	}
 	res, err := gvmr.Render(cl, opt)
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +109,7 @@ func renderGoldenWith(t *testing.T, i int, part mapreduce.Partitioner, orbit *fl
 }
 
 func renderGolden(t *testing.T, i int) *gvmr.Result {
-	return renderGoldenWith(t, i, nil, nil)
+	return renderGoldenWith(t, i, nil, nil, nil)
 }
 
 const goldenPath = "testdata/golden.json"
@@ -107,11 +130,36 @@ func TestGoldenImages(t *testing.T) {
 	}
 	for _, angle := range goldenOrbitAngles {
 		angle := angle
-		res := renderGoldenWith(t, 0, nil, &angle) // config 0 is the shaded skull
+		res := renderGoldenWith(t, 0, nil, &angle, nil) // config 0 is the shaded skull
 		if res.Image.MeanLuminance() <= 0 {
 			t.Fatalf("%s: black image", goldenOrbitName(angle))
 		}
 		got[goldenOrbitName(angle)] = res.Image.Digest()
+	}
+
+	// Adversarial non-convex partition goldens. Each frame is rendered
+	// with the interleaved partition AND with the same bricking convex
+	// (partition unset): §12 says the partition must not move a bit, so
+	// the committed digest is simultaneously the convex 16-brick digest.
+	{
+		res := renderGoldenWith(t, 0, nil, nil, adversarialPartition)
+		if res.Image.MeanLuminance() <= 0 {
+			t.Fatalf("%s: black image", goldenPartitionBase)
+		}
+		got[goldenPartitionBase] = res.Image.Digest()
+		convex := renderGoldenWith(t, 0, nil, nil, func(o *gvmr.Options) { o.BricksPerGPU = 8 })
+		if convex.Image.Digest() != got[goldenPartitionBase] {
+			t.Errorf("%s: interleaved digest %s != convex 16-brick digest %s",
+				goldenPartitionBase, got[goldenPartitionBase], convex.Image.Digest())
+		}
+	}
+	for _, angle := range goldenPartitionOrbitAngles {
+		angle := angle
+		res := renderGoldenWith(t, 0, nil, &angle, adversarialPartition)
+		if res.Image.MeanLuminance() <= 0 {
+			t.Fatalf("%s: black image", goldenPartitionName(angle))
+		}
+		got[goldenPartitionName(angle)] = res.Image.Digest()
 	}
 
 	if os.Getenv("GVMR_UPDATE_GOLDEN") != "" {
@@ -176,7 +224,7 @@ func TestGoldenPartitionerInvariance(t *testing.T) {
 			"checkerboard": mapreduce.Checkerboard{Width: c.size, Tile: 16},
 		}
 		for pname, part := range partitioners {
-			res := renderGoldenWith(t, i, part, nil)
+			res := renderGoldenWith(t, i, part, nil, nil)
 			if got := res.Image.Digest(); got != want[c.name] {
 				t.Errorf("%s with %s partitioning: digest %s != committed %s",
 					c.name, pname, got, want[c.name])

@@ -49,6 +49,40 @@ type (
 	Time    = sim.Time
 )
 
+// Partition groups bricks into map units (Options.Partition). nil is the
+// paper's convex regime: one unit per brick, at most one fragment per
+// (unit, pixel). A non-nil Partition may be non-convex — a ray can
+// re-enter a unit, and each (unit, pixel) cell carries a depth-ordered
+// fragment list — yet the rendered bits are identical to the convex
+// default (DESIGN.md §12). Interleaved is the adversarial builtin: a 3D
+// checkerboard by grid-index parity, the worst case for re-entry.
+type (
+	Partition   = core.Partition
+	Interleaved = core.Interleaved
+	// Brick and BrickGrid are the volume bricking a Partition assigns
+	// over: Brick.Index is the brick's integer grid coordinate, and
+	// BrickGrid.Counts the per-axis brick counts.
+	Brick     = volume.Brick
+	BrickGrid = volume.Grid
+)
+
+// RegisterPartition registers a named partition scheme so HTTP requests
+// and distributed job specs can address it as "scheme:parts". Scheme
+// names are part of the coordinator/worker wire contract; registering a
+// taken name panics.
+func RegisterPartition(scheme string, build func(parts int) (Partition, error)) {
+	core.RegisterPartition(scheme, build)
+}
+
+// BuildPartition constructs a registered partition scheme with the given
+// unit count (parts in [2, 4096]; the convex default is a nil Partition).
+func BuildPartition(scheme string, parts int) (Partition, error) {
+	return core.BuildPartition(scheme, parts)
+}
+
+// PartitionSchemes lists the registered partition scheme names, sorted.
+func PartitionSchemes() []string { return core.PartitionSchemes() }
+
 // Compositor and sampler choices (§6.1 pluggability).
 const (
 	DirectSend = core.DirectSend
@@ -165,6 +199,10 @@ func DatasetDims(name string, d Dims) (Source, error) {
 
 // DatasetNames lists the built-in datasets.
 func DatasetNames() []string { return dataset.Names() }
+
+// TransferFunc is a sampled transfer function (Options.TF) — what Preset
+// and TransferFromPoints return.
+type TransferFunc = transfer.Func
 
 // Preset returns the transfer function paired with a built-in dataset.
 func Preset(name string) (*transfer.Func, error) { return transfer.Preset(name) }

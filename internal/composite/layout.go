@@ -1,0 +1,11 @@
+package composite
+
+import "unsafe"
+
+// Fragments cross the wire as raw little-endian float bits in struct
+// field order, and the list-aware cf2 codec additionally splits them
+// into per-field byte planes. Both depend on FragmentBytes matching the
+// in-memory struct exactly; this guard fails the build if Fragment ever
+// grows, shrinks, or gains padding. The field offsets are checked in
+// TestFragmentWireLayout so the plane order can't silently drift either.
+var _ [FragmentBytes]byte = [unsafe.Sizeof(Fragment{})]byte{}

@@ -1,0 +1,53 @@
+package composite
+
+// FragmentList is a pixel's depth-ordered run of fragments: the
+// generalisation of "one fragment per (brick, pixel)" that non-convex
+// partitions need. A ray crossing a non-convex partition re-enters it
+// once per connected span, so one (partition, pixel) cell carries N ≥ 0
+// fragments — one per span — instead of exactly one. The compositing
+// algebra is unchanged: surviving entry depths are strictly distinct
+// per pixel (DESIGN.md §9/§12), so a depth-ordered list has exactly one
+// valid order and every merge strategy below produces the same bytes as
+// sorting the concatenation.
+type FragmentList []Fragment
+
+// MergeLists merges two depth-ordered lists of the same pixel into one
+// depth-ordered list. The merge is stable in the sort.SliceStable sense:
+// on equal depths, all of a precedes b — callers keep determinism by
+// passing the lower partition (or brick) as a, mirroring the canonical
+// ascending-order fold. Placeholders (NaN depth) sort after every real
+// fragment on both sides, matching SortByDepth.
+func MergeLists(a, b FragmentList) FragmentList {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(FragmentList, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if depthLess(b[j].Depth, a[i].Depth) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// depthLess is SortByDepth's comparator: ascending depth with NaN
+// (placeholder) after every real value.
+func depthLess(a, b float32) bool {
+	if a != a {
+		return false
+	}
+	if b != b {
+		return true
+	}
+	return a < b
+}

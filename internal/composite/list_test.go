@@ -1,0 +1,135 @@
+package composite
+
+import (
+	"math/rand"
+	"testing"
+	"unsafe"
+
+	"gvmr/internal/vec"
+)
+
+// randomFragments builds n fragments for one pixel with strictly
+// distinct depths (the invariant real renders guarantee — DESIGN.md §9),
+// in shuffled order, with an optional placeholder mixed in.
+func randomFragments(r *rand.Rand, key int32, n int, withPlaceholder bool) []Fragment {
+	frags := make([]Fragment, 0, n+1)
+	for i := 0; i < n; i++ {
+		a := r.Float32()
+		frags = append(frags, Fragment{
+			Key:   key,
+			R:     r.Float32() * a,
+			G:     r.Float32() * a,
+			B:     r.Float32() * a,
+			A:     a,
+			Depth: float32(i)*0.25 + r.Float32()*0.2, // distinct: gaps exceed jitter
+		})
+	}
+	if withPlaceholder {
+		frags = append(frags, Placeholder(key))
+	}
+	r.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+	return frags
+}
+
+// The tentpole's pin: folding length-1 fragment lists through MergeLists
+// reproduces today's CompositePixel fold bit for bit. This is what lets
+// the existing goldens (every list has length 1 on convex partitions)
+// certify the list refactor.
+func TestMergeSingletonListsEqualsCompositePixel(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	bg := vec.V4{X: 0.1, Y: 0.2, Z: 0.3, W: 1}
+	for trial := 0; trial < 2000; trial++ {
+		n := r.Intn(8)
+		frags := randomFragments(r, int32(trial), n, r.Intn(3) == 0)
+
+		want := CompositePixel(append([]Fragment(nil), frags...), bg)
+
+		// Fold the same fragments as singleton lists. Merge order follows
+		// the canonical ascending fold: each new singleton is the
+		// higher-ordered operand, exactly like appending a later brick.
+		var acc FragmentList
+		for _, f := range frags {
+			acc = MergeLists(acc, FragmentList{f})
+		}
+		got := CompositeSorted(acc, bg)
+		if got != want {
+			t.Fatalf("trial %d (%d frags): singleton-list fold %v != CompositePixel %v",
+				trial, n, got, want)
+		}
+	}
+}
+
+// Merging depth-ordered lists in any grouping equals sorting the
+// concatenation: the associativity the distributed pairwise merge and
+// the exchange fold both lean on.
+func TestMergeListsEqualsSortedConcat(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 1000; trial++ {
+		nLists := 1 + r.Intn(4)
+		lists := make([]FragmentList, nLists)
+		var concat []Fragment
+		for i := range lists {
+			l := FragmentList(randomFragments(r, 9, r.Intn(4), r.Intn(4) == 0))
+			SortByDepth(l)
+			lists[i] = l
+			concat = append(concat, l...)
+		}
+		want := append([]Fragment(nil), concat...)
+		SortByDepth(want)
+
+		merged := lists[0]
+		for _, l := range lists[1:] {
+			merged = MergeLists(merged, l)
+		}
+		if len(merged) != len(want) {
+			t.Fatalf("trial %d: merged %d frags, want %d", trial, len(merged), len(want))
+		}
+		for i := range want {
+			// Compare on depth bits: equal depths only occur between
+			// placeholders (both NaN), where order is immaterial to the fold.
+			gd, wd := merged[i].Depth, want[i].Depth
+			if gd != wd && !(gd != gd && wd != wd) {
+				t.Fatalf("trial %d: position %d depth %v != %v", trial, i, gd, wd)
+			}
+		}
+	}
+}
+
+func TestMergeListsStablePrefersFirst(t *testing.T) {
+	a := FragmentList{{Key: 1, R: 1, Depth: 2}}
+	b := FragmentList{{Key: 1, G: 1, Depth: 2}}
+	m := MergeLists(a, b)
+	if len(m) != 2 || m[0].R != 1 || m[1].G != 1 {
+		t.Fatalf("equal-depth merge must keep a before b: %+v", m)
+	}
+	// Placeholders land after real fragments from either side.
+	p := MergeLists(FragmentList{Placeholder(1)}, b)
+	if len(p) != 2 || !p[1].IsPlaceholder() {
+		t.Fatalf("placeholder must sort last: %+v", p)
+	}
+}
+
+// Satellite guard: the wire layout the codecs assume — field order
+// Key,R,G,B,A,Depth at 4-byte strides, no padding — is the struct's
+// actual memory layout. The compile-time size check lives in layout.go;
+// this pins the offsets.
+func TestFragmentWireLayout(t *testing.T) {
+	var f Fragment
+	if got := unsafe.Sizeof(f); got != FragmentBytes {
+		t.Fatalf("unsafe.Sizeof(Fragment{}) = %d, want %d", got, FragmentBytes)
+	}
+	offsets := map[string]uintptr{
+		"Key":   unsafe.Offsetof(f.Key),
+		"R":     unsafe.Offsetof(f.R),
+		"G":     unsafe.Offsetof(f.G),
+		"B":     unsafe.Offsetof(f.B),
+		"A":     unsafe.Offsetof(f.A),
+		"Depth": unsafe.Offsetof(f.Depth),
+	}
+	want := map[string]uintptr{"Key": 0, "R": 4, "G": 8, "B": 12, "A": 16, "Depth": 20}
+	for name, off := range want {
+		if offsets[name] != off {
+			t.Errorf("Fragment.%s at offset %d, wire layout wants %d", name, offsets[name], off)
+		}
+	}
+}

@@ -35,13 +35,18 @@ func PlanGrid(spec cluster.Spec, opt Options) (*volume.Grid, error) {
 		spec.GPU.VRAMBytes, opt.VRAMFraction)
 }
 
-// BrickStripe is one brick's surviving (non-placeholder) fragments in
+// BrickStripe is one map unit's surviving (non-placeholder) fragments in
 // kernel emission order — the depth-tagged stripe a distributed map
-// worker returns for one of its bricks. The order within a stripe is a
-// pure function of (brick, camera, params, source): thread order over the
+// worker returns for one of its units. Brick is the unit ID: the brick
+// ID itself in the convex default (one unit per brick), the partition's
+// unit index when Options.Partition groups bricks. The order within a
+// stripe is a pure function of (unit, camera, params, source): the
+// unit's bricks ascending by brick ID, each in thread order over the
 // brick's screen footprint. It does not depend on which worker or node
 // produced it, which is what makes distributed compositing deterministic
-// under re-placement, retries and hedging.
+// under re-placement, retries and hedging. Under a non-convex partition
+// one pixel may appear several times in a stripe — once per brick the
+// ray crossed — forming that pixel's fragment list.
 type BrickStripe struct {
 	Brick int
 	Frags []composite.Fragment
@@ -94,12 +99,12 @@ func (m *recordingMapper) Init(p mapreduce.Ctx, w *mapreduce.Worker) error {
 	return m.inner.Init(p, w)
 }
 
-func (m *recordingMapper) Stage(p mapreduce.Ctx, w *mapreduce.Worker, c mapreduce.Chunk) (*volume.BrickData, error) {
+func (m *recordingMapper) Stage(p mapreduce.Ctx, w *mapreduce.Worker, c mapreduce.Chunk) ([]*volume.BrickData, error) {
 	return m.inner.Stage(p, w, c)
 }
 
 func (m *recordingMapper) Map(p mapreduce.Ctx, w *mapreduce.Worker, c mapreduce.Chunk,
-	bd *volume.BrickData, emit func(mapreduce.KV[composite.Fragment])) error {
+	bd []*volume.BrickData, emit func(mapreduce.KV[composite.Fragment])) error {
 	m.rec.mu.Lock()
 	stripe := m.rec.stripes[c.ID()]
 	m.rec.mu.Unlock()
@@ -119,14 +124,16 @@ type discardReducer struct{}
 
 func (discardReducer) Reduce(int32, []composite.Fragment) {}
 
-// MapBricks runs the map phase of a render job for the given brick IDs on
-// a fresh instance of spec and returns the per-brick fragment stripes plus
+// MapBricks runs the map phase of a render job for the given unit IDs on
+// a fresh instance of spec and returns the per-unit fragment stripes plus
 // the job's virtual makespan. It is the remote half of the distributed
 // direct-send pipeline: a coordinator plans the full grid, shards the
-// brick IDs across nodes, and each node calls MapBricks for its share.
+// unit IDs across nodes, and each node calls MapBricks for its share.
+// Without Options.Partition a unit is a brick and the IDs are brick IDs;
+// with a Partition they index the partition's units.
 //
 // The grid is planned from opt exactly as Render plans it, so the
-// fragments of brick i here are bit-identical to the fragments brick i
+// fragments of unit i here are bit-identical to the fragments unit i
 // produces inside a single-process Render of the same options — the
 // invariant the distributed golden tests pin down. spec may be a smaller
 // machine than the one the grid was planned for (opt.GPUs bricks spread
@@ -146,6 +153,10 @@ func MapBricks(spec cluster.Spec, opt Options, brickIDs []int, devWorkers int) (
 	if err != nil {
 		return nil, err
 	}
+	units, err := jobUnits(grid, opt.Partition)
+	if err != nil {
+		return nil, err
+	}
 	cam := opt.Camera
 	if cam == nil {
 		cam, err = camera.Fit(grid.Space.Bounds(), opt.Width, opt.Height)
@@ -161,14 +172,14 @@ func MapBricks(spec cluster.Spec, opt Options, brickIDs []int, devWorkers int) (
 	rec := &stripeRecorder{stripes: map[int]*BrickStripe{}}
 	chunks := make([]mapreduce.Chunk, 0, len(brickIDs))
 	for _, id := range brickIDs {
-		if id < 0 || id >= grid.NumBricks() {
-			return nil, fmt.Errorf("core: brick %d outside grid of %d bricks", id, grid.NumBricks())
+		if id < 0 || id >= len(units) {
+			return nil, fmt.Errorf("core: unit %d outside job of %d units", id, len(units))
 		}
 		if _, dup := rec.stripes[id]; dup {
-			return nil, fmt.Errorf("core: brick %d requested twice", id)
+			return nil, fmt.Errorf("core: unit %d requested twice", id)
 		}
 		rec.stripes[id] = &BrickStripe{Brick: id}
-		chunks = append(chunks, brickChunk{brick: grid.Bricks[id]})
+		chunks = append(chunks, unitChunk{id: id, bricks: units[id]})
 	}
 
 	inst, err := spec.Instance()
@@ -184,7 +195,7 @@ func MapBricks(spec cluster.Spec, opt Options, brickIDs []int, devWorkers int) (
 	}
 	var sampler render.SampleFn
 	if opt.Sampler == Slicing {
-		sampler = render.CastPixelSlicing
+		sampler = render.CastRaySlicing
 	}
 	mapper := &recordingMapper{
 		inner: &rayCastMapper{
@@ -203,7 +214,7 @@ func MapBricks(spec cluster.Spec, opt Options, brickIDs []int, devWorkers int) (
 	if len(chunks) < workers {
 		workers = len(chunks)
 	}
-	cfg := mapreduce.Config[composite.Fragment, *volume.BrickData]{
+	cfg := mapreduce.Config[composite.Fragment, []*volume.BrickData]{
 		Cluster:             inst,
 		Workers:             workers,
 		Mapper:              mapper,

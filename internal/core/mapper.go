@@ -8,21 +8,12 @@ import (
 	"gvmr/internal/volume"
 )
 
-// brickChunk adapts a volume brick to the MapReduce Chunk interface.
-type brickChunk struct {
-	brick volume.Brick
-}
-
-// ID implements mapreduce.Chunk.
-func (c brickChunk) ID() int { return c.brick.ID }
-
-// Bytes implements mapreduce.Chunk: the ghost-region payload that moves
-// from disk to host memory to VRAM.
-func (c brickChunk) Bytes() int64 { return c.brick.Bytes() }
-
-// rayCastMapper is the renderer's Mapper: stage a brick from the source,
-// upload it as a 3D texture, run the ray-casting (or slicing) kernel over
-// its footprint, read the fragments back and emit them.
+// rayCastMapper is the renderer's Mapper: stage a unit's bricks from the
+// source, upload each as a 3D texture, run the ray-casting (or slicing)
+// kernel over its footprint, read the fragment lists back and emit them.
+// A convex unit holds one brick; a partitioned unit emits its bricks in
+// ascending brick order, which is the canonical in-unit fragment order
+// every downstream fold assumes.
 type rayCastMapper struct {
 	src     volume.Source
 	grid    *volume.Grid
@@ -31,7 +22,7 @@ type rayCastMapper struct {
 	sampler render.SampleFn
 }
 
-var _ mapreduce.Mapper[composite.Fragment, *volume.BrickData] = (*rayCastMapper)(nil)
+var _ mapreduce.Mapper[composite.Fragment, []*volume.BrickData] = (*rayCastMapper)(nil)
 
 // Init implements mapreduce.Mapper. Static per-worker state (view matrix,
 // transfer-function texture) is tiny; its upload cost is charged here.
@@ -40,40 +31,57 @@ func (m *rayCastMapper) Init(p mapreduce.Ctx, w *mapreduce.Worker) error {
 	return nil
 }
 
-// Stage implements mapreduce.Mapper: materialise the brick's ghost region.
-// The engine charges disk time separately when configured FromDisk; the
-// real data production happens here (array copy, analytic evaluation, or
-// file read).
-func (m *rayCastMapper) Stage(p mapreduce.Ctx, w *mapreduce.Worker, c mapreduce.Chunk) (*volume.BrickData, error) {
-	return volume.StageBrick(m.src, c.(brickChunk).brick)
+// Stage implements mapreduce.Mapper: materialise the ghost regions of the
+// unit's bricks. The engine charges disk time separately when configured
+// FromDisk; the real data production happens here (array copy, analytic
+// evaluation, or file read).
+func (m *rayCastMapper) Stage(p mapreduce.Ctx, w *mapreduce.Worker, c mapreduce.Chunk) ([]*volume.BrickData, error) {
+	bricks := c.(unitChunk).bricks
+	staged := make([]*volume.BrickData, 0, len(bricks))
+	for _, b := range bricks {
+		bd, err := volume.StageBrick(m.src, b)
+		if err != nil {
+			return nil, err
+		}
+		staged = append(staged, bd)
+	}
+	return staged, nil
 }
 
-// Map implements mapreduce.Mapper.
+// Map implements mapreduce.Mapper: per brick of the unit, upload, run the
+// kernel, read back, and emit every thread's fragment list. A thread
+// whose list is empty (padding, miss, zero opacity) emits one key -1
+// placeholder pair — the §3.1.1 "later-discarded place holders" — so the
+// engine's emitted/discarded statistics stay comparable to the classic
+// one-fragment-per-thread contract.
 func (m *rayCastMapper) Map(p mapreduce.Ctx, w *mapreduce.Worker, c mapreduce.Chunk,
-	bd *volume.BrickData, emit func(mapreduce.KV[composite.Fragment])) error {
-	tex, err := w.UploadTexture(p, bd)
-	if err != nil {
-		return err
-	}
-	defer tex.Free()
-	k := render.NewKernel(m.cam, m.grid.Space, tex, m.prm)
-	if k == nil {
-		return nil // brick off screen: nothing to do
-	}
-	k.Sampler = m.sampler
-	w.RunKernel(p, k)
-	// Fragment read-back over PCIe: the paper measures <2 ms for a 512²
-	// image's worth (§3); the model charges the actual buffer size.
-	w.Download(p, k.OutBytes())
-	for _, f := range k.Out {
-		if f.IsPlaceholder() {
-			// Every thread emitted; contributions of zero are the
-			// "later-discarded place holders" — keyed -1 so the
-			// partition drops them.
-			emit(mapreduce.KV[composite.Fragment]{Key: -1})
-			continue
+	staged []*volume.BrickData, emit func(mapreduce.KV[composite.Fragment])) error {
+	for _, bd := range staged {
+		tex, err := w.UploadTexture(p, bd)
+		if err != nil {
+			return err
 		}
-		emit(mapreduce.KV[composite.Fragment]{Key: f.Key, Val: f})
+		k := render.NewKernel(m.cam, m.grid.Space, tex, m.prm)
+		if k == nil {
+			tex.Free()
+			continue // brick off screen: nothing to do
+		}
+		k.Sampler = m.sampler
+		w.RunKernel(p, k)
+		// Fragment read-back over PCIe: the paper measures <2 ms for a 512²
+		// image's worth (§3); the model charges the actual buffer size
+		// (per-thread counts plus packed fragments).
+		w.Download(p, k.OutBytes())
+		k.ForEachThread(func(_ int, frags []composite.Fragment) {
+			if len(frags) == 0 {
+				emit(mapreduce.KV[composite.Fragment]{Key: -1})
+				return
+			}
+			for _, f := range frags {
+				emit(mapreduce.KV[composite.Fragment]{Key: f.Key, Val: f})
+			}
+		})
+		tex.Free()
 	}
 	return nil
 }

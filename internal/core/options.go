@@ -126,6 +126,15 @@ type Options struct {
 	Compositor Compositor
 	Sampler    Sampler
 
+	// Partition groups bricks into map units. nil is the paper's convex
+	// regime (one unit per brick). A non-nil Partition — e.g.
+	// Interleaved, or a custom scheme registered via RegisterPartition —
+	// may be non-convex: rays re-enter a unit once per connected span
+	// and each (unit, pixel) cell carries a fragment list instead of a
+	// single fragment. Convex digests are byte-identical with or without
+	// this machinery; see DESIGN.md §12.
+	Partition Partition
+
 	// Partitioner overrides the default per-pixel round-robin (used by
 	// the volume/image partitioning ablation).
 	Partitioner mapreduce.Partitioner

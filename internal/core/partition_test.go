@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"gvmr/internal/cluster"
+	"gvmr/internal/volume"
+)
+
+// adversarialOptions is the non-convex battery's configuration: enough
+// bricks (2 GPUs × 8 bricks/GPU = 16 on a 32³ skull) that a ray crossing
+// the volume under the interleaved checkerboard re-enters each unit
+// several times.
+func adversarialOptions(t *testing.T) Options {
+	t.Helper()
+	opt := skullOptions(t, 32, 64, 2)
+	opt.Shading = true
+	opt.BricksPerGPU = 8
+	return opt
+}
+
+// TestPartitionBitIdentity is the heart of the §12 claim: grouping
+// bricks into non-convex units changes only where fragments accumulate
+// (per-unit lists instead of per-brick cells), never the rendered bits.
+// The convex default and adversarial interleavings of every width must
+// digest identically.
+func TestPartitionBitIdentity(t *testing.T) {
+	opt := adversarialOptions(t)
+	base, err := Render(newCluster(t, 2), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Image.MeanLuminance() <= 0 {
+		t.Fatal("black reference image")
+	}
+	for _, parts := range []int{2, 3, 4} {
+		o := opt
+		o.Partition = Interleaved{NumParts: parts}
+		res, err := Render(newCluster(t, 2), o)
+		if err != nil {
+			t.Fatalf("interleave:%d: %v", parts, err)
+		}
+		if got, want := res.Image.Digest(), base.Image.Digest(); got != want {
+			t.Errorf("interleave:%d: digest %s != convex %s", parts, got, want)
+		}
+	}
+}
+
+// TestInterleavedRayReentry pins the premise that makes the battery
+// adversarial: under the interleaved checkerboard, some ray actually
+// re-enters a unit at least twice, i.e. some (unit, pixel) fragment
+// list has length ≥ 3. Without this, the partition goldens would
+// silently degenerate into convex coverage.
+func TestInterleavedRayReentry(t *testing.T) {
+	opt := adversarialOptions(t)
+	opt.Partition = Interleaved{NumParts: 2}
+	res, err := MapBricks(cluster.AC(2), opt, []int{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	longest := 0
+	for _, s := range res.Stripes {
+		perPixel := map[int32]int{}
+		for _, f := range s.Frags {
+			perPixel[f.Key]++
+			if perPixel[f.Key] > longest {
+				longest = perPixel[f.Key]
+			}
+		}
+	}
+	if longest < 3 {
+		t.Fatalf("longest (unit, pixel) fragment list is %d, want ≥ 3 — partition not adversarial", longest)
+	}
+}
+
+func TestNumUnits(t *testing.T) {
+	opt := adversarialOptions(t)
+	if err := opt.fillDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	grid, err := PlanGrid(cluster.AC(2), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.NumBricks() != 16 {
+		t.Fatalf("planned %d bricks, want 16", grid.NumBricks())
+	}
+	n, err := NumUnits(grid, nil)
+	if err != nil || n != grid.NumBricks() {
+		t.Errorf("convex NumUnits = %d, %v; want %d", n, err, grid.NumBricks())
+	}
+	n, err = NumUnits(grid, Interleaved{NumParts: 2})
+	if err != nil || n != 2 {
+		t.Errorf("interleave:2 NumUnits = %d, %v; want 2", n, err)
+	}
+	// 17 parts on a 16-brick grid must leave a unit empty — ambiguous
+	// unit counts across layers, so planning rejects it.
+	if _, err := NumUnits(grid, Interleaved{NumParts: 17}); err == nil {
+		t.Error("empty unit accepted")
+	}
+}
+
+func TestBuildPartition(t *testing.T) {
+	p, err := BuildPartition("interleave", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "interleave:3" {
+		t.Errorf("Name() = %q", p.Name())
+	}
+	if p.Assign(volume.Brick{Index: [3]int{1, 1, 2}}, nil) != 1 {
+		t.Error("interleave assignment is not index-parity")
+	}
+	if _, err := BuildPartition("no-such-scheme", 2); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	for _, parts := range []int{1, 0, -1, 5000} {
+		if _, err := BuildPartition("interleave", parts); err == nil {
+			t.Errorf("parts=%d accepted", parts)
+		}
+	}
+}

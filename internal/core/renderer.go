@@ -77,7 +77,7 @@ func Render(cl *cluster.Cluster, opt Options) (*Result, error) {
 	}
 	var sampler render.SampleFn
 	if opt.Sampler == Slicing {
-		sampler = render.CastPixelSlicing
+		sampler = render.CastRaySlicing
 	}
 	mapper := &rayCastMapper{
 		src:     src,
@@ -89,13 +89,14 @@ func Render(cl *cluster.Cluster, opt Options) (*Result, error) {
 	if err := mapper.prm.Validate(); err != nil {
 		return nil, err
 	}
-	chunks := make([]mapreduce.Chunk, 0, grid.NumBricks())
-	for _, b := range grid.Bricks {
-		chunks = append(chunks, brickChunk{brick: b})
+	units, err := jobUnits(grid, opt.Partition)
+	if err != nil {
+		return nil, err
 	}
+	chunks := unitChunks(units)
 
 	charge := opt.chargeOverhead()
-	cfg := mapreduce.Config[composite.Fragment, *volume.BrickData]{
+	cfg := mapreduce.Config[composite.Fragment, []*volume.BrickData]{
 		Cluster:             cl,
 		Workers:             gpus,
 		Mapper:              mapper,

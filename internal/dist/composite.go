@@ -32,11 +32,13 @@ import (
 //     it touches fragments in brick-sized runs instead of materialising
 //     one giant per-shard buffer.
 //
-// Identity of the two: each brick emits at most one fragment per pixel,
-// in deterministic emission order; a stable merge that prefers the
-// lower-brick side on depth ties yields, per pixel, exactly the stable
-// sort by depth of the brick-ordered concatenation — which is what
-// CompositePixel computes on the direct path.
+// Identity of the two: each unit's per-pixel fragment list arrives in
+// deterministic emission order; depth-sorting the leaf lists stably and
+// merging with ties taken from the lower-unit side yields, per pixel,
+// exactly the stable sort by depth of the unit-ordered concatenation —
+// which is what CompositePixel computes on the direct path (DESIGN.md
+// §12 runs the argument for non-convex units, where lists are longer
+// than one).
 type streamComposite struct {
 	width, height      int
 	bg                 vec.V4
@@ -159,13 +161,18 @@ func (sc *streamComposite) directFold(out *img.Image) {
 }
 
 // partialImage is one per-pixel fragment-list partial during pairwise
-// merging; lists are depth-sorted with ties in ascending-brick order.
+// merging; lists are depth-sorted with ties in ascending-unit order.
 type partialImage map[int32][]composite.Fragment
 
-// mergeFold is the binary-swap-style strategy: leaves are per-brick
-// partials (at most one fragment per pixel, trivially sorted) rebuilt
-// from the shard buckets, adjacent partials merge pairwise until one
-// remains, then every pixel folds once.
+// mergeFold is the binary-swap-style strategy: leaves are per-unit
+// partials rebuilt from the shard buckets, adjacent partials merge
+// pairwise until one remains, then every pixel folds once. A convex
+// unit contributes at most one fragment per pixel (trivially sorted);
+// a non-convex unit's per-pixel list arrives in emission order —
+// ascending brick, not depth — so each leaf list is depth-sorted first.
+// The stable sort keeps emission order on ties, so the merged result is
+// still exactly the stable depth sort of the unit-ascending
+// concatenation, which is what directFold's CompositePixel computes.
 func (sc *streamComposite) mergeFold(out *img.Image) {
 	perBrick := map[int]partialImage{}
 	for _, m := range sc.shards {
@@ -177,6 +184,13 @@ func (sc *streamComposite) mergeFold(out *img.Image) {
 			}
 			for _, f := range frags {
 				p[f.Key] = append(p[f.Key], f)
+			}
+		}
+	}
+	for _, p := range perBrick {
+		for _, frags := range p {
+			if len(frags) > 1 {
+				composite.SortByDepth(frags)
 			}
 		}
 	}
@@ -206,9 +220,9 @@ func (sc *streamComposite) mergeFold(out *img.Image) {
 	}
 }
 
-// mergePartials merges b into a pixel by pixel. Both sides are sorted by
-// depth; the merge is stable with ties taken from a (the lower-brick
-// side), preserving the canonical order.
+// mergePartials merges b into a pixel by pixel. Both sides are sorted
+// by depth; composite.MergeLists is stable with ties taken from a (the
+// lower-unit side), preserving the canonical order.
 func mergePartials(a, b partialImage) partialImage {
 	for k, fb := range b {
 		fa, ok := a[k]
@@ -216,20 +230,7 @@ func mergePartials(a, b partialImage) partialImage {
 			a[k] = fb
 			continue
 		}
-		merged := make([]composite.Fragment, 0, len(fa)+len(fb))
-		i, j := 0, 0
-		for i < len(fa) && j < len(fb) {
-			if fb[j].Depth < fa[i].Depth {
-				merged = append(merged, fb[j])
-				j++
-			} else {
-				merged = append(merged, fa[i])
-				i++
-			}
-		}
-		merged = append(merged, fa[i:]...)
-		merged = append(merged, fb[j:]...)
-		a[k] = merged
+		a[k] = composite.MergeLists(fa, fb)
 	}
 	return a
 }

@@ -462,6 +462,14 @@ func (c *Coordinator) RenderDetailed(ctx context.Context, job JobSpec) (*core.Re
 	if err != nil {
 		return nil, Breakdown{}, err
 	}
+	// Map tasks are units, not bricks: one per brick in the convex
+	// default (counts coincide), the partition's unit count otherwise.
+	// Placement, completion counting and stripe validation all run in
+	// unit IDs.
+	numUnits, err := core.NumUnits(grid, opt.Partition)
+	if err != nil {
+		return nil, Breakdown{}, err
+	}
 	view, err := c.view()
 	if err != nil {
 		return nil, Breakdown{}, err
@@ -474,7 +482,7 @@ func (c *Coordinator) RenderDetailed(ctx context.Context, job JobSpec) (*core.Re
 	// abandons the exchange and falls through to the classic path on a
 	// fresh membership view: same bits, different topology.
 	if c.cfg.DistReduce && len(view.addrs) >= 2 {
-		res, bd, rerr := c.renderReduce(ctx, job, opt, planSpec, grid, view)
+		res, bd, rerr := c.renderReduce(ctx, job, opt, planSpec, grid, numUnits, view)
 		if rerr == nil {
 			c.reduceJobs.Add(1)
 			return res, bd, nil
@@ -494,7 +502,7 @@ func (c *Coordinator) RenderDetailed(ctx context.Context, job JobSpec) (*core.Re
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	perNode, err := c.placeInitial(view, job, grid.NumBricks())
+	perNode, err := c.placeInitial(view, job, numUnits)
 	if err != nil {
 		return nil, Breakdown{}, err
 	}
@@ -513,7 +521,7 @@ func (c *Coordinator) RenderDetailed(ctx context.Context, job JobSpec) (*core.Re
 	// failure) or re-places itself into child batches, each of which does
 	// the same; total events are bounded by bricks × attempts, so the
 	// buffer guarantees no sender ever blocks.
-	events := make(chan event, grid.NumBricks()*(c.cfg.MaxAttempts+1)+4)
+	events := make(chan event, numUnits*(c.cfg.MaxAttempts+1)+4)
 	var launch func(b pendingBatch)
 	launch = func(b pendingBatch) {
 		go func() {
@@ -576,12 +584,12 @@ func (c *Coordinator) RenderDetailed(ctx context.Context, job JobSpec) (*core.Re
 		reducers = len(view.addrs)
 	}
 	acc := newStreamComposite(opt.Width, opt.Height, opt.Background,
-		c.cfg.Partitioner, reducers, planSpec, c.cfg.MergeFallbackBytes, grid.NumBricks())
-	seen := make(map[int]bool, grid.NumBricks())
+		c.cfg.Partitioner, reducers, planSpec, c.cfg.MergeFallbackBytes, numUnits)
+	seen := make(map[int]bool, numUnits)
 	nodeVirtual := make(map[string]sim.Time)
 	var wireBytes int64
 	var batches int64
-	for len(seen) < grid.NumBricks() {
+	for len(seen) < numUnits {
 		select {
 		case ev := <-events:
 			if ev.err != nil {
@@ -661,11 +669,11 @@ func exchangeID() string {
 // re-place across nodes mid-flight, so any failure aborts the exchange
 // and the caller falls back to the classic path, which has both.
 func (c *Coordinator) renderReduce(ctx context.Context, job JobSpec, opt core.Options,
-	planSpec cluster.Spec, grid *volume.Grid, view clusterView) (*core.Result, Breakdown, error) {
+	planSpec cluster.Spec, grid *volume.Grid, numUnits int, view clusterView) (*core.Result, Breakdown, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	perNode, err := c.placeInitial(view, job, grid.NumBricks())
+	perNode, err := c.placeInitial(view, job, numUnits)
 	if err != nil {
 		return nil, Breakdown{}, err
 	}
@@ -733,7 +741,7 @@ func (c *Coordinator) renderReduce(ctx context.Context, job JobSpec, opt core.Op
 	colCh := make(chan collectRes, n)
 	for i := range targets {
 		go func(i int) {
-			out, err := c.postCollect(ctx, job, exID, targets[i], grid.NumBricks(), opt.Background, compress)
+			out, err := c.postCollect(ctx, job, exID, targets[i], numUnits, opt.Background, compress)
 			colCh <- collectRes{i: i, out: out, err: err}
 		}(i)
 	}
@@ -879,9 +887,9 @@ func (c *Coordinator) postCollect(ctx context.Context, job JobSpec, exID string,
 	if err != nil {
 		return collectOutcome{}, err
 	}
-	accept := ""
+	accept := EncodingListV2
 	if compress {
-		accept = EncodingColumnar
+		accept = EncodingColumnar2 + ", " + EncodingColumnar
 	}
 	c.batches.Add(1)
 	n := c.node(tgt.Addr)
@@ -1131,9 +1139,13 @@ func (c *Coordinator) postMap(parent context.Context, perAttempt time.Duration, 
 	if err != nil {
 		return batchOutcome{}, err
 	}
-	accept := ""
+	// Offer both columnar generations: an upgraded worker prefers cf2
+	// (explicit per-pixel counts), an old one ignores the unknown token
+	// and answers cf1. NoCompress offers the identity v2 list layout
+	// instead, which old workers likewise ignore, answering identity v1.
+	accept := EncodingListV2
 	if !c.cfg.NoCompress {
-		accept = EncodingColumnar
+		accept = EncodingColumnar2 + ", " + EncodingColumnar
 	}
 	n := c.node(addr)
 	resp, payload, err := c.post(parent, perAttempt, addr, MapPath, body, "application/json", accept)

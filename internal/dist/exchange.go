@@ -37,8 +37,9 @@ type CollectRequest struct {
 	// and fails the exchange loudly).
 	Lo int32 `json:"lo"`
 	Hi int32 `json:"hi"`
-	// NumBricks is the total brick count of the frame's grid: the
-	// reducer is complete when it has a delivery from every brick.
+	// NumBricks is the frame's map-unit count — the brick count in the
+	// convex default, the partition's unit count otherwise: the reducer
+	// is complete when it has a delivery from every unit.
 	NumBricks int `json:"num_bricks"`
 	// Background is the coordinator's composite background, passed
 	// explicitly so both sides fold the exact same floats.
@@ -325,8 +326,12 @@ func (wk *Worker) HandleCollect(w http.ResponseWriter, r *http.Request) {
 	charge := sim.WorkTime(float64(total), spec.PartitionRate) +
 		sim.WorkTime(float64(total), spec.SortRate) +
 		sim.WorkTime(float64(total), spec.CompositeRate)
-	payload, encoding := EncodePayload([]core.BrickStripe{{Brick: 0, Frags: frags}},
-		acceptsColumnar(r.Header.Get("Accept-Encoding")))
+	encoding := negotiateEncoding(r.Header.Get("Accept-Encoding"))
+	payload, err := EncodePayloadAs([]core.BrickStripe{{Brick: 0, Frags: frags}}, encoding)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	wk.ex.remove(req.Exchange)
 	wk.ex.mu.Lock()
 	wk.ex.collects++

@@ -97,7 +97,42 @@ type JobSpec struct {
 	StepVoxels       float32 `json:"step_voxels,omitempty"`
 	TerminationAlpha float32 `json:"termination_alpha,omitempty"`
 
+	// BricksPerGPU scales the bricking policy exactly like
+	// Options.BricksPerGPU (0 means the default 1). omitempty keeps
+	// default jobs decodable by daemons that predate the field —
+	// MapRequest decoding disallows unknown fields, so only jobs that
+	// actually use the knob require upgraded workers.
+	BricksPerGPU int `json:"bricks_per_gpu,omitempty"`
+
+	// Partition, when non-nil, groups the grid's bricks into possibly
+	// non-convex map units (map-task IDs become unit IDs and stripes
+	// carry per-pixel fragment lists). nil is the convex default and
+	// keeps the wire form identical to pre-partition daemons.
+	Partition *PartitionSpec `json:"partition,omitempty"`
+
 	Camera CameraSpec `json:"camera"`
+}
+
+// PartitionSpec names a registered partition scheme on the wire. Both
+// sides build the same core.Partition from it, which is what lets the
+// coordinator and its workers agree on unit tables without shipping
+// code. Workers that predate partitions reject jobs carrying one with a
+// 400 (unknown field) — a loud, safe failure the coordinator surfaces
+// without marking the node down.
+type PartitionSpec struct {
+	// Scheme is a name registered with core.RegisterPartition
+	// (builtin: "interleave").
+	Scheme string `json:"scheme"`
+	// Parts is the requested unit count, in [2, 4096].
+	Parts int `json:"parts"`
+}
+
+// Build constructs the named partition.
+func (p *PartitionSpec) Build() (core.Partition, error) {
+	if p == nil {
+		return nil, nil
+	}
+	return core.BuildPartition(p.Scheme, p.Parts)
 }
 
 // Validate bounds the job against worker-side limits (mirroring the
@@ -132,6 +167,12 @@ func (j JobSpec) Validate(maxEdge, maxPixels int) error {
 	if !(j.TerminationAlpha > 0 && j.TerminationAlpha <= 1) {
 		return fmt.Errorf("dist: termination alpha %v outside (0, 1]", j.TerminationAlpha)
 	}
+	if j.BricksPerGPU < 0 || j.BricksPerGPU > 64 {
+		return fmt.Errorf("dist: bricks-per-gpu %d outside [0, 64]", j.BricksPerGPU)
+	}
+	if _, err := j.Partition.Build(); err != nil {
+		return err
+	}
 	return j.Camera.validate()
 }
 
@@ -151,6 +192,10 @@ func (j JobSpec) Options() (core.Options, error) {
 	if err != nil {
 		return core.Options{}, err
 	}
+	part, err := j.Partition.Build()
+	if err != nil {
+		return core.Options{}, err
+	}
 	return core.Options{
 		Source: src, TF: tf,
 		Width: j.Width, Height: j.Height,
@@ -159,6 +204,8 @@ func (j JobSpec) Options() (core.Options, error) {
 		Shading:          j.Shading,
 		StepVoxels:       j.StepVoxels,
 		TerminationAlpha: j.TerminationAlpha,
+		BricksPerGPU:     j.BricksPerGPU,
+		Partition:        part,
 	}, nil
 }
 

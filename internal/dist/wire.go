@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"strings"
 
 	"gvmr/internal/composite"
 	"gvmr/internal/core"
@@ -379,8 +378,12 @@ func DecodePayload(encoding string, data []byte, maxBytes int64) ([]core.BrickSt
 	switch encoding {
 	case "", "identity":
 		return DecodeStripes(data)
+	case EncodingListV2:
+		return DecodeStripesV2(data)
 	case EncodingColumnar:
 		return DecompressStripes(data, maxBytes)
+	case EncodingColumnar2:
+		return DecompressStripesV2(data, maxBytes)
 	default:
 		return nil, fmt.Errorf("dist: unsupported content encoding %q", encoding)
 	}
@@ -389,12 +392,7 @@ func DecodePayload(encoding string, data []byte, maxBytes int64) ([]core.BrickSt
 // acceptsColumnar reports whether an Accept-Encoding header value offers
 // EncodingColumnar.
 func acceptsColumnar(header string) bool {
-	for _, tok := range strings.Split(header, ",") {
-		if name, _, _ := strings.Cut(strings.TrimSpace(tok), ";"); strings.TrimSpace(name) == EncodingColumnar {
-			return true
-		}
-	}
-	return false
+	return acceptsEncoding(header, EncodingColumnar)
 }
 
 // PayloadDigest is the hex SHA-256 of a stripe payload — the value of

@@ -1,0 +1,112 @@
+package dist
+
+import (
+	"bytes"
+	"testing"
+
+	"gvmr/internal/cluster"
+	"gvmr/internal/composite"
+	"gvmr/internal/core"
+	"gvmr/internal/volume/dataset"
+)
+
+// TestWorkerStripsPlaceholders is the regression test for the sanitize
+// seam: a mapper that leaks the kernel-internal placeholder sentinel
+// must never put it on the wire. The stub stands in for such a buggy
+// mapper; the assertions pin the payload placeholder-free, the fragment
+// count net of the strip, and the /stats counter equal to the leak.
+func TestWorkerStripsPlaceholders(t *testing.T) {
+	spec := cluster.AC(1)
+	job := testJob(t, dataset.Skull, 24, 48, 1, 0, false)
+	opt, err := job.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := core.PlanGrid(spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wk, err := NewWorker(WorkerConfig{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wk.mapBricks = func(cluster.Spec, core.Options, []int, int) (*core.MapResult, error) {
+		return &core.MapResult{Stripes: []core.BrickStripe{
+			{Brick: 0, Frags: []composite.Fragment{
+				{Key: 1, A: 1, Depth: 0.5},
+				composite.Placeholder(2),
+				composite.Placeholder(3),
+				{Key: 4, A: 1, Depth: 1.5},
+			}},
+		}}, nil
+	}
+	payload, frags, _, err := wk.Map(MapRequest{Job: job, Bricks: []int{0}, GridCounts: grid.Counts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frags != 2 {
+		t.Errorf("reported %d fragments, want 2 survivors", frags)
+	}
+	stripes, err := DecodeStripes(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stripes {
+		for _, f := range s.Frags {
+			if f.IsPlaceholder() {
+				t.Fatalf("placeholder for key %d crossed the wire", f.Key)
+			}
+		}
+	}
+	if got := wk.PlaceholdersStripped(); got != 2 {
+		t.Errorf("PlaceholdersStripped() = %d, want 2", got)
+	}
+}
+
+// FuzzDecodeStripesV2 drives the fragment-list wire decoders — the
+// identity gvmr-v2 payload and the columnar gvmr-cf2 transform — with
+// arbitrary bytes. Mirrors FuzzDecodeStripes, with the same two
+// properties beyond not panicking:
+//
+//   - gvmr-v2 is a fixed point: decode enforces canonical form (maximal
+//     runs, positive counts), so any payload DecodeStripesV2 accepts
+//     must re-encode to the identical bytes;
+//   - gvmr-cf2 round-trips semantically: decode → re-compress → decode
+//     reproduces the same fragments bit for bit (NaN payloads included),
+//     even when the fuzzer finds a non-minimal varint or flate framing.
+func FuzzDecodeStripesV2(f *testing.F) {
+	seed := listStripes()
+	deep := []core.BrickStripe{{Brick: 0, Frags: func() []composite.Fragment {
+		var frags []composite.Fragment
+		for i := 0; i < 40; i++ {
+			frags = append(frags, composite.Fragment{Key: int32(i % 3), A: 0.5, Depth: float32(i)})
+		}
+		return frags
+	}()}}
+	f.Add(EncodeStripesV2(seed))
+	f.Add(CompressStripesV2(seed))
+	f.Add(EncodeStripesV2(deep))
+	f.Add(CompressStripesV2(deep))
+	f.Add(EncodeStripesV2(nil))
+	f.Add(CompressStripesV2(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 255, 127})
+
+	const maxBytes = 1 << 20
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if stripes, err := DecodeStripesV2(data); err == nil {
+			if got := EncodeStripesV2(stripes); !bytes.Equal(got, data) {
+				t.Fatalf("v2 decode/encode is not a fixed point: %d bytes in, %d out", len(data), len(got))
+			}
+		}
+		if stripes, err := DecompressStripesV2(data, maxBytes); err == nil {
+			back, err := DecompressStripesV2(CompressStripesV2(stripes), maxBytes)
+			if err != nil {
+				t.Fatalf("re-compressed cf2 payload failed to decode: %v", err)
+			}
+			if !stripesBitEqual(stripes, back) {
+				t.Fatal("cf2 re-compression changed fragment bits")
+			}
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"gvmr/internal/cluster"
@@ -108,6 +109,12 @@ type Worker struct {
 	cfg WorkerConfig
 	ex  *exchangeTable
 
+	// stripped counts placeholder fragments SanitizeStripes removed
+	// before encoding — always zero unless a mapper bug leaks the
+	// kernel-internal sentinel; surfaced in /stats so a leak is visible
+	// fleet-wide instead of silently riding the wire.
+	stripped atomic.Int64
+
 	// mapBricks is the compute seam; tests substitute it to fault-inject
 	// internal failures without a sick GPU model.
 	mapBricks func(spec cluster.Spec, opt core.Options, brickIDs []int, devWorkers int) (*core.MapResult, error)
@@ -127,6 +134,11 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 
 // ExchangeStats snapshots the worker's reduce-exchange counters.
 func (wk *Worker) ExchangeStats() ExchangeStats { return wk.ex.stats() }
+
+// PlaceholdersStripped reports how many placeholder fragments the
+// worker has stripped from outgoing stripes over its lifetime. Nonzero
+// means a mapper bug leaked the kernel-internal sentinel.
+func (wk *Worker) PlaceholdersStripped() int64 { return wk.stripped.Load() }
 
 // mapOutcome is one successful map batch, ready to serve.
 type mapOutcome struct {
@@ -155,7 +167,7 @@ func (wk *Worker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad map request: %v", err), http.StatusBadRequest)
 		return
 	}
-	out, err := wk.run(r.Context(), req, acceptsColumnar(r.Header.Get("Accept-Encoding")))
+	out, err := wk.run(r.Context(), req, negotiateEncoding(r.Header.Get("Accept-Encoding")))
 	if err != nil {
 		status := http.StatusInternalServerError
 		var reqErr requestError
@@ -188,14 +200,14 @@ func (wk *Worker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // the encoded identity payload, its fragment count and the job's virtual
 // seconds. Tests share it.
 func (wk *Worker) Map(req MapRequest) ([]byte, int, float64, error) {
-	out, err := wk.run(context.Background(), req, false)
+	out, err := wk.run(context.Background(), req, "")
 	if err != nil {
 		return nil, 0, 0, err
 	}
 	return out.payload, out.frags, out.mapSeconds, nil
 }
 
-func (wk *Worker) run(ctx context.Context, req MapRequest, compressOK bool) (mapOutcome, error) {
+func (wk *Worker) run(ctx context.Context, req MapRequest, encoding string) (mapOutcome, error) {
 	if err := req.Job.Validate(wk.cfg.MaxEdge, wk.cfg.MaxPixels); err != nil {
 		return mapOutcome{}, requestError{err}
 	}
@@ -219,13 +231,17 @@ func (wk *Worker) run(ctx context.Context, req MapRequest, compressOK bool) (map
 			"dist: grid plan mismatch: worker %v != coordinator %v (GPU model or bricking policy differs)",
 			grid.Counts, req.GridCounts)
 	}
+	numUnits, err := core.NumUnits(grid, opt.Partition)
+	if err != nil {
+		return mapOutcome{}, requestError{err}
+	}
 	seen := make(map[int]bool, len(req.Bricks))
 	for _, id := range req.Bricks {
-		if id < 0 || id >= grid.NumBricks() {
-			return mapOutcome{}, requestError{fmt.Errorf("dist: brick %d outside grid of %d", id, grid.NumBricks())}
+		if id < 0 || id >= numUnits {
+			return mapOutcome{}, requestError{fmt.Errorf("dist: unit %d outside job of %d units", id, numUnits)}
 		}
 		if seen[id] {
-			return mapOutcome{}, requestError{fmt.Errorf("dist: duplicate brick %d in batch", id)}
+			return mapOutcome{}, requestError{fmt.Errorf("dist: duplicate unit %d in batch", id)}
 		}
 		seen[id] = true
 	}
@@ -238,15 +254,26 @@ func (wk *Worker) run(ctx context.Context, req MapRequest, compressOK bool) (map
 	if err != nil {
 		return mapOutcome{}, fmt.Errorf("dist: map phase: %w", err)
 	}
-	out := mapOutcome{frags: res.FragmentCount(), mapSeconds: res.Runtime.Seconds()}
+	// The wire contract says stripes carry only surviving fragments;
+	// strip (and loudly count) any placeholder a buggy mapper leaked
+	// rather than shipping the sentinel.
+	stripes, stripped := SanitizeStripes(res.Stripes)
+	if stripped > 0 {
+		wk.stripped.Add(int64(stripped))
+	}
+	out := mapOutcome{frags: res.FragmentCount() - stripped, mapSeconds: res.Runtime.Seconds()}
 	if req.Reduce != nil {
-		if err := wk.pushStripes(ctx, req.Reduce, res.Stripes); err != nil {
+		if err := wk.pushStripes(ctx, req.Reduce, stripes); err != nil {
 			return mapOutcome{}, err
 		}
 		out.reduced = true
 		return out, nil
 	}
-	out.payload, out.encoding = EncodePayload(res.Stripes, compressOK)
+	out.payload, err = EncodePayloadAs(stripes, encoding)
+	if err != nil {
+		return mapOutcome{}, err
+	}
+	out.encoding = encoding
 	return out, nil
 }
 

@@ -27,7 +27,8 @@ type KV[V any] struct {
 	Val V
 }
 
-// Chunk is a unit of map work (for the renderer: one brick of the volume).
+// Chunk is a unit of map work (for the renderer: one map unit — a single
+// brick by default, or a group of bricks under a non-convex partition).
 type Chunk interface {
 	// ID is the chunk's index in the job, used for assignment.
 	ID() int
@@ -49,7 +50,10 @@ type Mapper[V, S any] interface {
 	// loader process, overlapped with Map of the previous chunk. The
 	// engine charges disk I/O separately when Config.FromDisk is set.
 	Stage(p Ctx, w *Worker, c Chunk) (S, error)
-	// Map processes one staged chunk, emitting key-value pairs.
+	// Map processes one staged chunk, emitting zero or more key-value
+	// pairs per key — a key may repeat within a chunk (the renderer's
+	// fragment lists: one fragment per ray span through a non-convex
+	// unit), and reducers see every occurrence.
 	Map(p Ctx, w *Worker, c Chunk, staged S, emit func(KV[V])) error
 }
 

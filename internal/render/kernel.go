@@ -11,9 +11,11 @@ import (
 // gpu.Kernel. The grid covers the brick's screen footprint padded to 16×16
 // blocks (§3.2: "the grid is made to match the size of the sub-image
 // (with a potentially small amount of padding) onto which the current
-// chunk projects"). Every thread writes exactly one fragment to Out —
-// pixels outside the footprint or image write key=-1 placeholders that
-// the partition phase discards.
+// chunk projects"). Each thread emits a variable-length fragment list —
+// zero fragments for misses and padding threads — stored in a per-pixel
+// offset/count layout instead of the paper's fixed one-slot-per-thread
+// array, which is what lets a ray contribute one fragment per partition
+// re-entry span under non-convex partitions (DESIGN.md §12).
 type Kernel struct {
 	Cam   *camera.Camera
 	Space volume.Space
@@ -21,17 +23,39 @@ type Kernel struct {
 	Prm   Params
 	FP    camera.Footprint
 	// Sampler is the per-pixel sampling routine; nil means ray casting
-	// (CastPixel). Swapping in CastPixelSlicing is the §6.1 map-phase
+	// (CastRay). Swapping in CastRaySlicing is the §6.1 map-phase
 	// pluggability demonstration.
 	Sampler SampleFn
-	// Out is the emission buffer in "GPU memory": one slot per thread.
-	Out []composite.Fragment
+	// Counts is the per-thread fragment count, indexed by global thread
+	// slot (gy*rowThreads + gx): the "count" half of the emission layout.
+	Counts []int32
+
+	// Per-block emission buffers and intra-block thread offsets; together
+	// with Counts they form the offset/count layout. Blocks write only
+	// their own entry, which keeps RunBlock's disjoint-writes discipline.
+	blockFrags [][]composite.Fragment
+	blockOffs  [][]int32
 
 	grid gpu.Dim2
 }
 
-// SampleFn is a pluggable per-pixel volume sampler.
-type SampleFn func(cam *camera.Camera, sp volume.Space, bd *volume.BrickData, prm Params, px, py int) (composite.Fragment, SampleStats)
+// SampleFn is a pluggable per-pixel volume sampler: it marches pixel
+// (px,py) through the brick and emits zero or more fragments. Convex
+// bricks yield at most one fragment per ray; emit exists so a sampler
+// can cut a ray at partition re-entry boundaries and emit one fragment
+// per traversal span. A ray that contributes nothing emits nothing (the
+// old per-thread placeholder is now an empty list).
+type SampleFn func(cam *camera.Camera, sp volume.Space, bd *volume.BrickData, prm Params, px, py int, emit func(composite.Fragment)) SampleStats
+
+// SampleOne adapts an emit-based sampler to the classic single-fragment
+// contract: the fragment if the sampler emitted one, else a placeholder
+// keyed by the pixel index. It is the bridge for callers (reference
+// renderer, tests) that consume one fragment per (brick, pixel).
+func SampleOne(fn SampleFn, cam *camera.Camera, sp volume.Space, bd *volume.BrickData, prm Params, px, py int) (composite.Fragment, SampleStats) {
+	frag := composite.Placeholder(int32(py*cam.Width + px))
+	st := fn(cam, sp, bd, prm, px, py, func(f composite.Fragment) { frag = f })
+	return frag, st
+}
 
 // NewKernel plans a kernel for one brick; it returns nil (no work) when
 // the brick is off screen.
@@ -45,13 +69,15 @@ func NewKernel(cam *camera.Camera, sp volume.Space, tex *gpu.Texture3D, prm Para
 		Y: (fp.Height() + BlockDim - 1) / BlockDim,
 	}
 	return &Kernel{
-		Cam:   cam,
-		Space: sp,
-		Tex:   tex,
-		Prm:   prm.PrepareBrick(tex.Data),
-		FP:    fp,
-		Out:   make([]composite.Fragment, grid.Count()*BlockDim*BlockDim),
-		grid:  grid,
+		Cam:        cam,
+		Space:      sp,
+		Tex:        tex,
+		Prm:        prm.PrepareBrick(tex.Data),
+		FP:         fp,
+		Counts:     make([]int32, grid.Count()*BlockDim*BlockDim),
+		blockFrags: make([][]composite.Fragment, grid.Count()),
+		blockOffs:  make([][]int32, grid.Count()),
+		grid:       grid,
 	}
 }
 
@@ -64,9 +90,39 @@ func (k *Kernel) Grid() gpu.Dim2 { return k.grid }
 // Block implements gpu.Kernel.
 func (k *Kernel) Block() gpu.Dim2 { return gpu.Dim2{X: BlockDim, Y: BlockDim} }
 
-// OutBytes returns the modeled size of the emission buffer.
+// Threads returns the total thread count (one per padded-footprint pixel).
+func (k *Kernel) Threads() int { return len(k.Counts) }
+
+// OutBytes returns the modeled size of the emission buffer: the per-thread
+// count table plus the packed fragments. Call after the kernel ran.
 func (k *Kernel) OutBytes() int64 {
-	return int64(len(k.Out)) * composite.FragmentBytes
+	var frags int64
+	for _, b := range k.blockFrags {
+		frags += int64(len(b))
+	}
+	return int64(len(k.Counts))*4 + frags*composite.FragmentBytes
+}
+
+// ForEachThread visits every thread's fragment list in global slot order
+// (row-major over the padded footprint — the same order the fixed
+// per-thread array was read in, so per-brick emission order and with it
+// the wire's canonical stripe order are unchanged). frags is empty for
+// padding threads and rays that contributed nothing; it aliases the
+// kernel's buffers and must not be retained across calls that mutate it.
+func (k *Kernel) ForEachThread(fn func(slot int, frags []composite.Fragment)) {
+	rowThreads := k.grid.X * BlockDim
+	for slot := range k.Counts {
+		gx := slot % rowThreads
+		gy := slot / rowThreads
+		b := (gy/BlockDim)*k.grid.X + gx/BlockDim
+		ti := (gy%BlockDim)*BlockDim + gx%BlockDim
+		offs := k.blockOffs[b]
+		if offs == nil {
+			fn(slot, nil) // block never ran
+			continue
+		}
+		fn(slot, k.blockFrags[b][offs[ti]:offs[ti+1]])
+	}
 }
 
 // RunBlock implements gpu.Kernel: 256 threads, one pixel each.
@@ -74,32 +130,48 @@ func (k *Kernel) RunBlock(bx, by int) gpu.Stats {
 	var st gpu.Stats
 	sample := k.Sampler
 	if sample == nil {
-		sample = CastPixel
+		sample = CastRay
 	}
 	rowThreads := k.grid.X * BlockDim
+	bi := by*k.grid.X + bx
+	frags := make([]composite.Fragment, 0, BlockDim*BlockDim)
+	offs := make([]int32, BlockDim*BlockDim+1)
 	for ty := 0; ty < BlockDim; ty++ {
 		for tx := 0; tx < BlockDim; tx++ {
 			st.Threads++
-			st.Emitted++
+			ti := ty*BlockDim + tx
+			offs[ti] = int32(len(frags))
 			gx := bx*BlockDim + tx
 			gy := by*BlockDim + ty
 			slot := gy*rowThreads + gx
 			px := k.FP.X0 + gx
 			py := k.FP.Y0 + gy
 			if px > k.FP.X1 || py > k.FP.Y1 {
-				// Padding thread: emit a discarded placeholder.
-				k.Out[slot] = composite.Placeholder(-1)
+				// Padding thread: emits nothing, but still writes one
+				// placeholder-sized record (§3.1.1 cost parity).
+				st.Emitted++
+				k.Counts[slot] = 0
 				continue
 			}
-			frag, samples := sample(k.Cam, k.Space, k.Tex.Data, k.Prm, px, py)
+			before := len(frags)
+			samples := sample(k.Cam, k.Space, k.Tex.Data, k.Prm, px, py, func(f composite.Fragment) {
+				frags = append(frags, f)
+			})
 			st.Samples += samples.Samples
 			st.SamplesSkipped += samples.Skipped
 			st.Cells += samples.Cells
-			if !frag.IsPlaceholder() {
+			n := len(frags) - before
+			k.Counts[slot] = int32(n)
+			if n > 0 {
 				st.RaysHit++
+				st.Emitted += int64(n)
+			} else {
+				st.Emitted++ // empty list still writes a placeholder record
 			}
-			k.Out[slot] = frag
 		}
 	}
+	offs[BlockDim*BlockDim] = int32(len(frags))
+	k.blockFrags[bi] = frags
+	k.blockOffs[bi] = offs
 	return st
 }

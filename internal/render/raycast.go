@@ -1,11 +1,11 @@
 // Package render implements the ray-casting map kernel: the CUDA-kernel
 // equivalent of §3.2 of the paper. Rays are generated per pixel over a
 // brick's screen footprint in 16×16 thread blocks, intersected against the
-// brick's bounding box (non-intersecting rays immediately emit a
-// placeholder), marched at fixed increments with trilinear 3D-texture
-// sampling and a 1D transfer function, accumulated front to back with
-// early ray termination, and emitted as exactly one homogeneous fragment
-// per thread.
+// brick's bounding box (non-intersecting rays emit nothing), marched at
+// fixed increments with trilinear 3D-texture sampling and a 1D transfer
+// function, accumulated front to back with early ray termination, and
+// emitted as a homogeneous fragment list per thread — at most one fragment
+// per convex brick, one per traversal span under non-convex partitions.
 package render
 
 import (
@@ -203,11 +203,20 @@ type SampleStats struct {
 	Cells   int64
 }
 
-// CastPixel marches the ray for pixel (px,py) through the brick core and
-// returns the fragment plus the sampling work. The sample positions lie
-// on a per-ray global lattice t = (k+0.5)·step, so a ray split across
-// bricks takes exactly the same samples a monolithic traversal would —
-// the brick-count invariance the tests verify.
+// CastPixel adapts CastRay to the classic single-fragment contract:
+// the brick's fragment for pixel (px,py), or a placeholder when the ray
+// contributed nothing. Convex bricks yield at most one fragment per
+// ray, so nothing is lost in the adaptation.
+func CastPixel(cam *camera.Camera, sp volume.Space, bd *volume.BrickData, prm Params, px, py int) (composite.Fragment, SampleStats) {
+	return SampleOne(CastRay, cam, sp, bd, prm, px, py)
+}
+
+// CastRay marches the ray for pixel (px,py) through the brick core,
+// emits the accumulated fragment (nothing when the ray misses or picks
+// up no opacity), and returns the sampling work. The sample positions
+// lie on a per-ray global lattice t = (k+0.5)·step, so a ray split
+// across bricks takes exactly the same samples a monolithic traversal
+// would — the brick-count invariance the tests verify.
 //
 // When the brick carries a macrocell grid (and Params.NoEmptySkip is
 // unset), the inner loop is a two-level DDA: macrocells along the ray
@@ -216,13 +225,13 @@ type SampleStats struct {
 // without fetching. Skipped samples all have TF alpha exactly 0, and the
 // lattice itself never moves, so the accumulated fragment — and with it
 // the image — is bit-identical to the dense march (DESIGN.md §8).
-func CastPixel(cam *camera.Camera, sp volume.Space, bd *volume.BrickData, prm Params, px, py int) (composite.Fragment, SampleStats) {
+func CastRay(cam *camera.Camera, sp volume.Space, bd *volume.BrickData, prm Params, px, py int, emit func(composite.Fragment)) SampleStats {
 	var st SampleStats
 	key := int32(py*cam.Width + px)
 	ray := cam.Ray(px, py)
 	t0, t1, ok := bd.Brick.Bounds.Intersect(ray)
 	if !ok || t1 <= 0 {
-		return composite.Placeholder(key), st
+		return st
 	}
 	if t0 < 0 {
 		t0 = 0
@@ -342,16 +351,17 @@ func CastPixel(cam *camera.Camera, sp volume.Space, bd *volume.BrickData, prm Pa
 		k++
 	}
 	if acc.W == 0 {
-		return composite.Placeholder(key), st
+		return st
 	}
 	// Depth is the brick entry point along the ray: fragments of one ray
 	// across disjoint bricks sort correctly by it.
 	if entry < 0 {
 		entry = t0
 	}
-	return composite.Fragment{
+	emit(composite.Fragment{
 		Key: key, R: acc.X, G: acc.Y, B: acc.Z, A: acc.W, Depth: entry,
-	}, st
+	})
+	return st
 }
 
 // clampCell clamps a cell coordinate into [0, n-1]; sample positions sit

@@ -251,44 +251,63 @@ func TestKernelCoversFootprintWithPadding(t *testing.T) {
 	if (grid.X-1)*BlockDim >= k.FP.Width() {
 		t.Errorf("grid %v overshoots footprint %+v by more than one block", grid, k.FP)
 	}
-	// Execute all blocks serially and check every slot was written with
-	// either a real fragment (valid key) or a padding placeholder.
+	// Execute all blocks serially and check the offset/count layout: every
+	// thread has a (possibly empty) fragment list, every fragment's key is
+	// a footprint pixel, and the stats agree with the layout.
 	var stats gpu.Stats
 	for by := 0; by < grid.Y; by++ {
 		for bx := 0; bx < grid.X; bx++ {
 			stats.Add(k.RunBlock(bx, by))
 		}
 	}
-	if stats.Threads != int64(len(k.Out)) {
-		t.Errorf("threads %d != slots %d", stats.Threads, len(k.Out))
+	if stats.Threads != int64(k.Threads()) {
+		t.Errorf("threads %d != slots %d", stats.Threads, k.Threads())
 	}
+	// With the convex ray caster each thread emits 0 or 1 fragments, and
+	// an empty list still writes one placeholder-sized record, so the
+	// emission charge stays one per thread (§3.1.1 cost parity).
 	if stats.Emitted != stats.Threads {
-		t.Errorf("every thread must emit: emitted %d of %d", stats.Emitted, stats.Threads)
+		t.Errorf("emitted %d, want one per thread (%d)", stats.Emitted, stats.Threads)
 	}
-	valid, padding := 0, 0
-	for _, f := range k.Out {
-		if f.Key == -1 {
-			padding++
-			if !f.IsPlaceholder() {
-				t.Fatal("padding slot has contribution")
-			}
-		} else {
-			valid++
+	var frags, hitThreads int64
+	lastSlot := -1
+	k.ForEachThread(func(slot int, list []composite.Fragment) {
+		if slot != lastSlot+1 {
+			t.Fatalf("ForEachThread slot %d after %d: not global row-major order", slot, lastSlot)
+		}
+		lastSlot = slot
+		if int32(len(list)) != k.Counts[slot] {
+			t.Fatalf("slot %d: list length %d != Counts %d", slot, len(list), k.Counts[slot])
+		}
+		if len(list) > 0 {
+			hitThreads++
+		}
+		for _, f := range list {
+			frags++
 			px := int(f.Key) % cam.Width
 			py := int(f.Key) / cam.Width
 			if px < k.FP.X0 || px > k.FP.X1 || py < k.FP.Y0 || py > k.FP.Y1 {
 				t.Fatalf("fragment key (%d,%d) outside footprint %+v", px, py, k.FP)
 			}
+			if f.IsPlaceholder() {
+				t.Fatal("emitted fragment carries the placeholder sentinel")
+			}
 		}
-	}
-	if valid != k.FP.Pixels() {
-		t.Errorf("valid slots %d != footprint pixels %d", valid, k.FP.Pixels())
+	})
+	if lastSlot != k.Threads()-1 {
+		t.Errorf("ForEachThread visited %d slots, want %d", lastSlot+1, k.Threads())
 	}
 	if stats.RaysHit == 0 {
 		t.Error("no rays hit the volume")
 	}
-	if padding != len(k.Out)-k.FP.Pixels() {
-		t.Errorf("padding count %d inconsistent", padding)
+	if stats.RaysHit != hitThreads {
+		t.Errorf("RaysHit %d != threads with fragments %d", stats.RaysHit, hitThreads)
+	}
+	if hitThreads > int64(k.FP.Pixels()) {
+		t.Errorf("%d hit threads exceed footprint pixels %d", hitThreads, k.FP.Pixels())
+	}
+	if want := int64(k.Threads())*4 + frags*composite.FragmentBytes; k.OutBytes() != want {
+		t.Errorf("OutBytes %d, want %d (counts + packed fragments)", k.OutBytes(), want)
 	}
 }
 

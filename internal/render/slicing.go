@@ -9,20 +9,26 @@ import (
 	"gvmr/internal/volume"
 )
 
-// CastPixelSlicing is the object-aligned slicing sampler: the §6.1
+// CastPixelSlicing adapts CastRaySlicing to the classic single-fragment
+// contract, mirroring CastPixel.
+func CastPixelSlicing(cam *camera.Camera, sp volume.Space, bd *volume.BrickData, prm Params, px, py int) (composite.Fragment, SampleStats) {
+	return SampleOne(CastRaySlicing, cam, sp, bd, prm, px, py)
+}
+
+// CastRaySlicing is the object-aligned slicing sampler: the §6.1
 // pluggability alternative ("if the user wished to use splatting or
 // slicing instead of ray casting, the map phase is all that would need to
 // be changed"). Instead of a fixed arc-length step along the ray, samples
 // are taken where the ray crosses the volume's voxel slab planes along
 // the axis most aligned with the view direction — exactly what compositing
 // object-aligned textured slices computes.
-func CastPixelSlicing(cam *camera.Camera, sp volume.Space, bd *volume.BrickData, prm Params, px, py int) (composite.Fragment, SampleStats) {
+func CastRaySlicing(cam *camera.Camera, sp volume.Space, bd *volume.BrickData, prm Params, px, py int, emit func(composite.Fragment)) SampleStats {
 	var st SampleStats
 	key := int32(py*cam.Width + px)
 	ray := cam.Ray(px, py)
 	t0, t1, ok := bd.Brick.Bounds.Intersect(ray)
 	if !ok || t1 <= 0 {
-		return composite.Placeholder(key), st
+		return st
 	}
 	if t0 < 0 {
 		t0 = 0
@@ -36,7 +42,7 @@ func CastPixelSlicing(cam *camera.Camera, sp volume.Space, bd *volume.BrickData,
 		}
 	}
 	if dir[axis] == 0 {
-		return composite.Placeholder(key), st
+		return st
 	}
 	org := [3]float32{ray.Origin.X, ray.Origin.Y, ray.Origin.Z}
 
@@ -98,12 +104,13 @@ func CastPixelSlicing(cam *camera.Camera, sp volume.Space, bd *volume.BrickData,
 		k += dk
 	}
 	if acc.W == 0 {
-		return composite.Placeholder(key), st
+		return st
 	}
 	if entry < 0 {
 		entry = t0
 	}
-	return composite.Fragment{Key: key, R: acc.X, G: acc.Y, B: acc.Z, A: acc.W, Depth: entry}, st
+	emit(composite.Fragment{Key: key, R: acc.X, G: acc.Y, B: acc.Z, A: acc.W, Depth: entry})
+	return st
 }
 
 func abs32(v float32) float32 {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"gvmr/internal/dist"
 	"gvmr/internal/img"
@@ -36,8 +37,11 @@ const (
 //
 // /render query parameters: dataset (skull|supernova|plume), edge, size
 // (square image) or w+h, orbit (degrees), gpus, shading (0/1), step
-// (voxels), ta (termination alpha), format (png, the default, or raw —
-// little-endian float32 RGBA, the renderer's exact bits).
+// (voxels), ta (termination alpha), bricks-per-gpu (bricking scale),
+// partition (scheme:parts, e.g. interleave:2 — a possibly non-convex
+// brick partition; bits are identical to the convex default), format
+// (png, the default, or raw — little-endian float32 RGBA, the
+// renderer's exact bits).
 //
 // /healthz is pure liveness: 200 whenever the process can answer, even
 // while draining — restarting a draining node would kill the in-flight
@@ -138,10 +142,24 @@ func parseRenderRequest(r *http.Request) (Request, string, error) {
 		intArg("edge", &req.Edge), intArg("size", &size),
 		intArg("w", &req.Width), intArg("h", &req.Height),
 		intArg("gpus", &req.GPUs), floatArg("orbit", &req.Orbit),
+		intArg("bricks-per-gpu", &req.BricksPerGPU),
 	} {
 		if e != nil {
 			return req, "", e
 		}
+	}
+	if v := q.Get("partition"); v != "" {
+		// "scheme:parts", e.g. "interleave:2" — the same spelling
+		// Partition.Name uses and the request key canonicalises.
+		scheme, parts, ok := strings.Cut(v, ":")
+		if !ok || scheme == "" {
+			return req, "", fmt.Errorf("bad partition=%q (want scheme:parts)", v)
+		}
+		n, err := strconv.Atoi(parts)
+		if err != nil {
+			return req, "", fmt.Errorf("bad partition=%q (want scheme:parts)", v)
+		}
+		req.Partition, req.Parts = scheme, n
 	}
 	if size != 0 {
 		if req.Width != 0 || req.Height != 0 {

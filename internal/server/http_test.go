@@ -214,3 +214,46 @@ func TestHTTPDrainStatus(t *testing.T) {
 		}
 	}
 }
+
+// TestHTTPPartitionParams: a non-convex partition requested over HTTP
+// (?partition=scheme:parts) must serve the same bits as the same render
+// with convex bricks — the §12 identity at the service boundary — and
+// malformed partition parameters are clean 400s.
+func TestHTTPPartitionParams(t *testing.T) {
+	_, ts := newTestServer(t)
+	digest := func(q string) string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/render?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("HTTP %d for %q", resp.StatusCode, q)
+		}
+		return resp.Header.Get(HeaderDigest)
+	}
+	base := "dataset=skull&edge=16&size=32&shading=1&gpus=2&bricks-per-gpu=8"
+	convex := digest(base)
+	if part := digest(base + "&partition=interleave:2"); part != convex {
+		t.Errorf("interleave:2 digest %s != convex %s", part, convex)
+	}
+	for _, q := range []string{
+		base + "&partition=interleave",                    // missing parts
+		base + "&partition=interleave:zero",               // non-numeric parts
+		base + "&partition=interleave:1",                  // below the [2,4096] floor
+		base + "&partition=nonesuch:2",                    // unregistered scheme
+		"dataset=skull&edge=16&size=32&bricks-per-gpu=65", // over cap
+	} {
+		resp, err := http.Get(ts.URL + "/render?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %q = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}

@@ -21,7 +21,7 @@ import (
 // is rejected, so accepted keys re-encode to themselves byte for byte.
 func parseKey(k string) (Request, bool) {
 	parts := strings.Split(k, "|")
-	if len(parts) != 8 {
+	if len(parts) != 10 {
 		return Request{}, false
 	}
 	var r Request
@@ -99,6 +99,32 @@ func parseKey(k string) (Request, bool) {
 			return Request{}, false
 		}
 		r.TerminationAlpha = float32(f)
+	} else {
+		return Request{}, false
+	}
+
+	if v, ok := cut(parts[8], "b"); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return Request{}, false
+		}
+		r.BricksPerGPU = n
+	} else {
+		return Request{}, false
+	}
+
+	if v, ok := cut(parts[9], "p"); ok {
+		if v != "" {
+			colon := strings.LastIndex(v, ":")
+			if colon <= 0 {
+				return Request{}, false
+			}
+			n, err := strconv.Atoi(v[colon+1:])
+			if err != nil {
+				return Request{}, false
+			}
+			r.Partition, r.Parts = v[:colon], n
+		}
 	} else {
 		return Request{}, false
 	}

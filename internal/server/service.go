@@ -137,6 +137,19 @@ type Request struct {
 
 	StepVoxels       float32 // 0 = 1.0
 	TerminationAlpha float32 // 0 = 0.98
+
+	// BricksPerGPU scales the bricking policy (0 = the default 1, the
+	// paper's regime). Partition and Parts name a registered brick
+	// partition scheme ("" = the convex one-unit-per-brick default):
+	// e.g. "interleave" with 2 parts groups bricks into two non-convex
+	// checkerboard units. All three are part of the frame identity —
+	// partitioned frames are byte-identical to convex ones by the §12
+	// argument, but the fleet topology and stats differ, and aliasing
+	// them in the cache would mask exactly the equality the golden
+	// battery is meant to prove.
+	BricksPerGPU int
+	Partition    string
+	Parts        int
 }
 
 // normalize fills defaults and validates against the service limits, so
@@ -198,6 +211,19 @@ func (r *Request) normalize(s *Service) error {
 	if !(r.TerminationAlpha > 0 && r.TerminationAlpha <= 1) {
 		return fmt.Errorf("server: termination alpha %v outside (0, 1]", r.TerminationAlpha)
 	}
+	if r.BricksPerGPU == 0 {
+		r.BricksPerGPU = 1
+	}
+	if r.BricksPerGPU < 1 || r.BricksPerGPU > 64 {
+		return fmt.Errorf("server: bricks-per-gpu %d outside [1, 64]", r.BricksPerGPU)
+	}
+	if r.Partition == "" {
+		if r.Parts != 0 {
+			return fmt.Errorf("server: parts=%d without a partition scheme", r.Parts)
+		}
+	} else if _, err := core.BuildPartition(r.Partition, r.Parts); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
 	return nil
 }
 
@@ -205,9 +231,13 @@ func (r *Request) normalize(s *Service) error {
 // dataset preset (data + transfer function) + dims + camera + quality.
 // Requests with equal keys render bit-identical frames.
 func (r *Request) key() string {
-	return fmt.Sprintf("%s|e%d|%dx%d|o%g|g%d|sh%t|st%g|ta%g",
+	part := ""
+	if r.Partition != "" {
+		part = fmt.Sprintf("%s:%d", r.Partition, r.Parts)
+	}
+	return fmt.Sprintf("%s|e%d|%dx%d|o%g|g%d|sh%t|st%g|ta%g|b%d|p%s",
 		r.Dataset, r.Edge, r.Width, r.Height, r.Orbit, r.GPUs,
-		r.Shading, r.StepVoxels, r.TerminationAlpha)
+		r.Shading, r.StepVoxels, r.TerminationAlpha, r.BricksPerGPU, part)
 }
 
 // ServedVia says how a request was satisfied.
@@ -489,13 +519,22 @@ func (s *Service) renderLeader(req Request, key string) (*Frame, error) {
 	var res *core.Result
 	var dur sim.Time
 	if s.coord != nil {
-		res, dur, err = s.coord.Render(context.Background(), dist.JobSpec{
+		job := dist.JobSpec{
 			Dataset: req.Dataset, Edge: req.Edge,
 			Width: req.Width, Height: req.Height,
 			GPUs: req.GPUs, Shading: req.Shading,
 			StepVoxels: req.StepVoxels, TerminationAlpha: req.TerminationAlpha,
 			Camera: dist.CameraFrom(opt.Camera),
-		})
+		}
+		// The default bricking (1 per GPU) is spelled as the absent field
+		// so default jobs stay decodable by workers that predate it.
+		if req.BricksPerGPU != 1 {
+			job.BricksPerGPU = req.BricksPerGPU
+		}
+		if req.Partition != "" {
+			job.Partition = &dist.PartitionSpec{Scheme: req.Partition, Parts: req.Parts}
+		}
+		res, dur, err = s.coord.Render(context.Background(), job)
 		if errors.Is(err, dist.ErrNoWorkers) {
 			// The whole fleet drained or expired: render locally rather
 			// than fail. Bits are identical either way, so the fallback is
@@ -608,6 +647,12 @@ func (s *Service) options(req Request) (core.Options, error) {
 	if err != nil {
 		return core.Options{}, err
 	}
+	var part core.Partition
+	if req.Partition != "" {
+		if part, err = core.BuildPartition(req.Partition, req.Parts); err != nil {
+			return core.Options{}, err
+		}
+	}
 	return core.Options{
 		Source: src, TF: tf,
 		Width: req.Width, Height: req.Height,
@@ -616,6 +661,8 @@ func (s *Service) options(req Request) (core.Options, error) {
 		Shading:          req.Shading,
 		StepVoxels:       req.StepVoxels,
 		TerminationAlpha: req.TerminationAlpha,
+		BricksPerGPU:     req.BricksPerGPU,
+		Partition:        part,
 	}, nil
 }
 
@@ -693,6 +740,10 @@ type Stats struct {
 	// MapJobs counts /map batches served for remote coordinators (this
 	// node acting as a cluster worker).
 	MapJobs int64 `json:"map_jobs"`
+	// PlaceholdersStripped counts placeholder fragments the worker layer
+	// stripped from outgoing stripes — always zero unless a mapper bug
+	// leaks the kernel-internal sentinel onto the wire path.
+	PlaceholdersStripped int64 `json:"placeholders_stripped,omitempty"`
 	// Exchange counts distributed-reduce activity on this node acting as
 	// a reducer: stripe pushes received from peer mappers, collects
 	// served to coordinators, and sessions expired or live. Omitted
@@ -741,6 +792,7 @@ func (s *Service) Stats() Stats {
 	}
 	s.mu.Unlock()
 	st.Ready, _ = s.Ready()
+	st.PlaceholdersStripped = s.worker.PlaceholdersStripped()
 	if ex := s.worker.ExchangeStats(); ex != (dist.ExchangeStats{}) {
 		st.Exchange = &ex
 	}
