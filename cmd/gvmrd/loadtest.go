@@ -12,6 +12,7 @@ import (
 	"net/url"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -214,6 +215,11 @@ func runLoadtest(args []string) {
 	if err := fetchStats(client, base, &bench.Service); err != nil {
 		log.Printf("stats: %v", err)
 	}
+	if rs := bench.Service.Resilience; rs != nil {
+		log.Printf("resilience: %d breaker opens, %d half-open probes, %d budget exhaustions, %d degraded frames, %d deadline aborts, sheds %v",
+			rs.BreakerOpens, rs.HalfOpenProbes, rs.RetryBudgetExhausted,
+			rs.DegradedFrames, rs.DeadlineAborts, rs.ShedsByClass)
+	}
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(bench, "", "  ")
@@ -309,7 +315,7 @@ func sustainedLoad(client *http.Client, renderURL func(float64, string) string,
 					via[resp.Header.Get(server.HeaderServed)]++
 				case http.StatusTooManyRequests:
 					rejected++
-					time.Sleep(10 * time.Millisecond)
+					time.Sleep(retryAfter(resp, 10*time.Millisecond))
 				default:
 					errors++
 				}
@@ -332,6 +338,25 @@ func sustainedLoad(client *http.Client, renderURL func(float64, string) string,
 	}
 	out.Latency = server.SummarizeLatency(all, int64(len(all)))
 	return out
+}
+
+// retryAfter honors a Retry-After header (delay-seconds form) on an
+// overload response, bounded to keep a hostile or confused server from
+// parking the client; fallback covers a missing or unparsable header.
+func retryAfter(resp *http.Response, fallback time.Duration) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return fallback
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return fallback
+	}
+	d := time.Duration(secs) * time.Second
+	if max := 5 * time.Second; d > max {
+		d = max
+	}
+	return d
 }
 
 func fetchStats(client *http.Client, base string, dst *server.Stats) error {

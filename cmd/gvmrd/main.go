@@ -29,6 +29,12 @@
 // hedging) and composites the returned fragment stripes locally. Served
 // bits are identical to a single-process render — see DESIGN.md §9.
 //
+// Under overload the daemon sheds by priority class (interactive >
+// batch > speculative; 429 + Retry-After), breaks circuits to failing
+// workers, caps retry amplification with a budget, and — with
+// -default-deadline / -allow-degraded — bounds every render end to end,
+// optionally serving a coarser degraded frame on a miss. DESIGN.md §13.
+//
 // As a worker (-join coord:port) the daemon registers itself with the
 // coordinator, advertises its capacity, heartbeats its load on the lease
 // the coordinator assigns, and on SIGTERM drains (finish in-flight map
@@ -91,11 +97,14 @@ func serviceFlags(fs *flag.FlagSet) func() (*server.Service, error) {
 		maxPixels     = fs.Int("max-pixels", 4096*4096, "largest image (width*height) a request may ask for")
 		workerList    = fs.String("workers", "", "comma-separated gvmrd worker addresses (host:port,...); non-empty fans renders out as a distributed coordinator")
 		hedgeAfter    = fs.Duration("hedge-after", 0, "duplicate a straggling map batch onto another worker after this delay (coordinator mode; 0 = off)")
+		attemptTO     = fs.Duration("attempt-timeout", 0, "bound one map exchange with a worker (coordinator mode; 0 = 30s default)")
 		distReduce    = fs.Bool("dist-reduce", false, "reduce on the worker fleet: mappers exchange stripes peer-to-peer and the coordinator collects near-final pixels (coordinator mode)")
 		wireCompress  = fs.Bool("wire-compress", true, "negotiate columnar stripe compression on the map/reduce wire")
 		acceptJoins   = fs.Bool("accept-joins", false, "accept dynamic worker joins (POST /register); coordinator mode with a live fleet")
 		heartbeat     = fs.Duration("heartbeat", 2*time.Second, "lease heartbeat interval assigned to joining workers")
 		leaseMisses   = fs.Int("lease-misses", 3, "missed heartbeats before a joined worker's lease expires and it is evicted")
+		defDeadline   = fs.Duration("default-deadline", 0, "end-to-end deadline for renders that don't carry their own X-Gvmr-Deadline (0 = unbounded)")
+		allowDegraded = fs.Bool("allow-degraded", false, "on a missed deadline, serve a coarser uncached frame (X-Gvmr-Degraded: 1) instead of 504")
 	)
 	return func() (*server.Service, error) {
 		var addrs []string
@@ -123,11 +132,14 @@ func serviceFlags(fs *flag.FlagSet) func() (*server.Service, error) {
 			MaxEdge:         *maxEdge,
 			WorkerAddrs:     addrs,
 			HedgeAfter:      *hedgeAfter,
+			AttemptTimeout:  *attemptTO,
 			DistReduce:      *distReduce,
 			NoWireCompress:  !*wireCompress,
 			AcceptJoins:     *acceptJoins,
 			HeartbeatEvery:  *heartbeat,
 			LeaseMisses:     *leaseMisses,
+			DefaultDeadline: *defDeadline,
+			AllowDegraded:   *allowDegraded,
 		})
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"gvmr/internal/img"
 	"gvmr/internal/mapreduce"
 	"gvmr/internal/membership"
+	"gvmr/internal/resilience"
 	"gvmr/internal/sim"
 	"gvmr/internal/vec"
 	"gvmr/internal/volume"
@@ -31,6 +32,19 @@ import (
 // exists right now. Callers with local render capacity may fall back to
 // it — the bits are identical either way.
 var ErrNoWorkers = errors.New("dist: no eligible worker nodes")
+
+// ErrDeadline marks work abandoned because the request's end-to-end
+// deadline expired (a worker's 504, or the job context's own deadline).
+// It is a property of the request's budget, not of any node: nothing is
+// marked down, nothing is retried (a retry cannot beat an already-spent
+// deadline), and the server layer may answer with a brownout frame when
+// the operator allowed degraded serving.
+var ErrDeadline = errors.New("dist: end-to-end deadline exceeded")
+
+// ErrRetryBudget marks a batch failed fast because the coordinator's
+// retry budget is exhausted: the fleet is sick enough that piling on
+// more retries would amplify the outage instead of dodging it.
+var ErrRetryBudget = errors.New("dist: retry budget exhausted")
 
 // CoordinatorConfig sizes a Coordinator.
 type CoordinatorConfig struct {
@@ -62,14 +76,21 @@ type CoordinatorConfig struct {
 	// Responses are bit-identical by construction, so hedging can never
 	// change the image.
 	HedgeAfter time.Duration
-	// Backoff is the base per-node health backoff after a failure,
-	// doubling per consecutive failure up to MaxBackoff (defaults 500ms
-	// and 15s), then jittered uniformly over [1/2, 1) of the doubled
-	// value so simultaneous blips don't resynchronise into retry storms.
-	// Backoff is a fast-path hint only — membership state (lease expiry,
-	// drain) is the authority on who is placeable at all.
-	Backoff    time.Duration
-	MaxBackoff time.Duration
+	// Breaker configures the per-worker circuit breakers that gate
+	// placement eligibility (closed→open→half-open on a sliding
+	// error-rate window; see resilience.BreakerConfig for the defaults).
+	// Breakers are a fast-path hint only — membership state (lease
+	// expiry, drain) is the authority on who is placeable at all.
+	Breaker resilience.BreakerConfig
+	// RetryBudget caps cluster-wide retry and hedge amplification: every
+	// extra attempt costs a token and only successes mint new ones, so a
+	// sick fleet fast-fails instead of melting itself down.
+	RetryBudget resilience.BudgetConfig
+	// Metrics, when non-nil, receives the resilience events (breaker
+	// opens, probes, budget exhaustion, deadline aborts) — the server
+	// shares one instance across its admission gate and this
+	// coordinator. Nil builds a private one (see Resilience).
+	Metrics *resilience.Metrics
 	// Reducers is the number of local composite shards (default: the
 	// eligible node count at render time); Partitioner routes pixels to
 	// shards (default: the paper's per-pixel round robin). Neither
@@ -104,10 +125,6 @@ type CoordinatorConfig struct {
 	// any remaining disagreement into a loud error). Nil uses the
 	// calibrated AC cluster sized to each job's GPU count.
 	Spec *cluster.Spec
-
-	// jitter scales a computed backoff (test seam; default: uniform over
-	// [d/2, d)).
-	jitter func(d time.Duration) time.Duration
 }
 
 // CoordinatorStats counts distributed-layer events; the /stats endpoint
@@ -134,11 +151,15 @@ type CoordinatorStats struct {
 // placement and a drained node receives zero new placements after its
 // drain is acknowledged. Safe for concurrent use.
 type Coordinator struct {
-	cfg CoordinatorConfig
-	reg *membership.Registry
+	cfg    CoordinatorConfig
+	reg    *membership.Registry
+	budget *resilience.RetryBudget
 
-	mu    sync.Mutex
-	hints map[string]*nodeState // per-node backoff fast-path hints
+	mu sync.Mutex
+	// breakers are the per-node circuit breakers, keyed by normalized
+	// address. They survive membership churn, so a node that rejoins
+	// after a crash still starts from its recent failure history.
+	breakers map[string]*resilience.Breaker
 	// ring cache, keyed by the registry snapshot version: membership
 	// changes rebuild it (bounded-load cap is recomputed per render),
 	// heartbeats don't.
@@ -148,20 +169,6 @@ type Coordinator struct {
 
 	jobs, batches, retries, hedges, hedgeWins, corrupt, nodeDowns atomic.Int64
 	reduceJobs, reduceFallbacks                                   atomic.Int64
-}
-
-type nodeState struct {
-	addr string // normalized http://host:port
-
-	mu        sync.Mutex
-	fails     int
-	downUntil time.Time
-}
-
-func (n *nodeState) healthy(now time.Time) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return !now.Before(n.downUntil)
 }
 
 // NewCoordinator builds a coordinator over the given worker membership:
@@ -188,12 +195,11 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.AttemptTimeout == 0 {
 		cfg.AttemptTimeout = 30 * time.Second
 	}
-	if cfg.Backoff == 0 {
-		cfg.Backoff = 500 * time.Millisecond
+	if cfg.Metrics == nil {
+		cfg.Metrics = &resilience.Metrics{}
 	}
-	if cfg.MaxBackoff == 0 {
-		cfg.MaxBackoff = 15 * time.Second
-	}
+	cfg.Breaker.Metrics = cfg.Metrics
+	cfg.RetryBudget.Metrics = cfg.Metrics
 	if cfg.Partitioner == nil {
 		cfg.Partitioner = mapreduce.RoundRobin{}
 	}
@@ -203,21 +209,21 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.MaxResponseBytes == 0 {
 		cfg.MaxResponseBytes = 1 << 30
 	}
-	if cfg.jitter == nil {
-		cfg.jitter = func(d time.Duration) time.Duration {
-			if d <= 1 {
-				return d
-			}
-			half := d / 2
-			return half + rand.N(d-half)
-		}
-	}
-	return &Coordinator{cfg: cfg, reg: reg, hints: map[string]*nodeState{}}, nil
+	return &Coordinator{
+		cfg:      cfg,
+		reg:      reg,
+		budget:   resilience.NewRetryBudget(cfg.RetryBudget),
+		breakers: map[string]*resilience.Breaker{},
+	}, nil
 }
 
 // Registry exposes the coordinator's membership authority (the server
 // mounts its control-plane endpoints and reports its stats).
 func (c *Coordinator) Registry() *membership.Registry { return c.reg }
+
+// Resilience exposes the coordinator's policy-event counters (shared
+// with the server when CoordinatorConfig.Metrics was set). Never nil.
+func (c *Coordinator) Resilience() *resilience.Metrics { return c.cfg.Metrics }
 
 // Stats snapshots the event counters.
 func (c *Coordinator) Stats() CoordinatorStats {
@@ -240,13 +246,24 @@ func (c *Coordinator) Nodes() int { return len(c.reg.Snapshot().Members) }
 // clusterView is one placement decision's consistent view of the fleet:
 // the eligible members and the consistent-hash ring over exactly them.
 type clusterView struct {
-	addrs []string              // eligible (alive) addrs, ring index order
-	ring  *ring                 // hash ring over addrs
-	nodes map[string]*nodeState // backoff hints, shared across views
+	addrs []string                       // eligible (alive) addrs, ring index order
+	ring  *ring                          // hash ring over addrs
+	nodes map[string]*resilience.Breaker // per-node breakers, shared across views
+	// saturated marks nodes whose last heartbeat reported a full
+	// admission queue (Load.Pressure ≥ 1): placement prefers anyone
+	// else, falling back to them only when no unsaturated node exists —
+	// a 429 there is near-certain and costs a retry for nothing.
+	saturated map[string]bool
+}
+
+// placeable reports whether placement may prefer addr right now: its
+// breaker admits traffic and its heartbeat does not report saturation.
+func (v clusterView) placeable(a string) bool {
+	return v.nodes[a].Placeable() && !v.saturated[a]
 }
 
 // view snapshots the registry and returns the placement view, rebuilding
-// the cached ring only when membership actually changed. Backoff hints
+// the cached ring only when membership actually changed. Breakers
 // survive membership churn (they are keyed by address), so a node that
 // rejoins after a crash still starts from its recent failure history.
 func (c *Coordinator) view() (clusterView, error) {
@@ -255,6 +272,12 @@ func (c *Coordinator) view() (clusterView, error) {
 	if len(eligible) == 0 {
 		return clusterView{}, ErrNoWorkers
 	}
+	saturated := map[string]bool{}
+	for _, m := range snap.Members {
+		if m.State == membership.StateAlive && m.Load.Pressure >= 1 {
+			saturated[m.Addr] = true
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.ringCache == nil || c.ringVer != snap.Version {
@@ -262,47 +285,41 @@ func (c *Coordinator) view() (clusterView, error) {
 		c.ringAddrs = eligible
 		c.ringVer = snap.Version
 	}
-	v := clusterView{addrs: c.ringAddrs, ring: c.ringCache, nodes: make(map[string]*nodeState, len(c.ringAddrs))}
+	v := clusterView{
+		addrs:     c.ringAddrs,
+		ring:      c.ringCache,
+		nodes:     make(map[string]*resilience.Breaker, len(c.ringAddrs)),
+		saturated: saturated,
+	}
 	for _, a := range c.ringAddrs {
-		n, ok := c.hints[a]
-		if !ok {
-			n = &nodeState{addr: a}
-			c.hints[a] = n
-		}
-		v.nodes[a] = n
+		v.nodes[a] = c.breakerLocked(a)
 	}
 	return v, nil
 }
 
-func (c *Coordinator) markFailure(n *nodeState) {
-	n.mu.Lock()
-	n.fails++
-	backoff := c.cfg.Backoff << uint(n.fails-1)
-	if backoff > c.cfg.MaxBackoff || backoff <= 0 {
-		backoff = c.cfg.MaxBackoff
-	}
-	// Jitter decorrelates recovery: when several nodes blip at once,
-	// deterministic doubling would re-probe them all on the same beat.
-	n.downUntil = time.Now().Add(c.cfg.jitter(backoff))
-	n.mu.Unlock()
+// markFailure records one node-fault exchange: the breaker counts it
+// (and may open) and the node_downs stat ticks. Caller-cancels, deadline
+// aborts and 4xx responses never come here — they say nothing about the
+// node's health.
+func (c *Coordinator) markFailure(b *resilience.Breaker) {
+	b.Failure()
 	c.nodeDowns.Add(1)
 }
 
-func (c *Coordinator) markSuccess(n *nodeState) {
-	n.mu.Lock()
-	n.fails = 0
-	n.downUntil = time.Time{}
-	n.mu.Unlock()
+// markSuccess records one healthy exchange: the breaker's window gets a
+// success and the retry budget earns a credit.
+func (c *Coordinator) markSuccess(b *resilience.Breaker) {
+	b.Success()
+	c.budget.Credit()
 }
 
-// place picks the node for one brick: the first healthy, non-excluded
+// place picks the node for one brick: the first placeable, non-excluded
 // eligible node on the brick's ring walk; failing that, the first
 // non-excluded one (better a likely-dead try than none); "" when every
 // eligible node is excluded. Draining and evicted nodes are not in the
-// view at all — membership is authoritative, backoff only a hint.
+// view at all — membership is authoritative, breakers only a hint.
 func (v clusterView) place(job JobSpec, brick int, excluded map[string]bool) string {
 	seq := v.ring.sequence(brickKey(job, brick))
-	now := time.Now()
 	firstAlive := ""
 	for _, i := range seq {
 		a := v.addrs[i]
@@ -312,7 +329,7 @@ func (v clusterView) place(job JobSpec, brick int, excluded map[string]bool) str
 		if firstAlive == "" {
 			firstAlive = a
 		}
-		if v.nodes[a].healthy(now) {
+		if v.placeable(a) {
 			return a
 		}
 	}
@@ -320,19 +337,18 @@ func (v clusterView) place(job JobSpec, brick int, excluded map[string]bool) str
 }
 
 // placeBounded is the bounded-load variant of place used for initial
-// placement: first healthy node on the brick's ring walk with fewer than
-// cap bricks assigned; failing that, the first healthy node; failing
-// that, the first node at all.
+// placement: first placeable node on the brick's ring walk with fewer
+// than cap bricks assigned; failing that, the first placeable node;
+// failing that, the first node at all.
 func (v clusterView) placeBounded(job JobSpec, brick int, loads map[string][]int, cap int) string {
 	seq := v.ring.sequence(brickKey(job, brick))
-	now := time.Now()
 	firstAlive, firstHealthy := "", ""
 	for _, i := range seq {
 		a := v.addrs[i]
 		if firstAlive == "" {
 			firstAlive = a
 		}
-		if !v.nodes[a].healthy(now) {
+		if !v.placeable(a) {
 			continue
 		}
 		if firstHealthy == "" {
@@ -348,7 +364,7 @@ func (v clusterView) placeBounded(job JobSpec, brick int, loads map[string][]int
 	return firstAlive
 }
 
-// alternate picks a healthy hedge target not yet tried for this batch,
+// alternate picks a placeable hedge target not yet tried for this batch,
 // from a fresh membership view: a node that drained or expired since the
 // batch launched is never hedged onto.
 func (c *Coordinator) alternate(job JobSpec, brick int, tried, excluded map[string]bool) string {
@@ -357,13 +373,12 @@ func (c *Coordinator) alternate(job JobSpec, brick int, tried, excluded map[stri
 		return ""
 	}
 	seq := v.ring.sequence(brickKey(job, brick))
-	now := time.Now()
 	for _, i := range seq {
 		a := v.addrs[i]
 		if tried[a] || excluded[a] {
 			continue
 		}
-		if v.nodes[a].healthy(now) {
+		if v.placeable(a) {
 			return a
 		}
 	}
@@ -381,14 +396,13 @@ func (c *Coordinator) alternate(job JobSpec, brick int, tried, excluded map[stri
 func (c *Coordinator) placeInitial(view clusterView, job JobSpec, numBricks int) (map[string][]int, error) {
 	perNode := make(map[string][]int)
 	healthyNow := 0
-	now := time.Now()
 	for _, a := range view.addrs {
-		if view.nodes[a].healthy(now) {
+		if view.placeable(a) {
 			healthyNow++
 		}
 	}
 	if healthyNow == 0 {
-		healthyNow = len(view.addrs) // everyone in backoff: place anyway
+		healthyNow = len(view.addrs) // every breaker open: place anyway
 	}
 	cap := (numBricks + healthyNow - 1) / healthyNow
 	for id := 0; id < numBricks; id++ {
@@ -536,6 +550,20 @@ func (c *Coordinator) RenderDetailed(ctx context.Context, job JobSpec) (*core.Re
 			}
 			if ctx.Err() != nil {
 				events <- event{err: ctx.Err()}
+				return
+			}
+			// A deadline abort is terminal: the budget is spent, and a
+			// retry on another node cannot un-spend it. The server layer
+			// decides whether to answer with a brownout frame.
+			if errors.Is(err, ErrDeadline) {
+				events <- event{err: err}
+				return
+			}
+			// Every re-placement costs a retry-budget token; an empty
+			// bucket means the fleet is sick fleet-wide, and the job
+			// fast-fails instead of amplifying the storm.
+			if !c.budget.TryTake() {
+				events <- event{err: fmt.Errorf("dist: bricks %v: %w (last error: %v)", b.bricks, ErrRetryBudget, err)}
 				return
 			}
 			c.retries.Add(1)
@@ -835,32 +863,31 @@ func (c *Coordinator) postMapReduce(ctx context.Context, job JobSpec, counts [3]
 		return 0, 0, err
 	}
 	c.batches.Add(1)
-	n := c.node(addr)
+	b := c.breaker(addr)
 	resp, _, err := c.post(ctx, c.attemptTimeout(ctx, 0), addr, MapPath, body, "application/json", "")
 	if err != nil {
 		return 0, 0, fmt.Errorf("dist: node %s: %w", addr, err)
 	}
 	if resp.Header.Get(HeaderReduced) != "1" {
 		c.corrupt.Add(1)
-		c.markFailure(n)
+		c.markFailure(b)
 		return 0, 0, fmt.Errorf("dist: node %s: map response lacks %s (stripes went nowhere)", addr, HeaderReduced)
 	}
 	mapSeconds, err = parseSecondsHeader(resp, HeaderMapSeconds)
 	if err != nil {
 		c.corrupt.Add(1)
-		c.markFailure(n)
+		c.markFailure(b)
 		return 0, 0, fmt.Errorf("dist: node %s: %w", addr, err)
 	}
 	if h := resp.Header.Get(HeaderFragCount); h != "" {
 		v, perr := strconv.ParseInt(h, 10, 64)
 		if perr != nil || v < 0 {
 			c.corrupt.Add(1)
-			c.markFailure(n)
+			c.markFailure(b)
 			return 0, 0, fmt.Errorf("dist: node %s: bad %s header %q", addr, HeaderFragCount, h)
 		}
 		frags = v
 	}
-	c.markSuccess(n)
 	return mapSeconds, frags, nil
 }
 
@@ -892,7 +919,7 @@ func (c *Coordinator) postCollect(ctx context.Context, job JobSpec, exID string,
 		accept = EncodingColumnar2 + ", " + EncodingColumnar
 	}
 	c.batches.Add(1)
-	n := c.node(tgt.Addr)
+	b := c.breaker(tgt.Addr)
 	resp, payload, err := c.post(ctx, c.attemptTimeout(ctx, 0), tgt.Addr, CollectPath, body, "application/json", accept)
 	if err != nil {
 		return collectOutcome{}, fmt.Errorf("dist: node %s: collect: %w", tgt.Addr, err)
@@ -900,10 +927,9 @@ func (c *Coordinator) postCollect(ctx context.Context, job JobSpec, exID string,
 	out, err := c.verifyCollect(resp, payload, tgt)
 	if err != nil {
 		c.corrupt.Add(1)
-		c.markFailure(n)
+		c.markFailure(b)
 		return collectOutcome{}, fmt.Errorf("dist: node %s: collect: %w", tgt.Addr, err)
 	}
-	c.markSuccess(n)
 	return out, nil
 }
 
@@ -994,13 +1020,13 @@ func (c *Coordinator) sendBatch(ctx context.Context, job JobSpec, counts [3]int,
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	resCh := make(chan result, len(c.reg.Snapshot().Members)+2)
-	post := func(addr string) {
+	post := func(ctx context.Context, addr string) {
 		out, err := c.postMap(ctx, perAttempt, job, counts, bricks, addr)
 		resCh <- result{out: out, err: err}
 	}
 	c.batches.Add(1)
 	tried := map[string]bool{target: true}
-	go post(target)
+	go post(ctx, target)
 	launched := 1
 	var timer *time.Timer
 	var timerC <-chan time.Time
@@ -1011,13 +1037,25 @@ func (c *Coordinator) sendBatch(ctx context.Context, job JobSpec, counts [3]int,
 	}
 	hedge := func() {
 		timerC = nil
-		if alt := c.alternate(job, bricks[0], tried, excluded); alt != "" {
-			tried[alt] = true
-			c.hedges.Add(1)
-			c.batches.Add(1)
-			launched++
-			go post(alt)
+		alt := c.alternate(job, bricks[0], tried, excluded)
+		if alt == "" {
+			return
 		}
+		// A hedge is an extra attempt like any retry: it costs a budget
+		// token, so a straggling fleet cannot double its own load. Shed
+		// hedges (the budget counter ticks) rather than fail the batch —
+		// the primary is still in flight.
+		if !c.budget.TryTake() {
+			return
+		}
+		tried[alt] = true
+		c.hedges.Add(1)
+		c.batches.Add(1)
+		launched++
+		// Hedges are speculative by definition: the worker's admission
+		// gate sheds them first under pressure, so hedging never starves
+		// interactive work fleet-wide.
+		go post(resilience.WithPriority(ctx, resilience.Speculative), alt)
 	}
 	var firstErr error
 	for {
@@ -1028,6 +1066,12 @@ func (c *Coordinator) sendBatch(ctx context.Context, job JobSpec, counts [3]int,
 					c.hedgeWins.Add(1)
 				}
 				return a.out, tried, nil
+			}
+			// A deadline abort dooms every sibling attempt too (they share
+			// the budget): tear the batch down now instead of waiting for
+			// the straggler to discover the same expiry.
+			if errors.Is(a.err, ErrDeadline) {
+				return batchOutcome{}, tried, a.err
 			}
 			if firstErr == nil {
 				firstErr = a.err
@@ -1051,68 +1095,117 @@ func (c *Coordinator) sendBatch(ctx context.Context, job JobSpec, counts [3]int,
 	}
 }
 
-// node returns the backoff hint for addr, creating it if needed (a
+// breaker returns the circuit breaker for addr, creating it if needed (a
 // response may arrive after the member already left the registry).
-func (c *Coordinator) node(addr string) *nodeState {
+func (c *Coordinator) breaker(addr string) *resilience.Breaker {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n, ok := c.hints[addr]
+	return c.breakerLocked(addr)
+}
+
+func (c *Coordinator) breakerLocked(addr string) *resilience.Breaker {
+	b, ok := c.breakers[addr]
 	if !ok {
-		n = &nodeState{addr: addr}
-		c.hints[addr] = n
+		b = resilience.NewBreaker(c.cfg.Breaker)
+		c.breakers[addr] = b
 	}
-	return n
+	return b
+}
+
+// BreakerState reports addr's breaker position ("closed" when the node
+// has never been exchanged with) — tests and /stats diagnostics.
+func (c *Coordinator) BreakerState(addr string) resilience.BreakerState {
+	return c.breaker(addr).State()
 }
 
 // post performs one HTTP exchange against a node, bounded by the
 // per-attempt deadline, with the node health bookkeeping every dist hop
-// shares. Error bodies are drained before close so the keep-alive
-// connection returns to the shared transport's pool instead of being
-// torn down — under hedging the same worker sees many short exchanges,
-// and re-dialing each one churns TCP state for nothing.
+// shares: the node's breaker admits (or refuses) the exchange up front
+// and every terminal path resolves it — Success, Failure, or Cancel
+// when the outcome says nothing about the node. The job context's own
+// deadline rides the request as HeaderDeadline (relative milliseconds,
+// immune to clock skew) and the context's priority class as
+// HeaderPriority, so the worker's admission gate and deadline checks see
+// the same budget this coordinator does. Error bodies are drained
+// before close so the keep-alive connection returns to the shared
+// transport's pool instead of being torn down — under hedging the same
+// worker sees many short exchanges, and re-dialing each one churns TCP
+// state for nothing.
 func (c *Coordinator) post(parent context.Context, perAttempt time.Duration,
 	addr, path string, body []byte, contentType, accept string) (*http.Response, []byte, error) {
+	b := c.breaker(addr)
+	if !b.Admit() {
+		// Not a node fault (no evidence was gathered): the batch re-places
+		// elsewhere, bounded by MaxAttempts and the retry budget.
+		return nil, nil, fmt.Errorf("dist: circuit breaker open for %s", addr)
+	}
 	ctx := parent
 	if perAttempt > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(parent, perAttempt)
 		defer cancel()
 	}
-	n := c.node(addr)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+path, bytes.NewReader(body))
 	if err != nil {
+		b.Cancel()
 		return nil, nil, err
 	}
 	req.Header.Set("Content-Type", contentType)
 	if accept != "" {
 		req.Header.Set("Accept-Encoding", accept)
 	}
+	if dl, ok := parent.Deadline(); ok {
+		req.Header.Set(resilience.HeaderDeadline, resilience.EncodeDeadline(time.Until(dl)))
+	}
+	req.Header.Set(resilience.HeaderPriority, resilience.PriorityFrom(parent).String())
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
-		// A cancelled exchange says nothing about the node's health: the
-		// hedge winner (or job teardown) aborted us. Marking the node down
-		// here would put a healthy straggler into backoff on every hedge
-		// win and poison its placement affinity. An expired per-attempt
-		// deadline, by contrast, IS a node problem (it hung past its
-		// budget) and does mark it down.
-		if parent.Err() == nil {
-			c.markFailure(n)
+		// Classify before blaming the node. A caller-side cancel (hedge
+		// winner, job teardown) or the job's own expired deadline says
+		// nothing about the node's health: marking it down would put a
+		// healthy straggler into backoff on every hedge win and poison
+		// its placement affinity. An expired *per-attempt* deadline while
+		// the parent is live, by contrast, IS a node problem (it hung
+		// past its budget) and does mark it down.
+		switch {
+		case parent.Err() != nil:
+			b.Cancel()
+			if errors.Is(parent.Err(), context.DeadlineExceeded) {
+				c.cfg.Metrics.DeadlineAbort()
+				return nil, nil, fmt.Errorf("%w: %v", ErrDeadline, err)
+			}
+		case errors.Is(err, context.Canceled):
+			// The attempt's own context was cancelled without the parent
+			// being done — teardown racing completion; still no evidence.
+			b.Cancel()
+		default:
+			c.markFailure(b)
 		}
 		return nil, nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		drainBody(resp.Body)
-		// Only 5xx marks the node down. 429 is transient backpressure
-		// (the node is alive and telling us so), 400 is a deterministic
-		// request problem, and 424 is a reduce push that a *peer*
-		// refused — none of those say this node is unhealthy, and
-		// backing off healthy nodes would degrade placement for every
-		// following job. The batch still fails here and re-places onto
-		// another node (or the exchange falls back), bounded by
-		// MaxAttempts.
-		if resp.StatusCode >= 500 {
-			c.markFailure(n)
+		switch {
+		case resp.StatusCode == http.StatusGatewayTimeout:
+			// The worker aborted past the request's end-to-end deadline:
+			// a property of the budget, not the node. No retry can help.
+			b.Cancel()
+			c.cfg.Metrics.DeadlineAbort()
+			return nil, nil, fmt.Errorf("%w: node %s: %s", ErrDeadline, addr, bytes.TrimSpace(msg))
+		case resp.StatusCode >= 500:
+			// Only other 5xx marks the node down.
+			c.markFailure(b)
+		default:
+			// 429 is transient backpressure (the node is alive and telling
+			// us so), 400 is a deterministic request problem, and 424 is a
+			// reduce push that a *peer* refused — none of those say this
+			// node is unhealthy, and opening breakers on healthy nodes
+			// would degrade placement for every following job. The
+			// response itself is breaker-level evidence of life. The batch
+			// still fails here and re-places onto another node (or the
+			// exchange falls back), bounded by MaxAttempts.
+			b.Success()
 		}
 		return nil, nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
@@ -1120,14 +1213,22 @@ func (c *Coordinator) post(parent context.Context, perAttempt time.Duration,
 	if err != nil {
 		_ = resp.Body.Close()
 		if parent.Err() == nil {
-			c.markFailure(n)
+			c.markFailure(b)
+		} else {
+			b.Cancel()
 		}
 		return nil, nil, fmt.Errorf("reading response: %w", err)
 	}
 	_ = resp.Body.Close()
 	if int64(len(payload)) > c.cfg.MaxResponseBytes {
+		c.markFailure(b)
 		return nil, nil, fmt.Errorf("response exceeds %d bytes", c.cfg.MaxResponseBytes)
 	}
+	// Transport-level success: the breaker window records it and the
+	// retry budget earns a credit. Content verification failures after
+	// this point add their own Failure — in half-open that re-opens the
+	// breaker, which is exactly right for a node answering garbage.
+	c.markSuccess(b)
 	return resp, payload, nil
 }
 
@@ -1147,7 +1248,7 @@ func (c *Coordinator) postMap(parent context.Context, perAttempt time.Duration, 
 	if !c.cfg.NoCompress {
 		accept = EncodingColumnar2 + ", " + EncodingColumnar
 	}
-	n := c.node(addr)
+	b := c.breaker(addr)
 	resp, payload, err := c.post(parent, perAttempt, addr, MapPath, body, "application/json", accept)
 	if err != nil {
 		return batchOutcome{}, fmt.Errorf("dist: node %s: %w", addr, err)
@@ -1155,10 +1256,9 @@ func (c *Coordinator) postMap(parent context.Context, perAttempt time.Duration, 
 	out, err := c.verifyResponse(resp, payload, job, bricks, addr)
 	if err != nil {
 		c.corrupt.Add(1)
-		c.markFailure(n)
+		c.markFailure(b)
 		return batchOutcome{}, fmt.Errorf("dist: node %s: %w", addr, err)
 	}
-	c.markSuccess(n)
 	return out, nil
 }
 

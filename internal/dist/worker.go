@@ -9,12 +9,14 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"gvmr/internal/cluster"
 	"gvmr/internal/core"
+	"gvmr/internal/resilience"
 )
 
 // WorkerConfig sizes the worker side of the distributed map endpoint.
@@ -48,6 +50,9 @@ type WorkerConfig struct {
 	// 2 minutes).
 	MaxExchanges int
 	ExchangeTTL  time.Duration
+	// Metrics, when non-nil, receives deadline-abort events (the server
+	// shares its node-wide resilience counters).
+	Metrics *resilience.Metrics
 }
 
 func (c *WorkerConfig) fillDefaults() error {
@@ -98,6 +103,17 @@ type pushError struct{ err error }
 
 func (e pushError) Error() string { return e.err.Error() }
 func (e pushError) Unwrap() error { return e.err }
+
+// deadlineError marks map work abandoned because the request's
+// propagated end-to-end deadline expired. The node is healthy and the
+// request was fine — the *budget* ran out. Served as 504 (gateway
+// timeout), the one status the coordinator classifies as a deadline
+// abort: no node is marked down and no retry is launched, because a
+// retry cannot beat an already-spent deadline.
+type deadlineError struct{ err error }
+
+func (e deadlineError) Error() string { return e.err.Error() }
+func (e deadlineError) Unwrap() error { return e.err }
 
 // Worker serves MapPath: it decodes a MapRequest, cross-checks the grid
 // plan, runs core.MapBricks on the local spec and either writes the
@@ -167,14 +183,29 @@ func (wk *Worker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad map request: %v", err), http.StatusBadRequest)
 		return
 	}
-	out, err := wk.run(r.Context(), req, negotiateEncoding(r.Header.Get("Accept-Encoding")))
+	// The propagated end-to-end deadline bounds this batch's context:
+	// work the coordinator can no longer use is abandoned, not finished.
+	ctx := r.Context()
+	if budget, ok, err := resilience.ParseDeadline(r.Header.Get(resilience.HeaderDeadline)); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	} else if ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	out, err := wk.run(ctx, req, negotiateEncoding(r.Header.Get("Accept-Encoding")))
 	if err != nil {
 		status := http.StatusInternalServerError
 		var reqErr requestError
 		var pErr pushError
+		var dlErr deadlineError
 		switch {
 		case errors.As(err, &reqErr):
 			status = http.StatusBadRequest
+		case errors.As(err, &dlErr):
+			status = http.StatusGatewayTimeout
+			wk.cfg.Metrics.DeadlineAbort()
 		case errors.As(err, &pErr):
 			status = http.StatusFailedDependency
 		}
@@ -250,18 +281,22 @@ func (wk *Worker) run(ctx context.Context, req MapRequest, encoding string) (map
 			return mapOutcome{}, requestError{err}
 		}
 	}
-	res, err := wk.mapBricks(wk.cfg.Spec, opt, req.Bricks, wk.cfg.DevWorkers)
+	raw, mapSeconds, err := wk.mapBatch(ctx, opt, req.Bricks)
 	if err != nil {
-		return mapOutcome{}, fmt.Errorf("dist: map phase: %w", err)
+		return mapOutcome{}, err
+	}
+	rawFrags := 0
+	for _, s := range raw {
+		rawFrags += len(s.Frags)
 	}
 	// The wire contract says stripes carry only surviving fragments;
 	// strip (and loudly count) any placeholder a buggy mapper leaked
 	// rather than shipping the sentinel.
-	stripes, stripped := SanitizeStripes(res.Stripes)
+	stripes, stripped := SanitizeStripes(raw)
 	if stripped > 0 {
 		wk.stripped.Add(int64(stripped))
 	}
-	out := mapOutcome{frags: res.FragmentCount() - stripped, mapSeconds: res.Runtime.Seconds()}
+	out := mapOutcome{frags: rawFrags - stripped, mapSeconds: mapSeconds}
 	if req.Reduce != nil {
 		if err := wk.pushStripes(ctx, req.Reduce, stripes); err != nil {
 			return mapOutcome{}, err
@@ -275,6 +310,45 @@ func (wk *Worker) run(ctx context.Context, req MapRequest, encoding string) (map
 	}
 	out.encoding = encoding
 	return out, nil
+}
+
+// mapBatch runs the map phase of one batch. Without a deadline the
+// whole batch is a single core.MapBricks call — the golden path,
+// unchanged. With a propagated deadline the batch is chunked one brick
+// at a time with a deadline check between bricks, so a budget that
+// expires mid-batch abandons the remaining bricks instead of computing
+// results the coordinator can no longer use. Stripes are canonical per
+// brick (DESIGN.md §9), so the image bits are identical either way;
+// only the modeled virtual seconds can differ on the deadline path
+// (per-brick staging is re-charged), and virtual time never reaches a
+// frame digest.
+func (wk *Worker) mapBatch(ctx context.Context, opt core.Options, bricks []int) ([]core.BrickStripe, float64, error) {
+	if _, ok := ctx.Deadline(); !ok {
+		res, err := wk.mapBricks(wk.cfg.Spec, opt, bricks, wk.cfg.DevWorkers)
+		if err != nil {
+			return nil, 0, fmt.Errorf("dist: map phase: %w", err)
+		}
+		return res.Stripes, res.Runtime.Seconds(), nil
+	}
+	// The wire contract requires ascending brick order regardless of the
+	// request's (already duplicate-free) ordering.
+	ids := append([]int(nil), bricks...)
+	sort.Ints(ids)
+	var stripes []core.BrickStripe
+	var seconds float64
+	for done, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, deadlineError{fmt.Errorf(
+				"dist: deadline expired after %d/%d bricks: %w", done, len(ids), err)}
+		}
+		res, err := wk.mapBricks(wk.cfg.Spec, opt, []int{id}, wk.cfg.DevWorkers)
+		if err != nil {
+			return nil, 0, fmt.Errorf("dist: map phase: %w", err)
+		}
+		stripes = append(stripes, res.Stripes...)
+		seconds += res.Runtime.Seconds()
+	}
+	return stripes, seconds, nil
 }
 
 // validatePlan bounds a reduce plan before any work runs.

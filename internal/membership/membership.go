@@ -57,6 +57,13 @@ type Load struct {
 	InFlight   int   `json:"in_flight"`
 	QueueDepth int   `json:"queue_depth"`
 	MapJobs    int64 `json:"map_jobs"`
+	// Pressure is the node's admission-queue fill fraction in [0, 1]:
+	// the load-aware shed hint. At 1 the node's next admission is a
+	// near-certain 429, so coordinators place work there only as a last
+	// resort until a fresher heartbeat reports headroom. Omitted (zero)
+	// by workers predating the field — absent pressure never excludes a
+	// node.
+	Pressure float64 `json:"pressure,omitempty"`
 }
 
 // Registry errors.

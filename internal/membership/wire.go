@@ -194,6 +194,11 @@ func (l Load) validate() error {
 	if l.MapJobs < 0 {
 		return fmt.Errorf("membership: negative map jobs %d", l.MapJobs)
 	}
+	// NaN fails the positive-range spelling too; a hostile heartbeat must
+	// not be able to park an unorderable value in placement decisions.
+	if !(l.Pressure >= 0 && l.Pressure <= 1) {
+		return fmt.Errorf("membership: pressure %v outside [0, 1]", l.Pressure)
+	}
 	return nil
 }
 

@@ -1,0 +1,189 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is the deterministic clock the breaker tests drive.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestBreakerLifecycle drives closed→open→half-open→closed entirely on
+// the fake clock: the full lifecycle is a pure function of outcomes and
+// time, which is what makes the chaos suite deterministic.
+func TestBreakerLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	var m Metrics
+	b := NewBreaker(BreakerConfig{
+		Window: 10 * time.Second, Buckets: 5, MinRequests: 4, FailureRatio: 0.5,
+		OpenFor: 5 * time.Second, CloseAfter: 2, Now: clk.Now, Metrics: &m,
+	})
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("new breaker state = %v, want closed", got)
+	}
+
+	// Below MinRequests the ratio can never trip, even at 100% failure.
+	b.Failure()
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after 3 failures (MinRequests=4) = %v, want closed", got)
+	}
+	if !b.Placeable() {
+		t.Fatal("closed breaker must be placeable")
+	}
+
+	// The fourth outcome reaches MinRequests at 100% failure: open.
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after 4/4 failures = %v, want open", got)
+	}
+	if b.Placeable() || b.Admit() {
+		t.Fatal("open breaker must refuse placement and admission")
+	}
+	if got := m.Snapshot().BreakerOpens; got != 1 {
+		t.Fatalf("breaker_opens = %d, want 1", got)
+	}
+
+	// Stragglers from before the open change nothing.
+	b.Success()
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after stragglers = %v, want open", got)
+	}
+
+	// Not yet: one nanosecond before OpenFor elapses it is still open.
+	clk.Advance(5*time.Second - time.Nanosecond)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state before OpenFor elapsed = %v, want open", got)
+	}
+	clk.Advance(time.Nanosecond)
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after OpenFor = %v, want half-open", got)
+	}
+
+	// One probe slot: the first Admit takes it, the second is refused.
+	if !b.Admit() {
+		t.Fatal("half-open breaker must admit the first probe")
+	}
+	if b.Admit() || b.Placeable() {
+		t.Fatal("half-open breaker must refuse a second concurrent probe")
+	}
+	if got := m.Snapshot().HalfOpenProbes; got != 1 {
+		t.Fatalf("half_open_probes = %d, want 1", got)
+	}
+
+	// First probe succeeds: still half-open (CloseAfter=2), slot free.
+	b.Success()
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after 1/2 probe successes = %v, want half-open", got)
+	}
+	if !b.Admit() {
+		t.Fatal("half-open breaker must admit another probe after success")
+	}
+	b.Success()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after %d probe successes = %v, want closed", 2, got)
+	}
+
+	// The close reset the window: one failure cannot re-trip it.
+	b.Failure()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after close + 1 failure = %v, want closed", got)
+	}
+}
+
+// TestBreakerProbeFailureReopens: any half-open probe failure re-opens
+// the breaker for a full OpenFor.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	var m Metrics
+	b := NewBreaker(BreakerConfig{
+		MinRequests: 2, OpenFor: 3 * time.Second, Now: clk.Now, Metrics: &m,
+	})
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	clk.Advance(3 * time.Second)
+	if !b.Admit() {
+		t.Fatal("half-open breaker must admit a probe")
+	}
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after probe failure = %v, want open", got)
+	}
+	clk.Advance(3*time.Second - time.Millisecond)
+	if b.Placeable() {
+		t.Fatal("re-opened breaker must stay open a full OpenFor")
+	}
+	if got := m.Snapshot().BreakerOpens; got != 2 {
+		t.Fatalf("breaker_opens = %d, want 2 (open + re-open)", got)
+	}
+}
+
+// TestBreakerWindowAges: failures older than the window stop counting,
+// so a brief historic blip can never combine with fresh noise to trip
+// the breaker.
+func TestBreakerWindowAges(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{
+		Window: 10 * time.Second, Buckets: 5, MinRequests: 4, FailureRatio: 0.5, Now: clk.Now,
+	})
+	b.Failure()
+	b.Failure()
+	b.Failure()
+	clk.Advance(11 * time.Second) // the whole window ages out
+	b.Failure()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state = %v, want closed (old failures aged out)", got)
+	}
+	// Fresh volume with a healthy majority stays closed...
+	b.Success()
+	b.Success()
+	b.Success()
+	b.Failure()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state at 2/6 failures = %v, want closed", got)
+	}
+	// ...until failures reach the ratio.
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state at 4/8 failures = %v, want open", got)
+	}
+}
+
+// TestBreakerDefaultsAndRealClock: the zero config works against the
+// real clock (the production path).
+func TestBreakerDefaultsAndRealClock(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	if !b.Placeable() || !b.Admit() {
+		t.Fatal("fresh breaker must place and admit")
+	}
+	b.Success()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}

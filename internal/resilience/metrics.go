@@ -1,0 +1,98 @@
+package resilience
+
+import "sync/atomic"
+
+// Metrics aggregates the policy layer's event counters. One instance is
+// shared by a node's breakers, retry budget, admission gate and brownout
+// path, and surfaces as the `resilience` block in /stats. All methods
+// are safe on a nil receiver so optional wiring stays unconditional at
+// the call sites.
+type Metrics struct {
+	breakerOpens         atomic.Int64
+	halfOpenProbes       atomic.Int64
+	shedSpeculative      atomic.Int64
+	shedBatch            atomic.Int64
+	shedInteractive      atomic.Int64
+	retryBudgetExhausted atomic.Int64
+	degradedFrames       atomic.Int64
+	deadlineAborts       atomic.Int64
+}
+
+// BreakerOpened records a closed→open (or half-open→open) transition.
+func (m *Metrics) BreakerOpened() {
+	if m != nil {
+		m.breakerOpens.Add(1)
+	}
+}
+
+// HalfOpenProbe records one trial request admitted while half-open.
+func (m *Metrics) HalfOpenProbe() {
+	if m != nil {
+		m.halfOpenProbes.Add(1)
+	}
+}
+
+// Shed records one request rejected by priority shedding.
+func (m *Metrics) Shed(p Priority) {
+	if m == nil {
+		return
+	}
+	switch p {
+	case Speculative:
+		m.shedSpeculative.Add(1)
+	case Batch:
+		m.shedBatch.Add(1)
+	default:
+		m.shedInteractive.Add(1)
+	}
+}
+
+// BudgetExhausted records a retry or hedge denied by the retry budget.
+func (m *Metrics) BudgetExhausted() {
+	if m != nil {
+		m.retryBudgetExhausted.Add(1)
+	}
+}
+
+// DegradedFrame records one brownout frame served at reduced quality.
+func (m *Metrics) DegradedFrame() {
+	if m != nil {
+		m.degradedFrames.Add(1)
+	}
+}
+
+// DeadlineAbort records work abandoned because its end-to-end deadline
+// expired (a worker's 504, or a coordinator-side expiry).
+func (m *Metrics) DeadlineAbort() {
+	if m != nil {
+		m.deadlineAborts.Add(1)
+	}
+}
+
+// Snapshot is the JSON form of the counters (the /stats `resilience`
+// block).
+type Snapshot struct {
+	BreakerOpens         int64            `json:"breaker_opens"`
+	HalfOpenProbes       int64            `json:"half_open_probes"`
+	ShedsByClass         map[string]int64 `json:"sheds_by_class"`
+	RetryBudgetExhausted int64            `json:"retry_budget_exhausted"`
+	DegradedFrames       int64            `json:"degraded_frames"`
+	DeadlineAborts       int64            `json:"deadline_aborts"`
+}
+
+// Snapshot captures the counters. Safe on nil (all-zero snapshot).
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{ShedsByClass: map[string]int64{}}
+	if m == nil {
+		return s
+	}
+	s.BreakerOpens = m.breakerOpens.Load()
+	s.HalfOpenProbes = m.halfOpenProbes.Load()
+	s.ShedsByClass[Speculative.String()] = m.shedSpeculative.Load()
+	s.ShedsByClass[Batch.String()] = m.shedBatch.Load()
+	s.ShedsByClass[Interactive.String()] = m.shedInteractive.Load()
+	s.RetryBudgetExhausted = m.retryBudgetExhausted.Load()
+	s.DegradedFrames = m.degradedFrames.Load()
+	s.DeadlineAborts = m.deadlineAborts.Load()
+	return s
+}

@@ -1,0 +1,89 @@
+// Package resilience is the cluster-wide failure and overload policy
+// layer (DESIGN.md §13): end-to-end deadline propagation, per-worker
+// circuit breakers, retry budgets, and priority classes for load
+// shedding. The mechanisms are deliberately dependency-free and
+// clock-injectable so the dist and server layers can share one policy
+// vocabulary and the chaos tests can drive every state transition
+// deterministically.
+package resilience
+
+import (
+	"context"
+	"fmt"
+)
+
+// Wire headers of the policy layer. They ride every hop (client →
+// coordinator → worker) so policy decisions compose across the fleet
+// without being part of any frame identity.
+const (
+	// HeaderDeadline carries the request's remaining end-to-end budget in
+	// integer milliseconds. Relative rather than absolute so clock skew
+	// between nodes cannot corrupt the budget; each hop re-encodes its
+	// own remaining time.
+	HeaderDeadline = "X-Gvmr-Deadline"
+	// HeaderPriority names the request's priority class ("interactive",
+	// "batch", "speculative"). Absent means interactive.
+	HeaderPriority = "X-Gvmr-Priority"
+	// HeaderDegraded marks a brownout response: the frame was rendered at
+	// reduced quality to meet a deadline ("1"). Only ever set when the
+	// operator opted in via -allow-degraded.
+	HeaderDegraded = "X-Gvmr-Degraded"
+)
+
+// Priority is a request's load-shedding class. Higher values are more
+// important: under pressure admission sheds the lowest class first, so
+// speculative work (hedges) dies before batch work, and batch before
+// interactive.
+type Priority int
+
+// Priority classes, lowest (shed first) to highest.
+const (
+	Speculative Priority = iota
+	Batch
+	Interactive
+)
+
+// String returns the canonical wire spelling.
+func (p Priority) String() string {
+	switch p {
+	case Speculative:
+		return "speculative"
+	case Batch:
+		return "batch"
+	case Interactive:
+		return "interactive"
+	}
+	return fmt.Sprintf("priority(%d)", int(p))
+}
+
+// ParsePriority decodes a wire spelling. Empty means interactive (the
+// default class: an unannotated client is a human waiting on a frame).
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "", "interactive":
+		return Interactive, nil
+	case "batch":
+		return Batch, nil
+	case "speculative":
+		return Speculative, nil
+	}
+	return Interactive, fmt.Errorf("resilience: unknown priority %q (interactive|batch|speculative)", s)
+}
+
+// priorityKey is the context key for the request's priority class.
+type priorityKey struct{}
+
+// WithPriority annotates a context with the request's priority class.
+// Priority is policy, not identity: it never reaches a cache key or a
+// frame digest, so it travels the context, not the request.
+func WithPriority(ctx context.Context, p Priority) context.Context {
+	return context.WithValue(ctx, priorityKey{}, p)
+}
+
+// PriorityFrom extracts the priority class, defaulting to interactive.
+func PriorityFrom(ctx context.Context) Priority {
+	if p, ok := ctx.Value(priorityKey{}).(Priority); ok {
+		return p
+	}
+	return Interactive
+}

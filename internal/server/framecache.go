@@ -33,6 +33,11 @@ type Frame struct {
 	// RenderWall is the host wall-clock the render cost (zero for frames
 	// served from cache).
 	RenderWall time.Duration
+	// Degraded marks a brownout frame: the distributed render missed its
+	// deadline and the service (with Config.AllowDegraded) served a
+	// coarser local render instead. Degraded frames are never cached —
+	// the full-quality key must stay honest.
+	Degraded bool
 }
 
 // Bytes is the cache charge of a frame: raw framebuffer plus PNG.

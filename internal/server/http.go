@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 
 	"gvmr/internal/dist"
 	"gvmr/internal/img"
+	"gvmr/internal/resilience"
 )
 
 // HTTP response headers on /render.
@@ -41,7 +43,13 @@ const (
 // partition (scheme:parts, e.g. interleave:2 — a possibly non-convex
 // brick partition; bits are identical to the convex default), format
 // (png, the default, or raw — little-endian float32 RGBA, the
-// renderer's exact bits).
+// renderer's exact bits), priority (interactive, the default, batch, or
+// speculative — the class admission sheds at under overload).
+//
+// An X-Gvmr-Deadline request header (relative milliseconds) bounds the
+// render end to end; a miss is 504, or — when the service runs with
+// -allow-degraded — a coarser frame marked with X-Gvmr-Degraded: 1.
+// Overload (429) and drain (503) responses carry Retry-After.
 //
 // /healthz is pure liveness: 200 whenever the process can answer, even
 // while draining — restarting a draining node would kill the in-flight
@@ -90,18 +98,28 @@ func (s *Service) handleMap(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	// Hedge duplicates arrive marked speculative and are the first work
+	// shed when this node's queue fills; a garbled header is a protocol
+	// error, not a default.
+	pri, err := resilience.ParsePriority(r.Header.Get(resilience.HeaderPriority))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	if err := s.beginJob(); err != nil {
+		w.Header().Set("Retry-After", "5")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
 	defer s.endJob()
-	release, err := s.admit()
+	release, err := s.admit(pri)
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 		return
 	case err != nil:
+		w.Header().Set("Retry-After", "5")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
@@ -203,13 +221,27 @@ func (s *Service) handleRender(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	f, via, err := s.Render(r.Context(), req)
+	po := RenderOptions{Priority: resilience.Interactive}
+	if v := r.URL.Query().Get("priority"); v != "" {
+		if po.Priority, err = resilience.ParsePriority(v); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if d, ok, derr := resilience.ParseDeadline(r.Header.Get(resilience.HeaderDeadline)); derr != nil {
+		http.Error(w, derr.Error(), http.StatusBadRequest)
+		return
+	} else if ok {
+		po.Deadline = d
+	}
+	f, via, err := s.RenderWith(r.Context(), req, po)
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 		return
 	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	case errors.Is(err, ErrInvalid):
@@ -218,11 +250,20 @@ func (s *Service) handleRender(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, r.Context().Err()) && r.Context().Err() != nil:
 		// Client went away; nothing useful to write.
 		return
+	case errors.Is(err, dist.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
+		// The policy deadline expired (the client is still here — their
+		// context is checked above). Without -allow-degraded there is no
+		// frame to serve, only the honest status.
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		return
 	case err != nil:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	h := w.Header()
+	if f.Degraded {
+		h.Set(resilience.HeaderDegraded, "1")
+	}
 	h.Set(HeaderDigest, f.Digest)
 	h.Set(HeaderServed, string(via))
 	h.Set(HeaderRuntime, strconv.FormatFloat(f.Runtime.Seconds(), 'g', -1, 64))

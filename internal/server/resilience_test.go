@@ -1,0 +1,232 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gvmr/internal/dist"
+	"gvmr/internal/resilience"
+)
+
+// Overload-policy tests for the service layer: shed ordering by priority
+// class, the brownout gate (degraded frames only ever exist behind
+// AllowDegraded, and never enter the cache), and the Retry-After /
+// deadline / degraded HTTP surface.
+
+// TestAdmitShedsByPriority: with cap(queue)=4 (2 workers + 2 waiters),
+// speculative work sheds at half full, batch at three quarters, and only
+// interactive may fill the queue — lowest class first, each shed counted
+// under its own class.
+func TestAdmitShedsByPriority(t *testing.T) {
+	s := newTestService(t, Config{GPUs: 2, Workers: 2, MaxQueue: 2})
+	// Fill the queue halfway (as two admitted-and-waiting renders would).
+	s.queue <- struct{}{}
+	s.queue <- struct{}{}
+
+	if _, err := s.admit(resilience.Speculative); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("speculative at half full: %v, want ErrOverloaded", err)
+	}
+	rel1, err := s.admit(resilience.Batch)
+	if err != nil {
+		t.Fatalf("batch below three quarters: %v", err)
+	}
+	if _, err := s.admit(resilience.Batch); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("batch at three quarters: %v, want ErrOverloaded", err)
+	}
+	rel2, err := s.admit(resilience.Interactive)
+	if err != nil {
+		t.Fatalf("interactive below full: %v", err)
+	}
+	if _, err := s.admit(resilience.Interactive); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("interactive at full: %v, want ErrOverloaded", err)
+	}
+
+	snap := s.res.Snapshot()
+	want := map[string]int64{"speculative": 1, "batch": 1, "interactive": 1}
+	for class, n := range want {
+		if snap.ShedsByClass[class] != n {
+			t.Errorf("sheds[%s] = %d, want %d (%+v)", class, snap.ShedsByClass[class], n, snap.ShedsByClass)
+		}
+	}
+	rel1()
+	rel2()
+	<-s.queue
+	<-s.queue
+}
+
+// wedgedWorker is a /map endpoint that never answers: it parks until the
+// coordinator gives up (deadline) and the client connection drops.
+func wedgedWorker(t *testing.T) string {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body first: only then does the server's background
+		// read run, which is what delivers the client's deadline
+		// disconnect as a context cancellation here.
+		_, _ = io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+	}))
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// TestBrownoutUnreachableWithoutFlag: under a wedged fleet and a missed
+// deadline, a service WITHOUT AllowDegraded returns the deadline error —
+// no frame, no degraded render, nothing cached. The brownout path must
+// be provably dead when the flag is off.
+func TestBrownoutUnreachableWithoutFlag(t *testing.T) {
+	s := newTestService(t, Config{
+		GPUs: 2, Workers: 1,
+		WorkerAddrs:     []string{wedgedWorker(t)},
+		DefaultDeadline: 100 * time.Millisecond,
+	})
+	req := Request{Dataset: "skull", Edge: 16, Width: 32, Height: 32}
+	_, _, err := s.Render(context.Background(), req)
+	if err == nil {
+		t.Fatal("deadline miss with flag off returned a frame")
+	}
+	if !errors.Is(err, dist.ErrDeadline) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v is not deadline-class", err)
+	}
+	snap := s.res.Snapshot()
+	if snap.DegradedFrames != 0 {
+		t.Errorf("flag off but %d degraded frames rendered", snap.DegradedFrames)
+	}
+	nReq := req
+	if err := nReq.normalize(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.cache.Get(nReq.key()); ok {
+		t.Error("failed render left a cached frame")
+	}
+}
+
+// TestBrownoutServesDegradedUncached: the same wedged fleet with
+// AllowDegraded set serves a coarser local frame, marks it Degraded,
+// counts it, and does NOT commit it to the cache — the full-quality key
+// stays honest for the next healthy render.
+func TestBrownoutServesDegradedUncached(t *testing.T) {
+	s := newTestService(t, Config{
+		GPUs: 2, Workers: 1,
+		WorkerAddrs:     []string{wedgedWorker(t)},
+		DefaultDeadline: 100 * time.Millisecond,
+		AllowDegraded:   true,
+	})
+	req := Request{Dataset: "skull", Edge: 16, Width: 32, Height: 32}
+	f, via, err := s.Render(context.Background(), req)
+	if err != nil {
+		t.Fatalf("brownout render: %v", err)
+	}
+	if !f.Degraded {
+		t.Error("brownout frame not marked Degraded")
+	}
+	if via != ViaRender {
+		t.Errorf("brownout served via %q, want render", via)
+	}
+	snap := s.res.Snapshot()
+	if snap.DegradedFrames != 1 {
+		t.Errorf("degraded frames = %d, want 1", snap.DegradedFrames)
+	}
+	nReq := req
+	if err := nReq.normalize(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.cache.Get(nReq.key()); ok {
+		t.Error("degraded frame was committed to the cache")
+	}
+}
+
+// TestRenderHTTPDeadlineSurface: the HTTP layer's half of the deadline
+// contract — a missed deadline is 504 without the flag and a degraded
+// 200 (X-Gvmr-Degraded: 1) with it; malformed deadline headers and
+// priorities are 400s, not defaults.
+func TestRenderHTTPDeadlineSurface(t *testing.T) {
+	get := func(s *Service, deadline string) *http.Response {
+		t.Helper()
+		srv := httptest.NewServer(s.Handler())
+		defer srv.Close()
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"/render?dataset=skull&edge=16&size=32", nil)
+		if deadline != "" {
+			req.Header.Set(resilience.HeaderDeadline, deadline)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	strict := newTestService(t, Config{GPUs: 2, Workers: 1, WorkerAddrs: []string{wedgedWorker(t)}})
+	if resp := get(strict, "100"); resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("deadline miss: HTTP %d, want 504", resp.StatusCode)
+	}
+	if resp := get(strict, "bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad deadline header: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	soft := newTestService(t, Config{
+		GPUs: 2, Workers: 1,
+		WorkerAddrs: []string{wedgedWorker(t)}, AllowDegraded: true,
+	})
+	resp := get(soft, "100")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("brownout: HTTP %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get(resilience.HeaderDegraded) != "1" {
+		t.Error("brownout response missing X-Gvmr-Degraded: 1")
+	}
+
+	srv := httptest.NewServer(soft.Handler())
+	defer srv.Close()
+	badPri, err := http.Get(srv.URL + "/render?dataset=skull&edge=16&size=32&priority=urgent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	badPri.Body.Close()
+	if badPri.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad priority: HTTP %d, want 400", badPri.StatusCode)
+	}
+}
+
+// TestRetryAfterOnOverloadAndDrain: every 429 and 503 the admission and
+// drain paths emit carries Retry-After, so well-behaved clients back off
+// instead of hammering.
+func TestRetryAfterOnOverloadAndDrain(t *testing.T) {
+	s := newTestService(t, Config{GPUs: 2, Workers: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/render?dataset=skull&edge=16&size=32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining render: HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining 503 missing Retry-After")
+	}
+
+	mresp, err := http.Post(srv.URL+dist.MapPath, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining map: HTTP %d, want 503", mresp.StatusCode)
+	}
+	if mresp.Header.Get("Retry-After") == "" {
+		t.Error("draining /map 503 missing Retry-After")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"gvmr/internal/dist"
 	"gvmr/internal/img"
 	"gvmr/internal/membership"
+	"gvmr/internal/resilience"
 	"gvmr/internal/schedule"
 	"gvmr/internal/sim"
 	"gvmr/internal/transfer"
@@ -97,6 +98,10 @@ type Config struct {
 	// HedgeAfter duplicates a straggling map batch onto another healthy
 	// worker after this delay (0 = no hedging). Coordinator mode only.
 	HedgeAfter time.Duration
+	// AttemptTimeout bounds one map exchange with a worker (0 = the
+	// coordinator default, 30s). Short values make a wedged worker's
+	// circuit breaker trip quickly. Coordinator mode only.
+	AttemptTimeout time.Duration
 	// DistReduce moves the reduce phase onto the worker fleet: mappers
 	// exchange fragment stripes peer-to-peer per pixel partition and the
 	// coordinator collects near-final pixels instead of raw stripes.
@@ -107,6 +112,18 @@ type Config struct {
 	// (it is negotiated per request, so mixed fleets interoperate either
 	// way). Coordinator mode only.
 	NoWireCompress bool
+
+	// DefaultDeadline bounds every render that arrives without its own
+	// deadline (0 = unbounded, the historical behavior). The effective
+	// deadline propagates to workers as a relative-millisecond
+	// X-Gvmr-Deadline header, so a doomed frame stops consuming fleet
+	// capacity at every layer at once.
+	DefaultDeadline time.Duration
+	// AllowDegraded opts the service into brownout mode: when a
+	// distributed render misses its deadline, serve a coarser local frame
+	// (larger ray step) marked Degraded instead of failing. Off by
+	// default — golden and test paths must never see a degraded frame.
+	AllowDegraded bool
 
 	// AcceptJoins opens the membership control plane: workers may join
 	// the fleet at runtime (POST /register + heartbeats), drain, and be
@@ -265,6 +282,11 @@ type Service struct {
 	flight flightGroup
 	lat    *latencyRing
 
+	// res aggregates overload-policy counters (breaker opens, sheds,
+	// degraded frames, …) across this service, its coordinator and its
+	// worker half — one truth for /stats.
+	res *resilience.Metrics
+
 	// renderOn is core.RenderOn; tests stub it to control timing.
 	renderOn func(spec cluster.Spec, opt core.Options, devWorkers int) (*core.Result, sim.Time, error)
 
@@ -335,6 +357,7 @@ func New(cfg Config) (*Service, error) {
 		cache:      NewFrameCache(cacheBytes),
 		lat:        newLatencyRing(8192),
 		renderOn:   core.RenderOn,
+		res:        &resilience.Metrics{},
 		drained:    make(chan struct{}),
 		closed:     make(chan struct{}),
 		start:      time.Now(),
@@ -344,6 +367,7 @@ func New(cfg Config) (*Service, error) {
 		DevWorkers: s.devWorkers,
 		MaxEdge:    cfg.MaxEdge,
 		MaxPixels:  cfg.MaxPixels,
+		Metrics:    s.res,
 	})
 	if err != nil {
 		return nil, err
@@ -355,11 +379,13 @@ func New(cfg Config) (*Service, error) {
 			MissLimit:         cfg.LeaseMisses,
 		})
 		coord, err := dist.NewCoordinator(dist.CoordinatorConfig{
-			Nodes:      cfg.WorkerAddrs, // static seeds; joins arrive live
-			Registry:   s.registry,
-			HedgeAfter: cfg.HedgeAfter,
-			DistReduce: cfg.DistReduce,
-			NoCompress: cfg.NoWireCompress,
+			Nodes:          cfg.WorkerAddrs, // static seeds; joins arrive live
+			Registry:       s.registry,
+			HedgeAfter:     cfg.HedgeAfter,
+			AttemptTimeout: cfg.AttemptTimeout,
+			DistReduce:     cfg.DistReduce,
+			NoCompress:     cfg.NoWireCompress,
+			Metrics:        s.res,
 			// Plan grids with this service's spec, so a custom Spec works
 			// as long as the workers run the same hardware description
 			// (the grid-counts cross-check catches anything else).
@@ -408,7 +434,17 @@ func (s *Service) LoadSnapshot() membership.Load {
 	if depth < 0 {
 		depth = 0
 	}
-	return membership.Load{InFlight: inFlight, QueueDepth: depth, MapJobs: mapJobs}
+	// Pressure is the admission-queue fill fraction: at 1 the next /map
+	// this node receives is near-certain to be shed, so a coordinator
+	// reading the heartbeat places there only as a last resort.
+	var pressure float64
+	if c := cap(s.queue); c > 0 {
+		pressure = float64(len(s.queue)) / float64(c)
+		if pressure > 1 {
+			pressure = 1
+		}
+	}
+	return membership.Load{InFlight: inFlight, QueueDepth: depth, MapJobs: mapJobs, Pressure: pressure}
 }
 
 // SetReadinessProbe installs an extra readiness input (the daemon wires
@@ -439,10 +475,29 @@ func (s *Service) Ready() (bool, string) {
 	return true, ""
 }
 
+// RenderOptions carries the per-request overload policy. It is policy,
+// not identity: two requests that differ only here share one cache entry
+// and one coalesced render, which is exactly why it must never leak into
+// Request.key().
+type RenderOptions struct {
+	// Priority is the admission class this request sheds at (zero value
+	// is Speculative, the first to go; interactive callers must say so).
+	Priority resilience.Priority
+	// Deadline bounds the render end to end (0 = Config.DefaultDeadline;
+	// 0 there too = unbounded).
+	Deadline time.Duration
+}
+
 // Render serves one frame: cache, then coalescer, then an admitted
 // render. It is safe for any number of concurrent callers. The returned
 // Frame is shared and immutable. via reports how the request was served.
+// Render is the plain-priority path: interactive class, default deadline.
 func (s *Service) Render(ctx context.Context, req Request) (f *Frame, via ServedVia, err error) {
+	return s.RenderWith(ctx, req, RenderOptions{Priority: resilience.Interactive})
+}
+
+// RenderWith is Render with an explicit overload policy.
+func (s *Service) RenderWith(ctx context.Context, req Request, po RenderOptions) (f *Frame, via ServedVia, err error) {
 	if err := req.normalize(s); err != nil {
 		return nil, "", invalidRequestError{err}
 	}
@@ -475,7 +530,7 @@ func (s *Service) Render(ctx context.Context, req Request) (f *Frame, via Served
 			initiatorVia = ViaCache
 			return f, nil
 		}
-		return s.renderLeader(req, key)
+		return s.renderLeader(req, key, po)
 	})
 	if err != nil {
 		return nil, "", err
@@ -493,14 +548,17 @@ func (s *Service) Render(ctx context.Context, req Request) (f *Frame, via Served
 // core.RenderOn job, then PNG encoding and cache commit. It runs
 // detached from any request context (the flight goroutine), so an
 // abandoned request never wastes the render — the frame still commits
-// to the cache; only Close interrupts the wait for a worker slot.
-func (s *Service) renderLeader(req Request, key string) (*Frame, error) {
+// to the cache; only Close interrupts the wait for a worker slot. The
+// policy's deadline is enforced here (not from the caller's context):
+// abandoning a request must not abort a shared render, but blowing its
+// end-to-end budget must.
+func (s *Service) renderLeader(req Request, key string, po RenderOptions) (*Frame, error) {
 	if err := s.beginJob(); err != nil {
 		return nil, err
 	}
 	defer s.endJob()
 
-	release, err := s.admit()
+	release, err := s.admit(po.Priority)
 	if err != nil {
 		return nil, err
 	}
@@ -515,9 +573,15 @@ func (s *Service) renderLeader(req Request, key string) (*Frame, error) {
 	est := img.RawBytes(req.Width, req.Height)
 	reserved := s.cache.Reserve(key, est)
 
+	deadline := po.Deadline
+	if deadline == 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+
 	wallStart := time.Now()
 	var res *core.Result
 	var dur sim.Time
+	degraded := false
 	if s.coord != nil {
 		job := dist.JobSpec{
 			Dataset: req.Dataset, Edge: req.Edge,
@@ -534,7 +598,17 @@ func (s *Service) renderLeader(req Request, key string) (*Frame, error) {
 		if req.Partition != "" {
 			job.Partition = &dist.PartitionSpec{Scheme: req.Partition, Parts: req.Parts}
 		}
-		res, dur, err = s.coord.Render(context.Background(), job)
+		// The render context carries the policy, detached from the caller:
+		// priority rides to workers as a header, and the deadline (when
+		// set) both times out the coordinator and propagates the shrinking
+		// remainder to every map batch.
+		ctx := resilience.WithPriority(context.Background(), po.Priority)
+		if deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+			defer cancel()
+		}
+		res, dur, err = s.coord.Render(ctx, job)
 		if errors.Is(err, dist.ErrNoWorkers) {
 			// The whole fleet drained or expired: render locally rather
 			// than fail. Bits are identical either way, so the fallback is
@@ -543,6 +617,25 @@ func (s *Service) renderLeader(req Request, key string) (*Frame, error) {
 			s.localFallbacks++
 			s.mu.Unlock()
 			res, dur, err = s.renderOn(s.spec, opt, s.devWorkers)
+		}
+		if err != nil && s.cfg.AllowDegraded &&
+			(errors.Is(err, dist.ErrDeadline) || errors.Is(err, context.DeadlineExceeded)) {
+			// Brownout: the fleet blew the deadline, but the caller opted
+			// into a coarser answer over no answer. Quadruple the ray step
+			// (within the validated range) and render locally — typically
+			// an order of magnitude cheaper. The frame is marked and never
+			// cached: a later healthy render must not find degraded bits
+			// under the full-quality key.
+			dopt := opt
+			dopt.StepVoxels *= 4
+			if dopt.StepVoxels > 16 {
+				dopt.StepVoxels = 16
+			}
+			res, dur, err = s.renderOn(s.spec, dopt, s.devWorkers)
+			if err == nil {
+				degraded = true
+				s.res.DegradedFrame()
+			}
 		}
 	} else {
 		res, dur, err = s.renderOn(s.spec, opt, s.devWorkers)
@@ -572,9 +665,14 @@ func (s *Service) renderLeader(req Request, key string) (*Frame, error) {
 		FPS:         res.FPS,
 		VPSMillions: res.VPSMillions,
 		RenderWall:  wall,
+		Degraded:    degraded,
 	}
 	if reserved {
-		s.cache.Commit(key, f)
+		if degraded {
+			s.cache.Release(key)
+		} else {
+			s.cache.Commit(key, f)
+		}
 	}
 	s.mu.Lock()
 	s.renders++
@@ -610,10 +708,33 @@ func (s *Service) endJob() {
 // ErrOverloaded, then wait for a render-worker slot (Close interrupts the
 // wait with ErrDraining). The token covers waiting AND working; the
 // returned release frees slot then token.
-func (s *Service) admit() (release func(), err error) {
+//
+// Shedding is by priority, lowest class first: speculative work (hedge
+// duplicates) is refused once the queue is half full, batch at three
+// quarters, and only interactive work may fill it — so under overload the
+// capacity that remains serves the humans. The fill reads are racy
+// against concurrent admits, which is fine: the thresholds are pressure
+// valves, not invariants, and the queue send below is the hard bound.
+func (s *Service) admit(pri resilience.Priority) (release func(), err error) {
+	fill, capQ := len(s.queue), cap(s.queue)
+	shed := false
+	switch pri {
+	case resilience.Speculative:
+		shed = fill >= capQ/2
+	case resilience.Batch:
+		shed = fill >= capQ*3/4
+	}
+	if shed {
+		s.res.Shed(pri)
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
+		return nil, ErrOverloaded
+	}
 	select {
 	case s.queue <- struct{}{}:
 	default:
+		s.res.Shed(pri)
 		s.mu.Lock()
 		s.rejected++
 		s.mu.Unlock()
@@ -761,6 +882,12 @@ type Stats struct {
 	Membership     *membership.Stats      `json:"membership,omitempty"`
 	LocalFallbacks int64                  `json:"local_fallbacks,omitempty"`
 
+	// Resilience is the overload-policy ledger: breaker opens, half-open
+	// probes, sheds by priority class, retry-budget exhaustions, degraded
+	// frames, and deadline aborts. Always present — a steady zero row is
+	// itself the evidence the chaos tests assert against.
+	Resilience *resilience.Snapshot `json:"resilience"`
+
 	// InFlight renders hold worker slots; QueueDepth renders are admitted
 	// and waiting for one.
 	InFlight   int `json:"in_flight"`
@@ -810,8 +937,14 @@ func (s *Service) Stats() Stats {
 	st.Cache = s.cache.Stats()
 	st.Staging = volume.Cache.Stats()
 	st.Latency = s.lat.stats()
+	rs := s.res.Snapshot()
+	st.Resilience = &rs
 	return st
 }
+
+// Resilience exposes the shared overload-policy counters (tests inject
+// faults and assert on these).
+func (s *Service) Resilience() *resilience.Metrics { return s.res }
 
 // Cache exposes the frame cache (for tests and the daemon's flags).
 func (s *Service) Cache() *FrameCache { return s.cache }
