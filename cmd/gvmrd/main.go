@@ -62,6 +62,8 @@ import (
 	"syscall"
 	"time"
 
+	"gvmr"
+
 	"gvmr/internal/membership"
 	"gvmr/internal/server"
 )
@@ -106,7 +108,19 @@ func serviceFlags(fs *flag.FlagSet) func() (*server.Service, error) {
 		defDeadline   = fs.Duration("default-deadline", 0, "end-to-end deadline for renders that don't carry their own X-Gvmr-Deadline (0 = unbounded)")
 		allowDegraded = fs.Bool("allow-degraded", false, "on a missed deadline, serve a coarser uncached frame (X-Gvmr-Degraded: 1) instead of 504")
 	)
+	var volumes volumeFlags
+	fs.Var(&volumes, "volume", "register a .gvmr volume file as a dataset: name=path[@tf-preset] (repeatable; v2 files stream via the demand pager)")
 	return func() (*server.Service, error) {
+		for _, spec := range volumes {
+			name, path, tf, err := parseVolumeFlag(spec)
+			if err != nil {
+				return nil, err
+			}
+			if err := gvmr.RegisterVolumeFile(name, path, tf); err != nil {
+				return nil, err
+			}
+			log.Printf("registered volume %q from %s", name, path)
+		}
 		var addrs []string
 		if *workerList != "" {
 			for _, a := range strings.Split(*workerList, ",") {
@@ -142,6 +156,32 @@ func serviceFlags(fs *flag.FlagSet) func() (*server.Service, error) {
 			AllowDegraded:   *allowDegraded,
 		})
 	}
+}
+
+// volumeFlags collects repeated -volume name=path[@tf-preset] flags.
+type volumeFlags []string
+
+func (v *volumeFlags) String() string { return strings.Join(*v, ",") }
+func (v *volumeFlags) Set(s string) error {
+	*v = append(*v, s)
+	return nil
+}
+
+// parseVolumeFlag splits one -volume value: name=path, optionally
+// suffixed with @tf-preset (skull, supernova, plume, gray).
+func parseVolumeFlag(s string) (name, path, tf string, err error) {
+	name, rest, ok := strings.Cut(s, "=")
+	if !ok || name == "" || rest == "" {
+		return "", "", "", fmt.Errorf("-volume wants name=path[@tf-preset], got %q", s)
+	}
+	path = rest
+	if i := strings.LastIndex(rest, "@"); i >= 0 {
+		path, tf = rest[:i], rest[i+1:]
+	}
+	if path == "" {
+		return "", "", "", fmt.Errorf("-volume wants name=path[@tf-preset], got %q", s)
+	}
+	return name, path, tf, nil
 }
 
 func runServe(args []string) {

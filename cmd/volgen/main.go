@@ -1,9 +1,12 @@
 // Command volgen writes a built-in synthetic dataset to a .gvmr volume
 // file, for exercising the out-of-core (disk-streamed) rendering path.
+// The default output is the bricked v2 format the demand pager streams;
+// -v1 writes the legacy flat format.
 //
 // Usage:
 //
 //	volgen -dataset supernova -size 256 -o supernova256.gvmr
+//	volgen -dataset skull -size 512 -brick 64 -compress -o skull512.gvmr
 package main
 
 import (
@@ -18,9 +21,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("volgen: ")
 	var (
-		ds   = flag.String("dataset", "skull", "dataset (skull|supernova|plume)")
-		size = flag.Int("size", 128, "cube edge (plume becomes (n/2)x(n/2)x2n)")
-		out  = flag.String("o", "", "output .gvmr path (required)")
+		ds       = flag.String("dataset", "skull", "dataset (skull|supernova|plume)")
+		size     = flag.Int("size", 128, "cube edge (plume becomes (n/2)x(n/2)x2n)")
+		out      = flag.String("o", "", "output .gvmr path (required)")
+		v1       = flag.Bool("v1", false, "write the flat v1 format (no bricking, no demand paging)")
+		brick    = flag.Int("brick", 0, "v2 brick edge in voxels (0 = default 32)")
+		compress = flag.Bool("compress", false, "flate-compress each v2 brick payload")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -30,9 +36,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := gvmr.WriteVolumeFile(*out, src); err != nil {
+	if *v1 {
+		if *brick != 0 || *compress {
+			log.Fatal("-brick/-compress apply to the v2 format only")
+		}
+		err = gvmr.WriteVolumeFileV1(*out, src)
+	} else {
+		err = gvmr.WriteVolumeFileOpts(*out, src, gvmr.VolumeFileOptions{
+			BrickEdge: *brick,
+			Compress:  *compress,
+		})
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 	d := src.Dims()
-	fmt.Printf("wrote %s: %v, %.1f MiB\n", *out, d, float64(d.Bytes())/(1<<20))
+	fmt.Printf("wrote %s: %v, %.1f MiB dense\n", *out, d, float64(d.Bytes())/(1<<20))
 }

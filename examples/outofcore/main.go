@@ -1,8 +1,11 @@
-// Out-of-core rendering: the volume lives in a file on the simulated
-// cluster's disks and is streamed through the GPUs brick by brick — more
-// bricks than GPUs, each disk load charged at the paper's ≈20 ms/64³
-// rate, overlapped with kernel execution by the MapReduce library's
-// prefetching loader.
+// Out-of-core rendering: the volume lives in a bricked (v2) file on the
+// simulated cluster's disks and is streamed through the GPUs brick by
+// brick — more bricks than GPUs, each disk load charged at the paper's
+// ≈20 ms/64³ rate, overlapped with kernel execution by the MapReduce
+// library's prefetching loader. The demand pager stages individual file
+// bricks through the bounded staging cache, so the render never holds
+// the dense volume in memory, and the file's per-brick min/max lets
+// staging skip transfer-function-empty bricks without touching disk.
 package main
 
 import (
@@ -38,14 +41,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := gvmr.WriteVolumeFile(path, src); err != nil {
+	if err := gvmr.WriteVolumeFileOpts(path, src, gvmr.VolumeFileOptions{Compress: true}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s (%v, %.0f MiB)\n", path, src.Dims(),
+	fmt.Printf("wrote %s (%v, %.0f MiB dense)\n", path, src.Dims(),
 		float64(src.Dims().Bytes())/(1<<20))
 
-	// Open it as a streaming source and render out-of-core on 2 GPUs
-	// with 4 bricks per GPU: 8 bricks cycle through 2 devices.
+	// Open it as a demand-paged source and render out-of-core on 2 GPUs
+	// with 4 bricks per GPU: 8 render bricks cycle through 2 devices,
+	// paging file bricks in and out of the staging cache as they go.
 	file, err := gvmr.OpenVolumeFile(path)
 	if err != nil {
 		log.Fatal(err)
@@ -78,5 +82,10 @@ func main() {
 		res.Runtime, res.Grid.NumBricks(), res.GPUs, res.VPSMillions)
 	fmt.Printf("partition+io share (disk loads + transfers): %v of %v mean per GPU\n",
 		res.Stats.MeanStage.PartitionIO, res.Stats.MeanStage.Total())
+	if pager, ok := file.(interface{ Stats() gvmr.PagerStats }); ok {
+		s := pager.Stats()
+		fmt.Printf("pager: %d file bricks, %d reads (%.1f MiB), %d reloads, %d skipped by min/max\n",
+			s.Bricks, s.BrickReads, float64(s.BytesRead)/(1<<20), s.Reloads, s.SkippedBricks)
+	}
 	fmt.Println("wrote supernova_ooc.png")
 }

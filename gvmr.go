@@ -234,16 +234,54 @@ func NewCamera(eye, center, up vec.V3, fovY float64, width, height int) (*Camera
 // V3 builds a vector for camera placement.
 func V3(x, y, z float64) vec.V3 { return vec.New3(x, y, z) }
 
-// WriteVolumeFile streams a source to a .gvmr volume file (for the
-// out-of-core path).
+// VolumeFileOptions configures WriteVolumeFileOpts: the target brick edge
+// (default 32) and optional per-brick flate compression of the bricked v2
+// format.
+type VolumeFileOptions = volume.V2Options
+
+// VolumeFile is an open .gvmr volume file source; close it when done.
+// Bricked (v2) files are returned as a *volume.PagedSource whose Stats
+// method reports demand-paging activity.
+type VolumeFile = volume.VolumeFile
+
+// PagerStats is a snapshot of a paged volume file's streaming activity
+// (brick reads, bytes, evict-driven reloads, min/max skip counts).
+type PagerStats = volume.PagerStats
+
+// WriteVolumeFile streams a source to a bricked (v2) .gvmr volume file
+// with default options — the on-disk format the out-of-core demand pager
+// reads. Use WriteVolumeFileOpts to pick the brick size or enable
+// compression, WriteVolumeFileV1 for the legacy flat format.
 func WriteVolumeFile(path string, src Source) error {
+	return volume.WriteFileV2(path, src, volume.V2Options{})
+}
+
+// WriteVolumeFileOpts streams a source to a bricked (v2) .gvmr volume
+// file with explicit options.
+func WriteVolumeFileOpts(path string, src Source, opts VolumeFileOptions) error {
+	return volume.WriteFileV2(path, src, opts)
+}
+
+// WriteVolumeFileV1 streams a source to a flat (v1) .gvmr volume file:
+// one raw little-endian float32 array, no bricking, no demand paging.
+func WriteVolumeFileV1(path string, src Source) error {
 	return volume.WriteFile(path, src)
 }
 
-// OpenVolumeFile opens a .gvmr volume file as a streaming source. Close it
-// when done.
-func OpenVolumeFile(path string) (*volume.FileSource, error) {
-	return volume.OpenFile(path)
+// OpenVolumeFile opens a .gvmr volume file (either version) as a
+// streaming source. Bricked v2 files stage individual bricks through the
+// process-wide staging cache on demand, so rendering never needs the
+// whole volume in memory. Close it when done.
+func OpenVolumeFile(path string) (VolumeFile, error) {
+	return volume.OpenVolume(path)
+}
+
+// RegisterVolumeFile opens a .gvmr volume file and registers it as a
+// dataset name usable everywhere a built-in dataset name is: HTTP render
+// requests, distributed job specs, Dataset/DatasetNames. tfPreset names
+// the transfer function to render it with ("" = neutral gray ramp).
+func RegisterVolumeFile(name, path, tfPreset string) error {
+	return dataset.RegisterVolumeFile(name, path, tfPreset)
 }
 
 // WrapVolume exposes an in-memory volume as a source.

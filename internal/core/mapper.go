@@ -34,18 +34,34 @@ func (m *rayCastMapper) Init(p mapreduce.Ctx, w *mapreduce.Worker) error {
 // Stage implements mapreduce.Mapper: materialise the ghost regions of the
 // unit's bricks. The engine charges disk time separately when configured
 // FromDisk; the real data production happens here (array copy, analytic
-// evaluation, or file read).
+// evaluation, or file read). Sources that persist per-brick min/max (the
+// v2 demand pager) can prove a brick invisible under the transfer
+// function before any of that happens — such bricks stage as payload-free
+// empties the kernel leaps over.
 func (m *rayCastMapper) Stage(p mapreduce.Ctx, w *mapreduce.Worker, c mapreduce.Chunk) ([]*volume.BrickData, error) {
 	bricks := c.(unitChunk).bricks
+	tfEmpty := m.tfEmpty()
 	staged := make([]*volume.BrickData, 0, len(bricks))
 	for _, b := range bricks {
-		bd, err := volume.StageBrick(m.src, b)
+		bd, err := volume.StageBrickSkip(m.src, b, tfEmpty)
 		if err != nil {
 			return nil, err
 		}
 		staged = append(staged, bd)
 	}
 	return staged, nil
+}
+
+// tfEmpty returns the invisibility predicate StageBrickSkip needs — "is
+// every scalar in [lo, hi] mapped to zero opacity?" — or nil when
+// empty-space skipping is disabled, which must also disable min/max
+// staging skips so NoEmptySkip renders remain exact reference runs.
+func (m *rayCastMapper) tfEmpty() func(lo, hi float32) bool {
+	if m.prm.NoEmptySkip || m.prm.TF == nil {
+		return nil
+	}
+	tf := m.prm.TF
+	return func(lo, hi float32) bool { return tf.MaxAlphaInRange(lo, hi) == 0 }
 }
 
 // Map implements mapreduce.Mapper: per brick of the unit, upload, run the

@@ -184,7 +184,7 @@ func (j JobSpec) Options() (core.Options, error) {
 	if err != nil {
 		return core.Options{}, err
 	}
-	tf, err := transfer.Preset(j.Dataset)
+	tf, err := transfer.Preset(dataset.TFName(j.Dataset))
 	if err != nil {
 		return core.Options{}, err
 	}

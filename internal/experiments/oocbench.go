@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"gvmr/internal/cluster"
+	"gvmr/internal/core"
+	"gvmr/internal/sim"
+	"gvmr/internal/transfer"
+	"gvmr/internal/volume"
+	"gvmr/internal/volume/dataset"
+)
+
+// OocBenchConfig records the out-of-core workload: the orbit rendered
+// twice — once from host RAM, once demand-paged from a bricked v2 file
+// through a staging budget a fraction of the dense volume — plus the
+// machine it ran on.
+type OocBenchConfig struct {
+	Scale              string `json:"scale"`
+	Dataset            string `json:"dataset"`
+	Dims               string `json:"dims"`
+	GPUs               int    `json:"gpus"`
+	BricksPerGPU       int    `json:"bricks_per_gpu"`
+	Frames             int    `json:"frames"`
+	ImageSize          int    `json:"image_size"`
+	Shading            bool   `json:"shading"`
+	FileBrickEdge      int    `json:"file_brick_edge"`
+	Compressed         bool   `json:"compressed"`
+	FileBytes          int64  `json:"file_bytes"`
+	DenseBytes         int64  `json:"dense_bytes"`
+	StagingBudgetBytes int64  `json:"staging_budget_bytes"`
+	GOMAXPROCS         int    `json:"gomaxprocs"`
+	NumCPU             int    `json:"num_cpu"`
+}
+
+// OocBenchLeg is one timed execution of the orbit.
+type OocBenchLeg struct {
+	WallSeconds    float64 `json:"wall_seconds"`
+	VirtualSeconds float64 `json:"virtual_seconds"`
+}
+
+// OocSparse is the empty-margin half of the record: a volume whose field
+// occupies only the central eighth (a sparse capture), rendered paged so
+// the file directory's per-brick min/max can prove margin render bricks
+// invisible and skip their disk reads entirely.
+type OocSparse struct {
+	Dims          string `json:"dims"`
+	FileBricks    int    `json:"file_bricks"`
+	FileBrickEdge int    `json:"file_brick_edge"`
+	RenderBricks  int    `json:"render_bricks"`
+	SkippedBricks int64  `json:"skipped_bricks"`
+	BrickReads    int64  `json:"brick_reads"`
+	BitIdentical  bool   `json:"bit_identical"`
+}
+
+// OocBench is the machine-readable record cmd/benchsuite writes to
+// BENCH_ooc.json: the paged-vs-in-RAM wall and virtual comparison (the
+// paging tax is host wall-clock only; virtual figures and pixels must be
+// identical), the pager/staging-cache counters proving the render
+// actually streamed, and the sparse-volume brick-skip figures.
+type OocBench struct {
+	Config    OocBenchConfig `json:"config"`
+	InRAM     OocBenchLeg    `json:"in_ram"`
+	Paged     OocBenchLeg    `json:"paged"`
+	WallRatio float64        `json:"wall_ratio"` // paged / in-RAM
+	// VirtualRatio is paged virtual time over in-RAM virtual time. It is
+	// ~1 but not exactly 1: in-RAM bricks share the whole-volume macrocell
+	// grid (anchored at the origin) while paged bricks build private
+	// ghost-anchored grids, so cell boundaries — and thus the skip-step
+	// accounting the simulation charges — shift by a few voxels. Pixels
+	// are exact either way; only the modeled skip traversal differs.
+	VirtualRatio   float64           `json:"virtual_ratio"`
+	BitIdentical   bool              `json:"bit_identical"`
+	Pager          volume.PagerStats `json:"pager"`
+	CacheEvictions int64             `json:"cache_evictions"`
+	Sparse         OocSparse         `json:"sparse"`
+}
+
+// RunOocBench renders a `frames`-frame orbit of the skull dataset at the
+// scale's Figure 2 size on a 4-GPU cluster twice: from the in-RAM source,
+// and demand-paged from a compressed bricked v2 file through a staging
+// cache capped at a quarter of the dense volume. Digests and virtual
+// runtimes must match frame for frame — paging is a host-memory strategy,
+// invisible to the simulation — and the pager counters must show bricks
+// cycling through the budget (evictions and reloads). A second, sparse
+// volume (the skull embedded in wide zero margins) is rendered paged vs
+// in-RAM to measure directory-min/max brick skipping.
+func RunOocBench(sc Scale, frames int) (*OocBench, error) {
+	dims := volume.Cube(sc.Fig2Edge)
+	src, err := dataset.New(dataset.Skull, dims)
+	if err != nil {
+		return nil, err
+	}
+	tf, err := transfer.Preset(dataset.Skull)
+	if err != nil {
+		return nil, err
+	}
+	opt := core.Options{
+		Source: src, TF: tf,
+		Width: sc.ImageSize, Height: sc.ImageSize,
+		Shading:      true,
+		BricksPerGPU: 4,
+		NoEmptySkip:  sc.NoSkip,
+	}
+	spec := cluster.AC(4)
+	cams, err := core.OrbitCameras(src, sc.ImageSize, sc.ImageSize, frames, 360)
+	if err != nil {
+		return nil, err
+	}
+
+	dir, err := os.MkdirTemp("", "gvmr-oocbench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "skull.gvmr")
+	if err := volume.WriteFileV2(path, src, volume.V2Options{Compress: true}); err != nil {
+		return nil, err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := volume.OpenFileV2(path)
+	if err != nil {
+		return nil, err
+	}
+	defer ps.Close()
+	budget := dims.Bytes() / 4
+	cache := volume.NewStagingCache(budget)
+	ps.SetCache(cache)
+
+	// Pre-warm the in-RAM source (materialise the dataset once, untimed)
+	// so its timed leg stages out of host memory like a resident dataset.
+	warm, err := spec.Instance()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := core.Render(warm, opt); err != nil {
+		return nil, err
+	}
+
+	run := func(s volume.Source) ([]*core.Result, float64, error) {
+		cl, err := spec.Instance()
+		if err != nil {
+			return nil, 0, err
+		}
+		o := opt
+		o.Source = s
+		start := time.Now()
+		results, err := core.RenderFrames(cl, o, cams)
+		return results, time.Since(start).Seconds(), err
+	}
+	ram, ramWall, err := run(src)
+	if err != nil {
+		return nil, err
+	}
+	paged, pagedWall, err := run(ps)
+	if err != nil {
+		return nil, err
+	}
+
+	identical := len(ram) == len(paged)
+	var ramVirtual, pagedVirtual sim.Time
+	for i := range ram {
+		if !identical {
+			break
+		}
+		identical = ram[i].Image.Digest() == paged[i].Image.Digest()
+		ramVirtual += ram[i].Runtime
+		pagedVirtual += paged[i].Runtime
+	}
+
+	sparse, err := runOocSparse(sc, tf)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &OocBench{
+		Config: OocBenchConfig{
+			Scale:              sc.Name,
+			Dataset:            dataset.Skull,
+			Dims:               dims.String(),
+			GPUs:               4,
+			BricksPerGPU:       opt.BricksPerGPU,
+			Frames:             frames,
+			ImageSize:          sc.ImageSize,
+			Shading:            true,
+			FileBrickEdge:      volume.DefaultBrickEdge,
+			Compressed:         true,
+			FileBytes:          fi.Size(),
+			DenseBytes:         dims.Bytes(),
+			StagingBudgetBytes: budget,
+			GOMAXPROCS:         runtime.GOMAXPROCS(0),
+			NumCPU:             runtime.NumCPU(),
+		},
+		InRAM:          OocBenchLeg{WallSeconds: ramWall, VirtualSeconds: ramVirtual.Seconds()},
+		Paged:          OocBenchLeg{WallSeconds: pagedWall, VirtualSeconds: pagedVirtual.Seconds()},
+		BitIdentical:   identical,
+		Pager:          ps.Stats(),
+		CacheEvictions: cache.Stats().Evictions,
+		Sparse:         *sparse,
+	}
+	if ramWall > 0 {
+		out.WallRatio = pagedWall / ramWall
+	}
+	if ramVirtual > 0 {
+		out.VirtualRatio = pagedVirtual.Seconds() / ramVirtual.Seconds()
+	}
+	return out, nil
+}
+
+// runOocSparse builds the sparse volume — the skull at a quarter of the
+// edge, embedded in the centre of an exactly-zero cube — renders it once
+// in RAM and once paged, and reports the skip counters. The file brick
+// edge is an eighth of the cube so margin bricks record [0,0] ranges the
+// transfer function maps to nothing.
+func runOocSparse(sc Scale, tf *transfer.Func) (*OocSparse, error) {
+	edge := sc.Fig2Edge
+	inner, err := dataset.New(dataset.Skull, volume.Cube(edge/4))
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]float32, inner.Dims().Voxels())
+	if err := inner.Fill(volume.Region{Ext: inner.Dims()}, buf); err != nil {
+		return nil, err
+	}
+	d := volume.Cube(edge)
+	v := volume.New(d)
+	n, org := edge/4, edge/4+edge/8 // centred: [3e/8, 5e/8)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				v.Set(org+x, org+y, org+z, buf[x+n*(y+n*z)])
+			}
+		}
+	}
+	src := volume.NewVolumeSource(v, "sparse-skull")
+
+	dir, err := os.MkdirTemp("", "gvmr-oocsparse")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "sparse.gvmr")
+	if err := volume.WriteFileV2(path, src, volume.V2Options{BrickEdge: edge / 8, Compress: true}); err != nil {
+		return nil, err
+	}
+	ps, err := volume.OpenFileV2(path)
+	if err != nil {
+		return nil, err
+	}
+	defer ps.Close()
+	ps.SetCache(volume.NewStagingCache(d.Bytes() * 2))
+
+	render := func(s volume.Source) (*core.Result, error) {
+		cl, err := cluster.AC(4).Instance()
+		if err != nil {
+			return nil, err
+		}
+		return core.Render(cl, core.Options{
+			Source: s, TF: tf,
+			Width: sc.ImageSize, Height: sc.ImageSize,
+			Shading:      true,
+			BricksPerGPU: 4,
+			NoEmptySkip:  sc.NoSkip,
+		})
+	}
+	ram, err := render(src)
+	if err != nil {
+		return nil, err
+	}
+	paged, err := render(ps)
+	if err != nil {
+		return nil, err
+	}
+	st := ps.Stats()
+	return &OocSparse{
+		Dims:          d.String(),
+		FileBricks:    st.Bricks,
+		FileBrickEdge: edge / 8,
+		RenderBricks:  paged.Grid.NumBricks(),
+		SkippedBricks: st.SkippedBricks,
+		BrickReads:    st.BrickReads,
+		BitIdentical:  ram.Image.Digest() == paged.Image.Digest(),
+	}, nil
+}
+
+// WriteJSON writes the record, indented, to path.
+func (b *OocBench) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// String summarises the record for benchsuite's console output.
+func (b *OocBench) String() string {
+	return fmt.Sprintf(
+		"oocbench: in-RAM %.2fs wall, paged %.2fs wall (%.2fx), virtual ratio %.3f, bit-identical: %v\n"+
+			"oocbench: pager: %d file bricks, %d reads (%.1f MiB of %.1f MiB dense×%d frames), %d reloads, %d cache evictions\n"+
+			"oocbench: sparse %s: %d/%d render bricks skipped via directory min/max, %d of %d file bricks read, bit-identical: %v",
+		b.InRAM.WallSeconds, b.Paged.WallSeconds, b.WallRatio, b.VirtualRatio, b.BitIdentical,
+		b.Pager.Bricks, b.Pager.BrickReads, float64(b.Pager.BytesRead)/(1<<20),
+		float64(b.Config.DenseBytes)/(1<<20), b.Config.Frames, b.Pager.Reloads, b.CacheEvictions,
+		b.Sparse.Dims, b.Sparse.SkippedBricks, b.Sparse.RenderBricks,
+		b.Sparse.BrickReads, b.Sparse.FileBricks, b.Sparse.BitIdentical)
+}

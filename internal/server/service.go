@@ -185,7 +185,12 @@ func (r *Request) normalize(s *Service) error {
 	if !known {
 		return fmt.Errorf("server: unknown dataset %q (have %v)", r.Dataset, dataset.Names())
 	}
-	if r.Edge == 0 {
+	if d, ok := dataset.NativeDims(r.Dataset); ok {
+		// File-backed volumes have fixed on-disk dims; canonicalize the
+		// edge to the largest one so every spelling of a request against
+		// the same file shares one frame-cache identity.
+		r.Edge = max(d.X, max(d.Y, d.Z))
+	} else if r.Edge == 0 {
 		r.Edge = 64
 	}
 	if r.Edge < 8 || r.Edge > s.cfg.MaxEdge {
@@ -760,7 +765,7 @@ func (s *Service) options(req Request) (core.Options, error) {
 	if err != nil {
 		return core.Options{}, err
 	}
-	tf, err := transfer.Preset(req.Dataset)
+	tf, err := transfer.Preset(dataset.TFName(req.Dataset))
 	if err != nil {
 		return core.Options{}, err
 	}
@@ -897,7 +902,10 @@ type Stats struct {
 
 	Cache   FrameCacheStats   `json:"frame_cache"`
 	Staging volume.CacheStats `json:"staging_cache"`
-	Latency LatencyStats      `json:"latency"`
+	// Pager aggregates demand-paging counters over every registered
+	// out-of-core (v2) volume file; omitted when none is registered.
+	Pager   *volume.PagerStats `json:"pager,omitempty"`
+	Latency LatencyStats       `json:"latency"`
 }
 
 // Stats returns a snapshot of the service counters.
@@ -936,6 +944,7 @@ func (s *Service) Stats() Stats {
 	}
 	st.Cache = s.cache.Stats()
 	st.Staging = volume.Cache.Stats()
+	st.Pager = dataset.FilePagerStats()
 	st.Latency = s.lat.stats()
 	rs := s.res.Snapshot()
 	st.Resilience = &rs

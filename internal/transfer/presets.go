@@ -66,8 +66,9 @@ func PlumePreset() *Func {
 }
 
 // Preset returns the transfer function conventionally paired with the named
-// dataset (skull, supernova, plume); unknown names get the gray ramp with
-// an error.
+// dataset (skull, supernova, plume, or the explicit "gray" ramp — the
+// default for registered file volumes); unknown names get the gray ramp
+// with an error.
 func Preset(dataset string) (*Func, error) {
 	switch strings.ToLower(dataset) {
 	case "skull":
@@ -76,6 +77,8 @@ func Preset(dataset string) (*Func, error) {
 		return SupernovaPreset(), nil
 	case "plume":
 		return PlumePreset(), nil
+	case "gray":
+		return Gray(), nil
 	default:
 		return Gray(), fmt.Errorf("transfer: no preset for dataset %q", dataset)
 	}

@@ -172,6 +172,12 @@ type BrickData struct {
 	smpDims          Dims
 	smpReg           Region
 	orgX, orgY, orgZ float32
+
+	// empty marks a payload-free brick proven invisible before staging
+	// (see EmptyBrickData): it carries no voxel data, costs no upload
+	// bytes, and its macrocells declare every cell skippable, so the
+	// renderer's empty-space leap never asks it for a sample.
+	empty bool
 }
 
 // initSampler precomputes the backing selection and origin floats Sample
@@ -197,12 +203,46 @@ func (bd *BrickData) Cells() *Macrocells {
 }
 
 // Bytes returns the ghost-region payload size regardless of backing: the
-// held data for copy-backed bricks, the ghost extent for views.
+// held data for copy-backed bricks, the ghost extent for views, zero for
+// payload-free empty bricks.
 func (bd *BrickData) Bytes() int64 {
+	if bd.empty {
+		return 0
+	}
 	if bd.Data != nil {
 		return int64(len(bd.Data)) * 4
 	}
 	return bd.Brick.Bytes()
+}
+
+// Empty reports whether this is a payload-free brick built by
+// EmptyBrickData.
+func (bd *BrickData) Empty() bool { return bd.empty }
+
+// EmptyBrickData builds a payload-free BrickData for a brick whose
+// samples are all provably within [lo, hi] and whose transfer function
+// maps that whole range to zero opacity. It carries the standard
+// macrocell grid shape for the ghost region — the renderer's two-level
+// DDA computes cell exit planes from real cell geometry, so the grid must
+// look normal — but every cell holds the constant range [lo, hi], which
+// the occupancy query marks empty. Rays therefore leap the brick without
+// ever calling Sample (which has no data to serve and would panic — by
+// design: a non-empty query here is an invariant breach, not a rendering
+// path).
+func EmptyBrickData(b Brick, lo, hi float32) *BrickData {
+	cells := macrocellCounts(b.Ghost.Ext)
+	n := int(cells.Voxels())
+	mc := &Macrocells{
+		Org:   b.Ghost.Org,
+		Vox:   b.Ghost.Ext,
+		Cells: cells,
+		Min:   make([]float32, n),
+		Max:   make([]float32, n),
+	}
+	for i := 0; i < n; i++ {
+		mc.Min[i], mc.Max[i] = lo, hi
+	}
+	return &BrickData{Brick: b, mc: mc, empty: true}
 }
 
 // FillBrick materialises a brick's ghost region from a source. The
@@ -251,6 +291,34 @@ func StageBrick(src Source, b Brick) (*BrickData, error) {
 		return viewBrickChecked(s.V, b)
 	}
 	return FillBrick(src, b)
+}
+
+// brickSkipNoter is the optional hook a source can implement to count
+// bricks that staging proved empty without touching it.
+type brickSkipNoter interface{ NoteBrickSkip() }
+
+// StageBrickSkip stages a brick like StageBrick, except that when the
+// source can bound the brick's sample values without reading them
+// (RangedSource — the v2 pager's persisted per-brick min/max) and
+// tfEmpty proves that whole range invisible under the active transfer
+// function, it returns a payload-free empty brick instead: no disk I/O,
+// no staging-cache traffic, no upload bytes. tfEmpty == nil (skipping
+// disabled, or no transfer function) always takes the ordinary path.
+func StageBrickSkip(src Source, b Brick, tfEmpty func(lo, hi float32) bool) (*BrickData, error) {
+	if tfEmpty != nil {
+		if rs, ok := src.(RangedSource); ok {
+			// Bound the ghost region, not just the core: trilinear fetches
+			// clamp into the sampled region, so the ghost range bounds
+			// every value a sample inside this brick can see.
+			if lo, hi, known := rs.RegionRange(b.Ghost); known && lo <= hi && tfEmpty(lo, hi) {
+				if n, ok := src.(brickSkipNoter); ok {
+					n.NoteBrickSkip()
+				}
+				return EmptyBrickData(b, lo, hi), nil
+			}
+		}
+	}
+	return StageBrick(src, b)
 }
 
 // viewBrickChecked validates the ghost region against the volume before

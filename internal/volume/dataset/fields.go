@@ -15,15 +15,22 @@ const (
 	Plume     = "plume"
 )
 
-// Names lists the built-in dataset names.
-func Names() []string { return []string{Skull, Supernova, Plume} }
+// Names lists the renderable dataset names: the built-ins plus every
+// registered file volume (see RegisterVolumeFile).
+func Names() []string { return append([]string{Skull, Supernova, Plume}, Registered()...) }
 
 // New returns a streaming Source for the named dataset at the given dims.
-// Values are in [0,1]. The source carries both the exact per-voxel
-// reference field and the row-batched fast evaluator Fill uses (see
-// fastFieldTolerance); its tag embeds name and dims, so it is safe to
-// share through the volume staging cache.
+// Values are in [0,1]. Built-ins get an analytic source whose tag embeds
+// name and dims, so it is safe to share through the volume staging cache;
+// registered file volumes get their shared (paged for v2) file source,
+// whose dims are fixed by the file.
 func New(name string, d volume.Dims) (volume.Source, error) {
+	if e := lookup(name); e != nil {
+		if nd := e.src.Dims(); nd != d {
+			return nil, fmt.Errorf("dataset: volume %q has dims %v, not %v", name, nd, d)
+		}
+		return e.src, nil
+	}
 	var f volume.Field
 	var rows volume.RowFiller
 	switch strings.ToLower(name) {
@@ -42,7 +49,11 @@ func New(name string, d volume.Dims) (volume.Source, error) {
 // PaperDims returns the resolution the paper stores the named dataset at,
 // scaled by the cube edge n: Skull and Supernova are n³; Plume is
 // (n/2)×(n/2)×2n capped to the paper's 512×512×2048 shape ratio.
+// Registered file volumes have fixed on-disk dims, so n is ignored.
 func PaperDims(name string, n int) volume.Dims {
+	if d, ok := NativeDims(name); ok {
+		return d
+	}
 	if strings.ToLower(name) == Plume {
 		return volume.Dims{X: n / 2, Y: n / 2, Z: n * 2}
 	}

@@ -5,26 +5,65 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sync/atomic"
 )
 
-// File format: a minimal header followed by raw little-endian float32
+// File format v1: a minimal header followed by raw little-endian float32
 // samples, x-fastest. This stands in for the paper's pre-bricked volume
-// files on the cluster's disks and backs the out-of-core path.
+// files on the cluster's disks and backs the out-of-core path. The
+// bricked, demand-paged v2 format lives in filev2.go.
 const (
 	fileMagic      = "GVMR"
 	fileVersion    = uint32(1)
 	fileHeaderSize = 4 + 4 + 3*8 // magic + version + dims
 )
 
-// WriteFile streams a source to a volume file at path, slab by slab, so
-// even 1024³ volumes can be written without materialising them.
+// maxFileDim bounds a single axis read from a file header. Headers are
+// untrusted input: a dim must survive the uint64→int conversion on every
+// platform and keep X*Y*Z*4 computable in int64 without overflow.
+const maxFileDim = 1 << 31
+
+// fileWriter is the destination contract of the volume writers: a data
+// sink whose Sync and Close errors are the last chance to learn that a
+// write was silently lost (*os.File satisfies it; tests inject failures).
+type fileWriter interface {
+	io.Writer
+	io.WriterAt
+	Sync() error
+	Close() error
+}
+
+// finishFile completes a volume write: if the body succeeded, sync the
+// file to stable storage and close it, reporting the first error. A
+// failed close can mean a truncated volume on disk, so its error must
+// reach the caller instead of vanishing in a defer.
+func finishFile(f fileWriter, err error) error {
+	if err != nil {
+		f.Close() // best-effort; the write error is the primary failure
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteFile streams a source to a v1 (flat) volume file at path, slab by
+// slab, so even 1024³ volumes can be written without materialising them.
+// WriteFileV2 is the bricked format the demand pager reads.
 func WriteFile(path string, src Source) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	return finishFile(f, writeFileV1(f, src))
+}
+
+// writeFileV1 writes the flat format body to f.
+func writeFileV1(f io.Writer, src Source) error {
 	w := bufio.NewWriterSize(f, 1<<20)
 	d := src.Dims()
 	if _, err := w.WriteString(fileMagic); err != nil {
@@ -55,15 +94,48 @@ func WriteFile(path string, src Source) error {
 	return w.Flush()
 }
 
-// FileSource reads regions from a volume file with positioned reads,
+// FileSource reads regions from a v1 volume file with positioned reads,
 // without loading the whole volume.
 type FileSource struct {
-	f    *os.File
-	path string
-	dims Dims
+	f     *os.File
+	path  string
+	dims  Dims
+	reads atomic.Int64
 }
 
-// OpenFile opens a volume file as a Source.
+// decodeDims reads and bounds the three uint64 dims at hdr (24 bytes).
+// Header dims are untrusted; anything outside [1, maxFileDim] is hostile
+// or corrupt, and rejecting it here keeps all later size arithmetic
+// overflow-free.
+func decodeDims(hdr []byte) (Dims, error) {
+	var u [3]uint64
+	for a := 0; a < 3; a++ {
+		u[a] = binary.LittleEndian.Uint64(hdr[a*8:])
+		if u[a] == 0 || u[a] > maxFileDim {
+			return Dims{}, fmt.Errorf("dim %d out of range [1, %d]", u[a], int64(maxFileDim))
+		}
+	}
+	return Dims{X: int(u[0]), Y: int(u[1]), Z: int(u[2])}, nil
+}
+
+// v1FileSize returns the exact byte size of a v1 file holding dims d, or
+// ok == false when the product overflows int64 (hostile header).
+func v1FileSize(d Dims) (int64, bool) {
+	vox := int64(d.X) * int64(d.Y)
+	if vox > math.MaxInt64/int64(d.Z) {
+		return 0, false
+	}
+	vox *= int64(d.Z)
+	if vox > (math.MaxInt64-fileHeaderSize)/4 {
+		return 0, false
+	}
+	return fileHeaderSize + vox*4, true
+}
+
+// OpenFile opens a v1 volume file as a Source. The header is validated
+// against the actual file size at open, so truncated or hostile files
+// fail here with one clear error instead of mid-render with a confusing
+// per-read failure. OpenVolume auto-detects the version.
 func OpenFile(path string) (*FileSource, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -82,14 +154,25 @@ func OpenFile(path string) (*FileSource, error) {
 		f.Close()
 		return nil, fmt.Errorf("volume: %s has unsupported version %d", path, v)
 	}
-	d := Dims{
-		X: int(binary.LittleEndian.Uint64(hdr[8:])),
-		Y: int(binary.LittleEndian.Uint64(hdr[16:])),
-		Z: int(binary.LittleEndian.Uint64(hdr[24:])),
-	}
-	if d.X <= 0 || d.Y <= 0 || d.Z <= 0 {
+	d, err := decodeDims(hdr[8:])
+	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("volume: %s has invalid dims %v", path, d)
+		return nil, fmt.Errorf("volume: %s has invalid dims: %w", path, err)
+	}
+	want, ok := v1FileSize(d)
+	if !ok {
+		f.Close()
+		return nil, fmt.Errorf("volume: %s dims %v overflow the addressable size", path, d)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("volume: stat %s: %w", path, err)
+	}
+	if fi.Size() != want {
+		f.Close()
+		return nil, fmt.Errorf("volume: %s is %d bytes, header dims %v require exactly %d",
+			path, fi.Size(), d, want)
 	}
 	return &FileSource{f: f, path: path, dims: d}, nil
 }
@@ -103,22 +186,60 @@ func (s *FileSource) Name() string { return s.path }
 // Dims implements Source.
 func (s *FileSource) Dims() Dims { return s.dims }
 
-// Fill implements Source using one positioned read per contiguous row run.
+// Reads returns the number of positioned reads issued so far (the
+// coalescing benchmark's figure of merit).
+func (s *FileSource) Reads() int64 { return s.reads.Load() }
+
+// Fill implements Source. Contiguous row runs are coalesced into single
+// positioned reads: a full-width region reads one run per z-slab, and a
+// full-width, full-height region reads the whole span in one call —
+// turning the per-row syscall storm of a brick stage into a handful of
+// large sequential reads.
 func (s *FileSource) Fill(r Region, dst []float32) error {
 	if err := checkRegion(s.dims, r, len(dst)); err != nil {
 		return err
 	}
+	readRun := func(off int64, vox int, di int) error {
+		buf := make([]byte, vox*4)
+		if _, err := s.f.ReadAt(buf, off); err != nil {
+			return fmt.Errorf("volume: reading %s: %w", s.path, err)
+		}
+		s.reads.Add(1)
+		for i := 0; i < vox; i++ {
+			dst[di+i] = bitsFloat(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		return nil
+	}
+	offAt := func(x, y, z int) int64 {
+		return int64(fileHeaderSize) +
+			((int64(z)*int64(s.dims.Y)+int64(y))*int64(s.dims.X)+int64(x))*4
+	}
 	e := r.End()
+	fullX := r.Org[0] == 0 && r.Ext.X == s.dims.X
+	fullY := r.Org[1] == 0 && r.Ext.Y == s.dims.Y
+	switch {
+	case fullX && fullY:
+		return readRun(offAt(0, 0, r.Org[2]), len(dst), 0)
+	case fullX:
+		vox := r.Ext.X * r.Ext.Y
+		di := 0
+		for z := r.Org[2]; z < e[2]; z++ {
+			if err := readRun(offAt(0, r.Org[1], z), vox, di); err != nil {
+				return err
+			}
+			di += vox
+		}
+		return nil
+	}
 	rowBytes := r.Ext.X * 4
 	buf := make([]byte, rowBytes)
 	di := 0
 	for z := r.Org[2]; z < e[2]; z++ {
 		for y := r.Org[1]; y < e[1]; y++ {
-			off := int64(fileHeaderSize) +
-				((int64(z)*int64(s.dims.Y)+int64(y))*int64(s.dims.X)+int64(r.Org[0]))*4
-			if _, err := s.f.ReadAt(buf, off); err != nil {
+			if _, err := s.f.ReadAt(buf, offAt(r.Org[0], y, z)); err != nil {
 				return fmt.Errorf("volume: reading %s: %w", s.path, err)
 			}
+			s.reads.Add(1)
 			for i := 0; i < r.Ext.X; i++ {
 				dst[di+i] = bitsFloat(binary.LittleEndian.Uint32(buf[i*4:]))
 			}

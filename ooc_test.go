@@ -1,0 +1,203 @@
+// Out-of-core acceptance: a bricked v2 volume file rendered through the
+// demand pager must reproduce the committed golden digests bit for bit —
+// with a staging budget far smaller than the dense volume, so the render
+// provably streamed (evictions and reloads > 0) — single-process and
+// through the distributed cluster path.
+package gvmr_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"gvmr"
+	"gvmr/internal/dist"
+	"gvmr/internal/volume"
+	"gvmr/internal/volume/dataset"
+)
+
+// writeGoldenSkullV2 writes the golden skull dataset (config 0) to a
+// bricked v2 file with 8³ bricks and compression.
+func writeGoldenSkullV2(t *testing.T) string {
+	t.Helper()
+	c := goldenConfigs[0] // shaded skull, 32³, 2 GPUs, 64×64
+	src, err := gvmr.Dataset(c.dataset, c.edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "skull32.gvmr")
+	if err := gvmr.WriteVolumeFileOpts(path, src, gvmr.VolumeFileOptions{BrickEdge: 8, Compress: true}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestOutOfCorePagedGolden renders the committed shaded-skull golden from
+// a v2 file through a staging cache that holds only four of the file's 64
+// bricks. The digest must match the committed in-RAM golden exactly, and
+// the cache/pager counters must prove bricks actually cycled through disk.
+func TestOutOfCorePagedGolden(t *testing.T) {
+	want := committedGoldens(t)
+	c := goldenConfigs[0]
+	path := writeGoldenSkullV2(t)
+	ps, err := volume.OpenFileV2(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	// Four 8³ pages: ~2% of the 128 KiB dense volume.
+	pageCost := volume.Dims{X: 8, Y: 8, Z: 8}.Bytes() + volume.MacrocellBytes(volume.Dims{X: 8, Y: 8, Z: 8})
+	cache := volume.NewStagingCache(4 * pageCost)
+	ps.SetCache(cache)
+
+	tf, err := gvmr.Preset(c.dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := gvmr.NewCluster(c.gpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gvmr.Render(cl, gvmr.Options{
+		Source: ps, TF: tf,
+		Width: c.size, Height: c.size,
+		GPUs: c.gpus, Shading: c.shading,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Image.Digest(); got != want[c.name] {
+		t.Errorf("paged render digest %s != committed %s", got, want[c.name])
+	}
+	if ev := cache.Stats().Evictions; ev == 0 {
+		t.Error("no staging-cache evictions: the render did not stream")
+	}
+	st := ps.Stats()
+	if st.Reloads == 0 {
+		t.Error("no pager reloads: no brick was re-read after eviction")
+	}
+	if st.BrickReads == 0 {
+		t.Error("pager read no bricks")
+	}
+}
+
+// TestOutOfCorePagedSkipsMatchInRAM embeds the skull in the central
+// quarter of an otherwise exactly-zero 32³ volume — the shape of a real
+// out-of-core capture with wide empty margins — and renders it as 64
+// render bricks (8³ cores) over 4³ file bricks. The directory min/max
+// must prove the margin bricks invisible under the skull transfer
+// function (skipped as payload-free bricks, no disk reads), and the image
+// must still be bit-identical to the same render from the in-RAM source.
+func TestOutOfCorePagedSkipsMatchInRAM(t *testing.T) {
+	c := goldenConfigs[0]
+	// Nonzero field only in [12,20)³: every file brick outside records
+	// [0,0] in the directory, and the skull TF maps 0 to zero alpha.
+	skull, err := gvmr.Dataset(c.dataset, c.edge/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := make([]float32, skull.Dims().Voxels())
+	if err := skull.Fill(volume.Region{Ext: skull.Dims()}, inner); err != nil {
+		t.Fatal(err)
+	}
+	d := volume.Dims{X: 32, Y: 32, Z: 32}
+	v := volume.New(d)
+	const org, box = 12, 8
+	for z := 0; z < box; z++ {
+		for y := 0; y < box; y++ {
+			for x := 0; x < box; x++ {
+				// Sample the 16³ skull's centre 8³ so the box has texture.
+				v.Set(org+x, org+y, org+z, inner[(x+4)+16*((y+4)+16*(z+4))])
+			}
+		}
+	}
+	src := volume.NewVolumeSource(v, "embedded-skull")
+
+	render := func(rsrc gvmr.Source) string {
+		t.Helper()
+		tf, err := gvmr.Preset(c.dataset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := gvmr.NewCluster(c.gpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := gvmr.Render(cl, gvmr.Options{
+			Source: rsrc, TF: tf,
+			Width: c.size, Height: c.size,
+			GPUs: c.gpus, Shading: c.shading,
+			BricksPerGPU: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Image.Digest()
+	}
+	wantDigest := render(src)
+
+	path := filepath.Join(t.TempDir(), "embedded.gvmr")
+	if err := gvmr.WriteVolumeFileOpts(path, src, gvmr.VolumeFileOptions{BrickEdge: 4, Compress: true}); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := volume.OpenFileV2(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	ps.SetCache(volume.NewStagingCache(1 << 26))
+	if got := render(ps); got != wantDigest {
+		t.Errorf("paged 64-brick render digest %s != in-RAM %s", got, wantDigest)
+	}
+	st := ps.Stats()
+	if st.SkippedBricks == 0 {
+		t.Error("no render bricks skipped via directory min/max")
+	}
+	// 56 of the 64 render bricks lie wholly in the zero margin; skipping
+	// them must leave most of the 512 file bricks untouched on disk.
+	if st.BrickReads >= int64(st.Bricks)/2 {
+		t.Errorf("%d brick reads for %d file bricks: skips saved no I/O", st.BrickReads, st.Bricks)
+	}
+}
+
+// TestOutOfCoreDistributedGolden registers the v2 file as a dataset and
+// renders it through the cluster coordinator over in-process HTTP worker
+// nodes: workers page only the file bricks their assigned render bricks
+// touch, and the collected image must still match the committed in-RAM
+// golden bit for bit.
+func TestOutOfCoreDistributedGolden(t *testing.T) {
+	want := committedGoldens(t)
+	const name = "skullfile-ooc"
+	path := writeGoldenSkullV2(t)
+	if err := gvmr.RegisterVolumeFile(name, path, "skull"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := dataset.UnregisterVolumeFile(name); err != nil {
+			t.Error(err)
+		}
+	})
+
+	before := dataset.FilePagerStats()
+	if before == nil {
+		t.Fatal("registered v2 volume reports no pager stats")
+	}
+	addrs := startGoldenWorkers(t, 3, nil)
+	coord, err := dist.NewCoordinator(dist.CoordinatorConfig{Nodes: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := goldenJob(t, 0) // same camera: the file's dims equal the golden's
+	job.Dataset = name
+	res, _, err := coord.Render(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Image.Digest(); got != want[goldenConfigs[0].name] {
+		t.Errorf("distributed paged digest %s != committed %s", got, want[goldenConfigs[0].name])
+	}
+	after := dataset.FilePagerStats()
+	if after.BrickReads <= before.BrickReads {
+		t.Error("distributed render paged no bricks")
+	}
+}
